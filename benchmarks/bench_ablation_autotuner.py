@@ -1,0 +1,147 @@
+"""Ablations of the autotuner's design choices (DESIGN.md index).
+
+Four claims from Section 5 are measured on the bin packing benchmark
+under identical budgets:
+
+1. adaptive trial counts (3..25, t-test driven) vs a fixed count
+   (min == max): adaptivity spends fewer trials under low noise;
+2. log-normal scaling mutators vs uniform resampling (the paper
+   reports "much faster convergence" for log-normal on size-like
+   values);
+3. guided mutation on vs off: without it accuracy targets are met
+   later or not at all;
+4. the results-copying optimisation reduces trials at unchanged sizes.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.autotuner import Autotuner, ProgramTestHarness, TunerSettings
+from repro.suite import get_benchmark
+
+SIZES = (16.0, 64.0, 256.0)
+
+
+def tune(benchmark_name="binpacking", *, noise=0.0, seed=21, **overrides):
+    spec = get_benchmark(benchmark_name)
+    program, _ = spec.compile()
+    harness = ProgramTestHarness(program, spec.generate, base_seed=7,
+                                 noise=noise,
+                                 cost_limit=spec.cost_limit)
+    defaults = dict(input_sizes=SIZES, rounds_per_size=2,
+                    mutation_attempts=8, min_trials=3, max_trials=12,
+                    seed=seed, initial_random=2,
+                    accuracy_confidence=None)
+    defaults.update(overrides)
+    result = Autotuner(program, harness, TunerSettings(**defaults)).tune()
+    return harness, result
+
+
+def test_ablation_adaptive_testing(benchmark):
+    def run():
+        adaptive_harness, adaptive = tune()
+        fixed_harness, fixed = tune(min_trials=12, max_trials=12)
+        return (adaptive_harness.trials_run, fixed_harness.trials_run,
+                adaptive.unmet_bins, fixed.unmet_bins)
+
+    adaptive_trials, fixed_trials, adaptive_unmet, fixed_unmet = \
+        run_once(benchmark, run)
+    print(f"\nadaptive trials={adaptive_trials} (unmet {adaptive_unmet}) "
+          f"vs fixed trials={fixed_trials} (unmet {fixed_unmet})")
+    assert adaptive_trials < fixed_trials
+
+
+def test_ablation_noise_inflates_trials(benchmark):
+    """The mouse-wiggle anecdote at tuner scale."""
+    def run():
+        quiet_harness, _ = tune(noise=0.0)
+        noisy_harness, _ = tune(noise=0.4)
+        return quiet_harness.trials_run, noisy_harness.trials_run
+
+    quiet, noisy = run_once(benchmark, run)
+    print(f"\nquiet trials={quiet} noisy trials={noisy}")
+    assert noisy > quiet
+
+
+def test_ablation_lognormal_vs_uniform_scaling(benchmark):
+    """Compare converged frontier cost under equal budgets.
+
+    Uses the clustering benchmark, whose k accuracy variable spans
+    [1, 4096] — exactly the size-like value the log-normal argument
+    is about.
+    """
+    def run():
+        _, lognormal = tune("clustering", lognormal_scaling=True)
+        _, uniform = tune("clustering", lognormal_scaling=False)
+
+        def frontier_cost(result):
+            rows = result.frontier()
+            return sum(cost for _, _, cost in rows) / max(len(rows), 1)
+
+        return frontier_cost(lognormal), frontier_cost(uniform), \
+            len(lognormal.best_per_bin), len(uniform.best_per_bin)
+
+    log_cost, uni_cost, log_bins, uni_bins = run_once(benchmark, run)
+    print(f"\nlognormal: mean frontier cost {log_cost:.0f} over "
+          f"{log_bins} bins; uniform: {uni_cost:.0f} over {uni_bins}")
+    # Both must train something; log-normal should not be worse on
+    # bins covered (weak assertion: comparable or better coverage).
+    assert log_bins >= uni_bins
+
+
+def test_ablation_guided_mutation(benchmark):
+    """Guided mutation rescues unmet accuracy targets (Poisson)."""
+    def run():
+        _, with_guided = tune("poisson", use_guided_mutation=True,
+                              input_sizes=(3.0, 7.0, 15.0),
+                              mutation_attempts=4, min_trials=1,
+                              max_trials=3)
+        _, without = tune("poisson", use_guided_mutation=False,
+                          input_sizes=(3.0, 7.0, 15.0),
+                          mutation_attempts=4, min_trials=1,
+                          max_trials=3)
+        return with_guided.unmet_bins, without.unmet_bins
+
+    with_unmet, without_unmet = run_once(benchmark, run)
+    print(f"\nguided on: unmet {with_unmet}; guided off: unmet "
+          f"{without_unmet}")
+    assert len(with_unmet) <= len(without_unmet)
+
+
+def test_ablation_root_mutator_preference(benchmark):
+    """This repo's search refinement (EXPERIMENTS.md note 3).
+
+    Weighting mutator selection toward the root instance's parameters
+    should cover at least as many accuracy bins of the recursive
+    Poisson benchmark as uniform selection, at the same budget.
+    """
+    def run():
+        _, preferred = tune("poisson", prefer_root_mutators=True,
+                            input_sizes=(3.0, 7.0, 15.0),
+                            mutation_attempts=6, min_trials=1,
+                            max_trials=3)
+        _, uniform = tune("poisson", prefer_root_mutators=False,
+                          input_sizes=(3.0, 7.0, 15.0),
+                          mutation_attempts=6, min_trials=1,
+                          max_trials=3)
+        return (len(preferred.best_per_bin), len(uniform.best_per_bin),
+                preferred.trials_run, uniform.trials_run)
+
+    preferred_bins, uniform_bins, preferred_trials, uniform_trials = \
+        run_once(benchmark, run)
+    print(f"\npreferred: {preferred_bins} bins ({preferred_trials} "
+          f"trials); uniform: {uniform_bins} bins ({uniform_trials} "
+          f"trials)")
+    assert preferred_bins >= uniform_bins
+
+
+def test_ablation_results_copying(benchmark):
+    def run():
+        on_harness, _ = tune(copy_parent_results=True)
+        off_harness, _ = tune(copy_parent_results=False)
+        return on_harness.trials_run, off_harness.trials_run
+
+    on_trials, off_trials = run_once(benchmark, run)
+    print(f"\ncopying on: {on_trials} trials; off: {off_trials} trials")
+    assert on_trials <= off_trials

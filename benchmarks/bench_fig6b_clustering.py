@@ -1,0 +1,23 @@
+"""Figure 6(b): Clustering speedups per accuracy level and input size.
+
+Paper: clustering speedups range from 1.1x to ~8x — relaxed accuracy
+admits fewer clusters, cheap random seeding and a single Lloyd
+iteration.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figure6 import run_figure6
+
+
+def test_fig6b_clustering(benchmark, experiment_settings):
+    result = run_once(benchmark,
+                      lambda: run_figure6("fig6b", experiment_settings))
+    print()
+    print(result.render())
+
+    n = result.sizes[-1]
+    loosest = result.bins[0]
+    speedup = result.speedup(loosest, n)
+    if speedup == speedup:  # tuned
+        assert speedup >= 1.0

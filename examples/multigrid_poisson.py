@@ -1,0 +1,58 @@
+"""Tuning the recursive 2-D Poisson solver (paper Section 6.1.5).
+
+The solver chooses per size between a direct band-Cholesky solve,
+Red-Black SOR, a recursive multigrid V-cycle and full multigrid with an
+estimation phase; recursive calls select their own accuracy bins
+automatically.  After tuning, the example prints the accuracy/cost
+frontier and the cycle shape the tuned solver executes (the Figure 8
+visualisation, here for Poisson).
+
+Run:  python examples/multigrid_poisson.py
+"""
+
+import numpy as np
+
+from repro.autotuner import Autotuner, ProgramTestHarness, TunerSettings
+from repro.multigrid.cycles import extract_cycle_shape, render_cycle
+from repro.suite import get_benchmark
+
+
+def main():
+    spec = get_benchmark("poisson")
+    program, _ = spec.compile()
+    print(f"poisson program: {len(program.instances)} instances "
+          f"(one per accuracy bin), {len(program.space)} tunables")
+
+    harness = ProgramTestHarness(program, spec.generate, base_seed=2,
+                                 cost_limit=spec.cost_limit)
+    settings = TunerSettings(input_sizes=(3.0, 7.0, 15.0, 31.0),
+                             rounds_per_size=3, mutation_attempts=16,
+                             min_trials=2, max_trials=5, seed=17)
+    result = Autotuner(program, harness, settings).tune()
+
+    n = result.sizes[-1]
+    site = program.space["poisson@main.rule.u"]
+    print(f"\ntuned frontier at n={n:g} "
+          f"(accuracy = orders of magnitude of RMS improvement):")
+    for target, accuracy, cost in result.frontier():
+        candidate = result.best_per_bin[target]
+        choice = int(candidate.config.lookup(site.name, n))
+        print(f"  {target:3g} orders: {site.label(choice):15s} "
+              f"achieved {accuracy:6.2f} at cost {cost:12.0f}")
+
+    tuned = result.tuned_program()
+    inputs = spec.generate(31, np.random.default_rng(4))
+    for target in (1.0, 9.0):
+        if target not in tuned.bins:
+            continue
+        run = tuned.run(inputs, 31, bin_target=target,
+                        collect_trace=True, verify=True)
+        shape = extract_cycle_shape(run.trace, 31)
+        print(f"\ncycle shape at accuracy 10^{target:g} "
+              f"(achieved {run.metrics.accuracy:.2f} orders, "
+              f"cost {run.cost:.0f}):")
+        print(render_cycle(shape))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,184 @@
+"""Programmability comparison (paper Section 6.5).
+
+The paper reports that rewriting the variable-accuracy Poisson solver
+with the new language constructs shrank it 15.6x, because the original
+needed hand-written training transforms, an accuracy-level file format
+and duplicated per-accuracy code paths.
+
+This example makes the same point executable: ``ManualPoissonLibrary``
+below is what a careful programmer writes *without* the DSL — explicit
+parameter plumbing, a hand-rolled grid search per accuracy level, and a
+hand-maintained accuracy table — while the DSL version is the ~30
+declaration lines in ``repro/suite/poisson.py`` plus a generic tuner
+call.  Both are run; the example prints the code-size and capability
+comparison.
+
+Run:  python examples/poisson_manual_vs_dsl.py
+"""
+
+import inspect
+import itertools
+
+import numpy as np
+
+from repro.autotuner import Autotuner, ProgramTestHarness, TunerSettings
+from repro.linalg.poisson_ops import apply_laplacian_2d
+from repro.multigrid.grids import coarse_size, is_grid_size, prolong, \
+    restrict_full_weighting
+from repro.multigrid.relax import sor_poisson_2d
+from repro.suite import get_benchmark
+from repro.suite.poisson import rms
+
+
+# ----------------------------------------------------------------------
+# The manual version: no DSL, no generic autotuner.
+# ----------------------------------------------------------------------
+class ManualPoissonLibrary:
+    """Variable-accuracy Poisson without language support.
+
+    Everything the compiler/autotuner derive automatically has to be
+    spelled out: the per-accuracy parameter table, the training loop,
+    the propagation of iteration counts through the recursion, and the
+    dispatch logic.  This mirrors the structure the paper describes for
+    the pre-extension PetaBricks code ("specialized transforms used
+    only during training ... stored this information in a file").
+    """
+
+    def __init__(self):
+        # accuracy target -> (vcycles, pre_iters, post_iters) table,
+        # filled in by train().  The sub-level accuracies must be
+        # managed by hand: we store one parameter set per level depth.
+        self.parameter_table = {}
+
+    # -- solver kernels, parameterized explicitly ----------------------
+    def _vcycle(self, u, f, n, depth, parameters):
+        vcycles, pre, post = parameters[min(depth,
+                                            len(parameters) - 1)]
+        h = 1.0 / (n + 1)
+        for _ in range(vcycles):
+            if pre:
+                u, _ = sor_poisson_2d(u, f, h, 1.5, pre)
+            if n >= 3 and is_grid_size(n):
+                nc = coarse_size(n)
+                residual = f - apply_laplacian_2d(u, h)
+                coarse_f, _ = restrict_full_weighting(residual)
+                correction = self._vcycle(np.zeros((nc, nc)), coarse_f,
+                                          nc, depth + 1, parameters)
+                fine, _ = prolong(correction)
+                u = u + fine
+            if post:
+                u, _ = sor_poisson_2d(u, f, h, 1.5, post)
+        return u
+
+    def _accuracy(self, u, exact):
+        error = rms(u - exact)
+        if error == 0:
+            return 16.0
+        return min(16.0, np.log10(rms(exact) / max(error, 1e-300)))
+
+    # -- hand-rolled training -------------------------------------------
+    def train(self, targets, n, trials=2, seed=0):
+        """Grid-search (vcycles, pre, post) per level for each target.
+
+        Exponential in the number of levels, so the manual version
+        searches a shared parameter set for all levels plus a special
+        top level — exactly the kind of simplification hand-tuning
+        forces, and a big part of why the DSL version finds better
+        compositions.
+        """
+        spec = get_benchmark("poisson")
+        grid = list(itertools.product((1, 2, 3, 4), (0, 1, 2, 4),
+                                      (1, 2, 4)))
+        for target in targets:
+            best = None
+            for top in grid:
+                for rest in ((1, 1, 1), (1, 2, 2), (2, 2, 2)):
+                    parameters = [top, rest]
+                    costs, accuracies = [], []
+                    for trial in range(trials):
+                        rng = np.random.default_rng(seed + trial)
+                        inputs = spec.generate(n, rng)
+                        u = self._vcycle(np.zeros((n, n)), inputs["f"],
+                                         n, 0, parameters)
+                        accuracies.append(
+                            self._accuracy(u, inputs["u_exact"]))
+                        top_cycles, pre, post = top
+                        costs.append(top_cycles * (pre + post + 1))
+                    if np.mean(accuracies) >= target:
+                        cost = float(np.mean(costs))
+                        if best is None or cost < best[0]:
+                            best = (cost, parameters)
+            if best is not None:
+                self.parameter_table[target] = best[1]
+
+    def solve(self, f, n, accuracy):
+        eligible = [t for t in self.parameter_table if t >= accuracy]
+        if not eligible:
+            raise ValueError(f"accuracy {accuracy} was not trained")
+        parameters = self.parameter_table[min(eligible)]
+        return self._vcycle(np.zeros((n, n)), f, n, 0, parameters)
+
+
+def count_code_lines(obj) -> int:
+    source = inspect.getsource(obj)
+    return sum(1 for line in source.splitlines()
+               if line.strip() and not line.strip().startswith("#")
+               and not line.strip().startswith('"""'))
+
+
+def main():
+    n = 15
+    targets = (1.0, 3.0)
+
+    print("training the MANUAL library (hand-rolled grid search)...")
+    manual = ManualPoissonLibrary()
+    manual.train(targets, n)
+    spec = get_benchmark("poisson")
+    inputs = spec.generate(n, np.random.default_rng(5))
+    for target in targets:
+        u = manual.solve(inputs["f"], n, target)
+        achieved = manual._accuracy(u, inputs["u_exact"])
+        print(f"  manual  target {target:3g}: achieved {achieved:5.2f}")
+
+    print("\ntraining the DSL version (generic autotuner)...")
+    program, _ = spec.compile()
+    harness = ProgramTestHarness(program, spec.generate, base_seed=5,
+                                 cost_limit=spec.cost_limit)
+    settings = TunerSettings(input_sizes=(3.0, 7.0, 15.0),
+                             rounds_per_size=2, mutation_attempts=8,
+                             min_trials=1, max_trials=3, seed=11)
+    tuned = Autotuner(program, harness, settings).tune().tuned_program()
+    for target in targets:
+        run = tuned.run(inputs, n, bin_target=target, verify=True)
+        print(f"  DSL     target {target:3g}: achieved "
+              f"{run.metrics.accuracy:5.2f}")
+
+    import repro.suite.poisson as dsl_module
+    # Both versions share the numeric kernels (SOR, transfers, ...).
+    # The comparison is about the *variable-accuracy plumbing*: what
+    # the programmer writes beyond the algorithm itself.
+    manual_lines = (count_code_lines(ManualPoissonLibrary.__init__)
+                    + count_code_lines(ManualPoissonLibrary.train)
+                    + count_code_lines(ManualPoissonLibrary.solve)
+                    + count_code_lines(ManualPoissonLibrary._vcycle)
+                    + count_code_lines(ManualPoissonLibrary._accuracy))
+    # DSL plumbing: the declaration block of the transform (metric,
+    # bins, tunables, call sites) — everything before the first rule.
+    build_source = inspect.getsource(dsl_module.build).split("@transform")[0]
+    dsl_lines = sum(1 for line in build_source.splitlines()
+                    if line.strip() and not line.strip().startswith("#"))
+    print(f"\ncode devoted to variable-accuracy plumbing:")
+    print(f"  manual version: {manual_lines} lines of training, "
+          f"dispatch and parameter threading — per benchmark")
+    print(f"  DSL version:    {dsl_lines} declaration lines; training "
+          f"and dispatch are generic library code")
+    print(f"  reduction:      {manual_lines / dsl_lines:.1f}x "
+          f"(the paper reports 15.6x for its full benchmark)")
+    print("\nand the manual version cannot: vary parameters per input "
+          "size,\nchoose among direct/iterative/recursive algorithms, "
+          "or pick\nper-level sub-accuracies — all free in the DSL "
+          "version.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Quickstart: write, compile, autotune and deploy a variable-accuracy
+transform in ~60 lines.
+
+The task: estimate the mean of a large array.  Two algorithmic choices
+(subsample vs exact scan) and one accuracy variable (the sample count)
+expose an accuracy/time trade-off; the library user just asks for an
+accuracy level.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import Transform, accuracy_variable, compile_program
+from repro.autotuner import Autotuner, ProgramTestHarness, TunerSettings
+
+
+# ----------------------------------------------------------------------
+# 1. The library writer declares the transform.
+# ----------------------------------------------------------------------
+def relative_accuracy(outputs, inputs):
+    """accuracy_metric: 1 - relative error of the estimate."""
+    truth = float(np.mean(inputs["xs"]))
+    error = abs(float(outputs["est"]) - truth) / (abs(truth) + 1e-12)
+    return max(0.0, 1.0 - error)
+
+
+approxmean = Transform(
+    "approxmean",
+    inputs=("xs",),
+    outputs=("est",),
+    accuracy_metric=relative_accuracy,
+    accuracy_bins=(0.5, 0.9, 0.99),          # "accuracy_bins" keyword
+    tunables=[accuracy_variable("m", lo=1, hi=1_000_000, default=4,
+                                direction=+1)],  # "accuracy_variable"
+)
+
+
+@approxmean.rule(outputs=("est",), inputs=("xs",), name="subsample")
+def subsample(ctx, xs):
+    m = min(len(xs), int(ctx.param("m")))
+    indices = ctx.rng.integers(0, len(xs), size=m)
+    ctx.add_cost(m)
+    return float(np.mean(xs[indices]))
+
+
+@approxmean.rule(outputs=("est",), inputs=("xs",), name="exact")
+def exact(ctx, xs):
+    ctx.add_cost(2 * len(xs))
+    return float(np.mean(xs))
+
+
+# ----------------------------------------------------------------------
+# 2. Compile and autotune (done once, per machine / per metric).
+# ----------------------------------------------------------------------
+def main():
+    program, training_info = compile_program(approxmean)
+    print(f"compiled {program.root!r}: "
+          f"{len(program.space)} tunable parameters, "
+          f"{len(training_info.tunables)} entries in the training info\n")
+
+    def training_inputs(n, rng):
+        return {"xs": rng.normal(10.0, 1.0, size=max(2, n))}
+
+    harness = ProgramTestHarness(program, training_inputs, base_seed=1)
+    settings = TunerSettings(max_input_size=4096, min_input_size=16,
+                             seed=42, min_trials=2, max_trials=8)
+    result = Autotuner(program, harness, settings).tune()
+
+    print("tuned frontier (at the largest training size):")
+    for target, accuracy, cost in result.frontier():
+        print(f"  accuracy bin {target:4g}: measured accuracy "
+              f"{accuracy:6.4f} at cost {cost:10.0f}")
+    print(f"  ({result.trials_run} training trials)\n")
+
+    # ------------------------------------------------------------------
+    # 3. The library user requests accuracy; no algorithm knowledge.
+    # ------------------------------------------------------------------
+    tuned = result.tuned_program()
+    xs = np.random.default_rng(7).normal(10.0, 1.0, size=4096)
+    for requested in (0.5, 0.9, 0.99):
+        run = tuned.run({"xs": xs}, len(xs), accuracy=requested,
+                        verify=True)  # "verify_accuracy": retry ladder
+        print(f"requested {requested:4g}: est={run.outputs['est']:8.4f} "
+              f"achieved accuracy {run.metrics.accuracy:6.4f} "
+              f"cost {run.cost:10.0f}")
+
+
+if __name__ == "__main__":
+    main()

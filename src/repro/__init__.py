@@ -1,0 +1,66 @@
+"""repro — reproduction of "Language and Compiler Support for
+Auto-Tuning Variable-Accuracy Algorithms" (Ansel et al., CGO 2011).
+
+The package embeds the paper's PetaBricks variable-accuracy extensions
+as a Python DSL, compiles transforms into choice-aware executable
+programs, and autotunes them with the paper's structured genetic
+algorithm.  See README.md for a quickstart and DESIGN.md for the full
+system inventory.
+
+Public API highlights
+---------------------
+- :class:`repro.lang.Transform`, :class:`repro.lang.CallSite` — declare
+  variable-accuracy programs.
+- :func:`repro.lang.accuracy_variable`, :func:`repro.lang.for_enough`,
+  :func:`repro.lang.cutoff`, :func:`repro.lang.switch` — tunables.
+- :func:`repro.compiler.compile_program` — compile to an executable
+  program + training info.
+- :class:`repro.autotuner.Autotuner` — the accuracy-aware genetic tuner.
+- :class:`repro.runtime.executor.TunedProgram` — run tuned programs,
+  with optional ``verify_accuracy`` runtime checks.
+- :mod:`repro.suite` — the paper's six benchmarks.
+- :mod:`repro.experiments` — regenerate Figures 6-8 and Table 1.
+"""
+
+from repro.lang import (
+    AccuracyMetric,
+    CallSite,
+    Transform,
+    accuracy_variable,
+    cutoff,
+    for_enough,
+    scaled_by,
+    switch,
+)
+from repro.compiler import compile_program
+from repro.errors import (
+    AccuracyError,
+    CompileError,
+    ConfigError,
+    ExecutionError,
+    LanguageError,
+    ReproError,
+    TrainingError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Transform",
+    "CallSite",
+    "AccuracyMetric",
+    "accuracy_variable",
+    "for_enough",
+    "cutoff",
+    "switch",
+    "scaled_by",
+    "compile_program",
+    "ReproError",
+    "LanguageError",
+    "CompileError",
+    "ConfigError",
+    "ExecutionError",
+    "TrainingError",
+    "AccuracyError",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""The variable-accuracy autotuner (Section 5 of the paper).
+
+The tuner follows a structured genetic algorithm (Figure 5): it keeps a
+population of candidate algorithm configurations, expands it with
+automatically generated mutators, tests candidates adaptively (3 to 25
+trials, driven by a t-test and a fitted-normal closeness test), falls
+back to guided hill-climbing on accuracy variables when accuracy
+targets are unmet, and prunes to the K fastest candidates per accuracy
+bin while the training input size grows exponentially.
+"""
+
+from repro.autotuner.candidate import Candidate
+from repro.autotuner.comparison import Comparator, ComparisonSettings
+from repro.autotuner.mutators import MutatorPool, MutationFailed
+from repro.autotuner.results import Trial, CandidateResults
+from repro.autotuner.testing import ProgramTestHarness
+from repro.autotuner.tuner import Autotuner, TunerSettings, TuningResult
+
+__all__ = [
+    "Autotuner",
+    "TunerSettings",
+    "TuningResult",
+    "Candidate",
+    "CandidateResults",
+    "Trial",
+    "Comparator",
+    "ComparisonSettings",
+    "MutatorPool",
+    "MutationFailed",
+    "ProgramTestHarness",
+]

@@ -1,0 +1,77 @@
+"""Candidate algorithms: a configuration plus its measured results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.autotuner.results import CandidateResults
+from repro.config.configuration import Configuration
+
+__all__ = ["Candidate", "MutationRecord"]
+
+
+@dataclass(frozen=True)
+class MutationRecord:
+    """What a mutator changed, kept for the undo meta-mutator.
+
+    ``preserved_below`` is the input-size threshold under which the
+    mutation provably did not change behaviour (``None`` when nothing
+    is preserved); the tuner uses it to copy the parent's trials.
+    """
+
+    mutator_name: str
+    changes: tuple[tuple[str, Any], ...]  # (key, previous entry) pairs
+    preserved_below: float | None = None
+
+
+class Candidate:
+    """One member of the autotuner's population."""
+
+    _next_id = 0
+
+    __slots__ = ("candidate_id", "config", "results", "parent_id",
+                 "last_mutation", "lineage")
+
+    def __init__(self, config: Configuration, *,
+                 parent: "Candidate | None" = None,
+                 mutation: MutationRecord | None = None):
+        self.candidate_id = Candidate._next_id
+        Candidate._next_id += 1
+        self.config = config
+        self.results = CandidateResults()
+        self.parent_id = parent.candidate_id if parent is not None else None
+        self.last_mutation = mutation
+        # Human-readable breadcrumb trail of how this candidate came to be.
+        if parent is None:
+            self.lineage: tuple[str, ...] = ()
+        else:
+            step = mutation.mutator_name if mutation else "?"
+            self.lineage = parent.lineage + (step,)
+
+    # ------------------------------------------------------------------
+    def meets_accuracy(self, n: float, target: float, metric,
+                       confidence: float | None = None) -> bool:
+        """True when this candidate meets accuracy ``target`` at size ``n``.
+
+        With ``confidence`` set, a one-sided confidence bound on the
+        mean accuracy must meet the target (the paper's statistical
+        guarantee); otherwise the sample mean is used.
+        """
+        from repro.autotuner.stats import confidence_bound
+
+        accuracies = self.results.accuracies(n)
+        if not accuracies:
+            return False
+        if self.results.any_failed(n):
+            return False
+        if confidence is None:
+            return metric.meets(self.results.mean_accuracy(n), target)
+        side = "lower" if metric.higher_is_better else "upper"
+        bound = confidence_bound(accuracies, confidence, side=side)
+        return metric.meets(bound, target)
+
+    def __repr__(self) -> str:
+        return (f"Candidate(#{self.candidate_id}, "
+                f"parent={self.parent_id}, "
+                f"lineage={len(self.lineage)} steps)")

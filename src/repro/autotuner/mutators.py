@@ -1,0 +1,470 @@
+"""Mutator functions (Section 5.4).
+
+A mutator creates a new algorithm configuration from an existing one;
+its signature in the paper is ``Configuration x N -> Configuration``
+where N is the current training input size.  The pool of mutators is
+generated fully automatically from the static analysis information
+(here: the :class:`~repro.config.parameters.ParameterSpace`).  The four
+categories of the paper are implemented:
+
+* **decision tree manipulation** — add a level (cutoff initially at
+  ``3N/4``, preserving behaviour for smaller inputs), remove a level,
+  or change the algorithm in the leaf governing the current size;
+* **log-normal random scaling** — scale values compared against data
+  sizes (accuracy variables, cutoffs inside decision trees, scalar
+  cutoffs) by ``exp(Normal(0, 1))``;
+* **uniform random** — replace switch values and algorithmic choices by
+  uniform draws from their (small) legal sets;
+* **meta** — apply several random mutators at once (larger jumps) or
+  undo a candidate's previous mutation.
+
+Mutators also report, through :class:`MutationRecord.preserved_below`,
+the input-size threshold under which behaviour is provably unchanged so
+the tuner can copy the parent's results (the testing-reduction
+optimisation described in the paper).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.autotuner.candidate import Candidate, MutationRecord
+from repro.config.configuration import Configuration
+from repro.config.parameters import (
+    ChoiceSiteParam,
+    ParameterSpace,
+    ScalarParam,
+    SizeValueParam,
+    SwitchParam,
+)
+from repro.errors import ConfigError
+
+__all__ = ["MutationFailed", "Mutator", "MutatorPool"]
+
+
+class MutationFailed(Exception):
+    """A mutator could not produce a changed configuration.
+
+    Internal control flow: the random-mutation phase simply skips the
+    attempt, exactly as a no-op mutation would be rejected by the
+    child-vs-parent comparison anyway.
+    """
+
+
+class Mutator(ABC):
+    """Creates a new configuration by changing an existing one."""
+
+    #: Whether this mutator can change result accuracy.  The paper's
+    #: tuner "conservatively assumes all mutators affect accuracy", so
+    #: this flag is informational (used in logs and ablations) rather
+    #: than a correctness lever.
+    affects_accuracy = True
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def applies(self, candidate: Candidate, n: float) -> bool:
+        """Whether this mutator is currently legal for ``candidate``.
+
+        Dynamic applicability implements the paper's enabling/disabling
+        of mutators: e.g. cutoff-scaling mutators only become available
+        once an add-level mutation created a cutoff.
+        """
+        return True
+
+    @abstractmethod
+    def mutate(self, candidate: Candidate, n: float,
+               rng: np.random.Generator
+               ) -> tuple[Configuration, MutationRecord]:
+        """Return the mutated configuration and its mutation record."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+# ----------------------------------------------------------------------
+# Leaf-value samplers
+# ----------------------------------------------------------------------
+def _different_choice(num_choices: int, current: int,
+                      rng: np.random.Generator) -> int:
+    if num_choices < 2:
+        raise MutationFailed("only one choice available")
+    alternatives = [c for c in range(num_choices) if c != current]
+    return int(rng.choice(alternatives))
+
+
+def _lognormal_scaled(param: SizeValueParam, current: float,
+                      rng: np.random.Generator) -> float:
+    factor = math.exp(rng.normal(0.0, 1.0))
+    value = param.coerce(current * factor)
+    if value == current and param.integer:
+        # Integer rounding swallowed a small scale; nudge by one.
+        value = param.coerce(current + (1.0 if factor > 1.0 else -1.0))
+    if value == current:
+        raise MutationFailed(f"scaling left {param.name} unchanged")
+    return value
+
+
+def _uniform_resample(param: SizeValueParam, current: float,
+                      rng: np.random.Generator) -> float:
+    for _ in range(8):
+        value = param.coerce(rng.uniform(param.lo, param.hi))
+        if value != current:
+            return value
+    raise MutationFailed(f"uniform resample left {param.name} unchanged")
+
+
+def _sample_new_leaf(param, current, rng: np.random.Generator):
+    """Sample a new leaf value appropriate for the parameter kind."""
+    if isinstance(param, ChoiceSiteParam):
+        return _different_choice(param.num_choices, int(current), rng)
+    if isinstance(param, SizeValueParam):
+        if param.scaling == "lognormal":
+            return _lognormal_scaled(param, float(current), rng)
+        return _uniform_resample(param, float(current), rng)
+    raise MutationFailed(f"parameter kind {type(param).__name__} has no tree")
+
+
+# ----------------------------------------------------------------------
+# Decision-tree manipulation mutators
+# ----------------------------------------------------------------------
+class TreeChangeLeafMutator(Mutator):
+    """Change the tree leaf governing the current input size."""
+
+    def __init__(self, param):
+        super().__init__(f"tree.change:{param.name}")
+        self.param = param
+
+    def mutate(self, candidate, n, rng):
+        tree = candidate.config.tree(self.param.name)
+        current = tree.lookup(n)
+        new_value = _sample_new_leaf(self.param, current, rng)
+        new_tree = tree.set_leaf_for_size(n, new_value)
+        config = candidate.config.with_entry(self.param.name, new_tree)
+        record = MutationRecord(self.name,
+                                ((self.param.name, tree),))
+        return config, record
+
+
+class TreeAddLevelMutator(Mutator):
+    """Add a decision-tree level with the cutoff initially at 3N/4.
+
+    "This leaves the behavior for smaller inputs the same, while
+    changing the behavior for the current set of inputs being tested."
+    """
+
+    def __init__(self, param, max_levels: int = 4):
+        super().__init__(f"tree.addlevel:{param.name}")
+        self.param = param
+        self.max_levels = max_levels
+
+    def applies(self, candidate, n):
+        tree = candidate.config.tree(self.param.name)
+        cutoff = 3.0 * n / 4.0
+        return (tree.num_levels < self.max_levels
+                and cutoff >= 1.0
+                and cutoff not in tree.cutoffs)
+
+    def mutate(self, candidate, n, rng):
+        tree = candidate.config.tree(self.param.name)
+        cutoff = 3.0 * n / 4.0
+        if cutoff < 1.0 or cutoff in tree.cutoffs:
+            raise MutationFailed(f"cannot place cutoff at {cutoff}")
+        if tree.num_levels >= self.max_levels:
+            raise MutationFailed("tree at maximum depth")
+        split = tree.add_level(cutoff)
+        current = split.lookup(n)
+        new_value = _sample_new_leaf(self.param, current, rng)
+        new_tree = split.set_leaf_for_size(n, new_value)
+        config = candidate.config.with_entry(self.param.name, new_tree)
+        record = MutationRecord(self.name,
+                                ((self.param.name, tree),),
+                                preserved_below=cutoff)
+        return config, record
+
+
+class TreeRemoveLevelMutator(Mutator):
+    """Remove a random decision-tree level."""
+
+    def __init__(self, param):
+        super().__init__(f"tree.removelevel:{param.name}")
+        self.param = param
+
+    def applies(self, candidate, n):
+        return candidate.config.tree(self.param.name).num_levels > 0
+
+    def mutate(self, candidate, n, rng):
+        tree = candidate.config.tree(self.param.name)
+        if tree.num_levels == 0:
+            raise MutationFailed("tree has no levels to remove")
+        index = int(rng.integers(0, tree.num_levels))
+        new_tree = tree.remove_level(index)
+        config = candidate.config.with_entry(self.param.name, new_tree)
+        record = MutationRecord(self.name, ((self.param.name, tree),))
+        return config, record
+
+
+class TreeScaleCutoffMutator(Mutator):
+    """Log-normally scale an active cutoff inside a decision tree.
+
+    "a log-normal random scaling mutator is introduced for each active
+    cutoff value in the decision tree."
+    """
+
+    affects_accuracy = False
+
+    def __init__(self, param):
+        super().__init__(f"tree.scalecutoff:{param.name}")
+        self.param = param
+
+    def applies(self, candidate, n):
+        return candidate.config.tree(self.param.name).num_levels > 0
+
+    def mutate(self, candidate, n, rng):
+        tree = candidate.config.tree(self.param.name)
+        if tree.num_levels == 0:
+            raise MutationFailed("tree has no cutoffs")
+        index = int(rng.integers(0, tree.num_levels))
+        factor = math.exp(rng.normal(0.0, 1.0))
+        try:
+            new_tree = tree.scale_cutoff(index, factor)
+        except ConfigError as exc:
+            raise MutationFailed(str(exc)) from None
+        if new_tree == tree:
+            raise MutationFailed("cutoff scaling had no effect")
+        config = candidate.config.with_entry(self.param.name, new_tree)
+        record = MutationRecord(self.name, ((self.param.name, tree),))
+        return config, record
+
+
+# ----------------------------------------------------------------------
+# Scalar / switch mutators
+# ----------------------------------------------------------------------
+class ScalarScaleMutator(Mutator):
+    """Log-normally scale a scalar cutoff/blocking value."""
+
+    def __init__(self, param: ScalarParam):
+        super().__init__(f"scalar.scale:{param.name}")
+        self.param = param
+        self.affects_accuracy = param.affects_accuracy
+
+    def mutate(self, candidate, n, rng):
+        current = float(candidate.config[self.param.name])
+        factor = math.exp(rng.normal(0.0, 1.0))
+        value = self.param.coerce(current * factor)
+        if value == current and self.param.integer:
+            value = self.param.coerce(
+                current + (1.0 if factor > 1.0 else -1.0))
+        if value == current:
+            raise MutationFailed(f"scaling left {self.param.name} unchanged")
+        config = candidate.config.with_entry(self.param.name, value)
+        record = MutationRecord(self.name, ((self.param.name, current),))
+        return config, record
+
+
+class SwitchMutator(Mutator):
+    """Uniform-randomly replace a switch value."""
+
+    def __init__(self, param: SwitchParam):
+        super().__init__(f"switch:{param.name}")
+        self.param = param
+        self.affects_accuracy = param.affects_accuracy
+
+    def applies(self, candidate, n):
+        return len(self.param.choices) > 1
+
+    def mutate(self, candidate, n, rng):
+        current = candidate.config[self.param.name]
+        alternatives = [c for c in self.param.choices if c != current]
+        if not alternatives:
+            raise MutationFailed(f"switch {self.param.name} has no "
+                                 f"alternative values")
+        value = alternatives[int(rng.integers(0, len(alternatives)))]
+        config = candidate.config.with_entry(self.param.name, value)
+        record = MutationRecord(self.name, ((self.param.name, current),))
+        return config, record
+
+
+# ----------------------------------------------------------------------
+# Meta mutators
+# ----------------------------------------------------------------------
+class CompoundMutator(Mutator):
+    """Apply several random base mutators at once (a larger jump)."""
+
+    def __init__(self, base_mutators: Sequence[Mutator],
+                 min_applications: int = 2, max_applications: int = 4):
+        super().__init__("meta.compound")
+        self.base_mutators = list(base_mutators)
+        self.min_applications = min_applications
+        self.max_applications = max_applications
+
+    def applies(self, candidate, n):
+        return any(m.applies(candidate, n) for m in self.base_mutators)
+
+    def mutate(self, candidate, n, rng):
+        count = int(rng.integers(self.min_applications,
+                                 self.max_applications + 1))
+        working = candidate
+        first_seen: dict[str, object] = {}
+        preserved: float | None = None
+        applied = 0
+        for _ in range(count * 4):  # allow retries on failed sub-mutations
+            if applied >= count:
+                break
+            options = [m for m in self.base_mutators
+                       if m.applies(working, n)]
+            if not options:
+                break
+            mutator = options[int(rng.integers(0, len(options)))]
+            try:
+                config, record = mutator.mutate(working, n, rng)
+            except MutationFailed:
+                continue
+            for key, old in record.changes:
+                first_seen.setdefault(key, old)
+            if record.preserved_below is None:
+                preserved = None if applied == 0 else preserved
+                preserved = None
+            elif applied == 0 or (preserved is not None
+                                  and record.preserved_below < preserved):
+                preserved = record.preserved_below
+            # Wrap in a fresh candidate so the next sub-mutation sees
+            # the updated configuration.
+            working = Candidate(config, parent=working, mutation=record)
+            applied += 1
+        if applied == 0:
+            raise MutationFailed("no sub-mutation succeeded")
+        record = MutationRecord(
+            self.name, tuple(first_seen.items()),
+            preserved_below=preserved if applied > 0 else None)
+        return working.config, record
+
+
+class UndoMutator(Mutator):
+    """Undo the previous mutation applied to a candidate."""
+
+    def __init__(self):
+        super().__init__("meta.undo")
+
+    def applies(self, candidate, n):
+        record = candidate.last_mutation
+        return (record is not None and bool(record.changes)
+                and all(key in candidate.config
+                        for key, _ in record.changes))
+
+    def mutate(self, candidate, n, rng):
+        record = candidate.last_mutation
+        if record is None or not record.changes:
+            raise MutationFailed("candidate has no mutation to undo")
+        current = tuple((key, candidate.config[key])
+                        for key, _ in record.changes)
+        config = candidate.config.with_entries(dict(record.changes))
+        return config, MutationRecord(self.name, current)
+
+
+# ----------------------------------------------------------------------
+# The pool
+# ----------------------------------------------------------------------
+class MutatorPool:
+    """The automatically generated set of mutators for a program.
+
+    Selection is random but optionally *weighted* toward a key prefix
+    (set via :meth:`prefer`): the tuner prefers mutators that touch the
+    root instance's parameters, which affect every execution, over
+    sub-instance parameters that only matter when recursion reaches
+    them.  The paper specifies only that mutators are picked randomly;
+    the weighting is an engineering refinement that keeps programs with
+    many per-bin instances searchable at small budgets.
+    """
+
+    def __init__(self, mutators: Iterable[Mutator]):
+        # An empty pool is legal: a transform with a single rule and no
+        # tunables has nothing to mutate (random() then returns None and
+        # the tuner's random-mutation phase becomes a no-op).
+        self.mutators = list(mutators)
+        self._preferred_prefix: str | None = None
+        self._preference_weight: float = 1.0
+
+    def prefer(self, prefix: str, weight: float = 4.0) -> None:
+        """Weight mutators whose target key starts with ``prefix``."""
+        if weight <= 0:
+            raise ConfigError(f"preference weight must be positive: "
+                              f"{weight}")
+        self._preferred_prefix = prefix
+        self._preference_weight = weight
+
+    def _weight(self, mutator: Mutator) -> float:
+        if self._preferred_prefix is None:
+            return 1.0
+        param = getattr(mutator, "param", None)
+        if param is None:  # meta mutators keep base weight
+            return 1.0
+        if param.name.startswith(self._preferred_prefix):
+            return self._preference_weight
+        return 1.0
+
+    @classmethod
+    def from_space(cls, space: ParameterSpace, *,
+                   max_tree_levels: int = 4,
+                   include_meta: bool = True,
+                   lognormal_scaling: bool = True) -> "MutatorPool":
+        """Generate the pool from static analysis information.
+
+        ``lognormal_scaling=False`` replaces every log-normal value
+        mutator by a uniform resample (used by the scaling-strategy
+        ablation benchmark).
+        """
+        base: list[Mutator] = []
+        for param in space:
+            if isinstance(param, ChoiceSiteParam):
+                if param.num_choices > 1:
+                    base.append(TreeChangeLeafMutator(param))
+                    base.append(TreeAddLevelMutator(param, max_tree_levels))
+                    base.append(TreeRemoveLevelMutator(param))
+                    base.append(TreeScaleCutoffMutator(param))
+            elif isinstance(param, SizeValueParam):
+                if param.lo != param.hi:
+                    effective = param
+                    if not lognormal_scaling and \
+                            param.scaling == "lognormal":
+                        import dataclasses
+                        effective = dataclasses.replace(
+                            param, scaling="uniform")
+                    base.append(TreeChangeLeafMutator(effective))
+                    base.append(TreeAddLevelMutator(effective,
+                                                    max_tree_levels))
+                    base.append(TreeRemoveLevelMutator(effective))
+                    base.append(TreeScaleCutoffMutator(effective))
+            elif isinstance(param, ScalarParam):
+                if param.lo != param.hi:
+                    base.append(ScalarScaleMutator(param))
+            elif isinstance(param, SwitchParam):
+                if len(param.choices) > 1:
+                    base.append(SwitchMutator(param))
+        mutators = list(base)
+        if include_meta and base:
+            mutators.append(CompoundMutator(base))
+            mutators.append(UndoMutator())
+        return cls(mutators)
+
+    def applicable(self, candidate: Candidate, n: float) -> list[Mutator]:
+        return [m for m in self.mutators if m.applies(candidate, n)]
+
+    def random(self, candidate: Candidate, n: float,
+               rng: np.random.Generator) -> Mutator | None:
+        options = self.applicable(candidate, n)
+        if not options:
+            return None
+        weights = np.array([self._weight(m) for m in options])
+        probabilities = weights / weights.sum()
+        return options[int(rng.choice(len(options), p=probabilities))]
+
+    def __len__(self) -> int:
+        return len(self.mutators)
+
+    def __iter__(self):
+        return iter(self.mutators)

@@ -1,0 +1,106 @@
+"""Population pruning (Section 5.5.4).
+
+"For each accuracy bin required by the user, the pruning keeps the
+fastest K algorithms that meet the accuracy requirement."  Selecting
+those K without exhaustively comparing every pair is done with the
+paper's six-step procedure, which invests comparison trials only in
+candidates that will be kept:
+
+1. roughly sort by mean performance (no additional trials);
+2. split at the Kth element into KEEP and DISCARD;
+3. fully sort KEEP (running adaptive trials as needed);
+4. compare each DISCARD element to the Kth KEEP element, promoting the
+   faster ones;
+5. fully sort KEEP again;
+6. return the first K elements.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Sequence
+
+from repro.autotuner.candidate import Candidate
+from repro.autotuner.comparison import Comparator
+from repro.lang.metrics import AccuracyMetric
+
+__all__ = ["k_fastest", "prune_population"]
+
+
+def _full_sort(candidates: list[Candidate], comparator: Comparator,
+               n: float) -> list[Candidate]:
+    """Sort fastest-first using the adaptive comparator."""
+
+    def cmp(a: Candidate, b: Candidate) -> int:
+        # compare() returns +1 when `a` is better (faster); sorting
+        # wants negative when `a` should come first.
+        return -comparator.compare(a, b, n, "objective")
+
+    return sorted(candidates, key=functools.cmp_to_key(cmp))
+
+
+def k_fastest(candidates: Sequence[Candidate], k: int,
+              comparator: Comparator, n: float) -> list[Candidate]:
+    """The paper's six-step fastest-K selection."""
+    candidates = list(candidates)
+    if k <= 0 or not candidates:
+        return []
+    if len(candidates) <= k:
+        return _full_sort(candidates, comparator, n)
+
+    # Step 1: rough sort by mean objective, no additional trials.
+    rough = sorted(candidates,
+                   key=lambda c: c.results.mean_objective(n))
+    # Step 2: split at the Kth element.
+    keep, discard = rough[:k], rough[k:]
+    # Step 3: fully sort KEEP.
+    keep = _full_sort(keep, comparator, n)
+    # Step 4: give every DISCARD element a chance against the Kth.
+    promoted = []
+    for candidate in discard:
+        if comparator.compare(candidate, keep[k - 1], n, "objective") > 0:
+            promoted.append(candidate)
+    # Step 5: fully sort KEEP (with promotions).
+    keep = _full_sort(keep + promoted, comparator, n)
+    # Step 6: first K.
+    return keep[:k]
+
+
+def prune_population(population: Sequence[Candidate],
+                     bins: Sequence[float], k: int,
+                     comparator: Comparator, n: float,
+                     metric: AccuracyMetric, *,
+                     accuracy_confidence: float | None = None,
+                     keep_most_accurate: bool = True) -> list[Candidate]:
+    """Keep the fastest K candidates per accuracy bin.
+
+    ``keep_most_accurate`` additionally retains the candidate with the
+    best mean accuracy even when it meets no bin; without it the
+    population can go extinct before guided mutation has material to
+    climb from (the paper's tuner keeps separate per-bin stores with
+    the same effect).
+    """
+    population = list(population)
+    kept_ids: set[int] = set()
+    kept: list[Candidate] = []
+
+    def keep_candidate(candidate: Candidate) -> None:
+        if candidate.candidate_id not in kept_ids:
+            kept_ids.add(candidate.candidate_id)
+            kept.append(candidate)
+
+    for target in bins:
+        eligible = [c for c in population
+                    if c.meets_accuracy(n, target, metric,
+                                        accuracy_confidence)]
+        for candidate in k_fastest(eligible, k, comparator, n):
+            keep_candidate(candidate)
+
+    if keep_most_accurate and population:
+        scored = [c for c in population if c.results.accuracies(n)]
+        if scored:
+            best = max(scored, key=lambda c: metric.sort_key(
+                c.results.mean_accuracy(n)))
+            keep_candidate(best)
+
+    return kept

@@ -1,0 +1,100 @@
+"""Trial results accumulated per candidate algorithm.
+
+Each candidate stores, per training input size, the list of trials run
+so far.  The adaptive comparison heuristic (Section 5.5.1) adds trials
+one at a time; the mutators' results-copying optimisation (Section 5.4)
+copies trials for input sizes a mutation provably did not affect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.autotuner.stats import NormalFit, fit_normal
+
+__all__ = ["Trial", "CandidateResults"]
+
+
+@dataclass(frozen=True)
+class Trial:
+    """One timed, accuracy-measured execution of a candidate."""
+
+    objective: float      # cost units or wall seconds (lower is better)
+    accuracy: float       # value of the program's accuracy metric
+    failed: bool = False  # execution raised (e.g. runaway recursion)
+
+
+class CandidateResults:
+    """Per-input-size trial storage."""
+
+    __slots__ = ("_trials",)
+
+    def __init__(self):
+        self._trials: dict[float, list[Trial]] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def add(self, n: float, trial: Trial) -> None:
+        self._trials.setdefault(float(n), []).append(trial)
+
+    def copy_from(self, other: "CandidateResults",
+                  below_size: float | None = None) -> None:
+        """Copy ``other``'s trials, optionally only for sizes < bound.
+
+        Implements the mutator optimisation: "in cases where the
+        behavior of the algorithm is unchanged either below or above a
+        threshold ... the mutator copies unaffected results gathered on
+        the input candidate algorithm to the output candidate
+        algorithm" (Section 5.4).
+        """
+        for n, trials in other._trials.items():
+            if below_size is None or n < below_size:
+                self._trials.setdefault(n, []).extend(trials)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def trials(self, n: float) -> list[Trial]:
+        return list(self._trials.get(float(n), ()))
+
+    def count(self, n: float) -> int:
+        return len(self._trials.get(float(n), ()))
+
+    def sizes(self) -> tuple[float, ...]:
+        return tuple(sorted(self._trials))
+
+    def objectives(self, n: float) -> list[float]:
+        """Objective samples at size ``n`` (failures become +inf)."""
+        return [float("inf") if t.failed else t.objective
+                for t in self._trials.get(float(n), ())]
+
+    def accuracies(self, n: float) -> list[float]:
+        return [t.accuracy for t in self._trials.get(float(n), ())]
+
+    def any_failed(self, n: float) -> bool:
+        return any(t.failed for t in self._trials.get(float(n), ()))
+
+    def objective_fit(self, n: float) -> NormalFit:
+        return fit_normal([v for v in self.objectives(n)
+                           if v != float("inf")])
+
+    def accuracy_fit(self, n: float) -> NormalFit:
+        return fit_normal(self.accuracies(n))
+
+    def mean_objective(self, n: float) -> float:
+        values = self.objectives(n)
+        if not values:
+            return float("inf")
+        if any(v == float("inf") for v in values):
+            return float("inf")
+        return sum(values) / len(values)
+
+    def mean_accuracy(self, n: float) -> float:
+        values = self.accuracies(n)
+        if not values:
+            return float("nan")
+        return sum(values) / len(values)
+
+    def __repr__(self) -> str:
+        sizes = {n: len(trials) for n, trials in sorted(self._trials.items())}
+        return f"CandidateResults({sizes})"

@@ -1,0 +1,110 @@
+"""Population testing: running candidates on training inputs.
+
+"The dominant time requirement of our autotuner is testing candidate
+algorithms by running them on training inputs.  This testing measures
+both the time required and the resulting accuracy" (Section 5.5.1).
+
+The harness generates training inputs from a per-benchmark generator
+function.  Trials are *paired*: trial ``i`` at input size ``n`` uses the
+same generated input (and the same execution seed) for every candidate,
+which reduces the variance of candidate-vs-candidate comparisons.
+
+``noise`` injects multiplicative Gaussian noise into the objective; it
+exists to reproduce the paper's anecdote that increased measurement
+variance (rapid mouse movement during autotuning) inflates the number
+of adaptive trials.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.autotuner.candidate import Candidate
+from repro.autotuner.results import Trial
+from repro.compiler.program import CompiledProgram
+from repro.errors import ReproError
+from repro.rng import derive_seed, generator_for
+from repro.runtime.timing import CostLimitExceeded
+
+__all__ = ["ProgramTestHarness", "InputGenerator"]
+
+#: Input generators map (input size, rng) to the root transform's inputs.
+InputGenerator = Callable[[int, np.random.Generator], Mapping[str, object]]
+
+
+class ProgramTestHarness:
+    """Runs candidate configurations and records trial results."""
+
+    def __init__(self, program: CompiledProgram,
+                 input_generator: InputGenerator, *,
+                 objective: str = "cost",
+                 base_seed: int = 0,
+                 noise: float = 0.0,
+                 cost_limit: float | None = None):
+        if objective not in ("cost", "time"):
+            raise ValueError(f"unknown objective {objective!r}")
+        self.program = program
+        self.input_generator = input_generator
+        self.objective = objective
+        self.base_seed = base_seed
+        self.noise = noise
+        self.cost_limit = cost_limit
+        self.metric = program.root_transform.accuracy_metric
+        if self.metric is None:
+            raise ReproError(
+                f"transform {program.root!r} has no accuracy metric; "
+                f"the variable-accuracy tuner requires one")
+        #: Total trials executed (used by ablation benchmarks).
+        self.trials_run = 0
+        self._input_cache: dict[tuple[float, int], Mapping[str, object]] = {}
+
+    # ------------------------------------------------------------------
+    def training_input(self, n: float, trial_index: int
+                       ) -> Mapping[str, object]:
+        """The (cached) training input for trial ``trial_index`` at ``n``.
+
+        Inputs depend only on (n, trial_index) so that trials pair up
+        across candidates.
+        """
+        key = (float(n), trial_index)
+        if key not in self._input_cache:
+            rng = generator_for(self.base_seed, "input", float(n),
+                                trial_index)
+            self._input_cache[key] = self.input_generator(int(n), rng)
+        return self._input_cache[key]
+
+    def run_trial(self, candidate: Candidate, n: float) -> Trial:
+        """Run one more trial of ``candidate`` at input size ``n``."""
+        trial_index = candidate.results.count(n)
+        inputs = self.training_input(n, trial_index)
+        seed = derive_seed(self.base_seed, "exec", float(n), trial_index)
+        try:
+            result = self.program.execute(inputs, n, candidate.config,
+                                          seed=seed,
+                                          cost_limit=self.cost_limit)
+            accuracy = self.program.accuracy_of(result.outputs, inputs)
+            objective = result.metrics.objective(self.objective)
+            if self.noise > 0.0:
+                noise_rng = generator_for(
+                    self.base_seed, "noise", float(n), trial_index,
+                    candidate.candidate_id)
+                objective *= max(1e-9,
+                                 1.0 + self.noise * noise_rng.normal())
+            trial = Trial(objective=float(objective),
+                          accuracy=float(accuracy))
+        except (ReproError, CostLimitExceeded, FloatingPointError,
+                ZeroDivisionError, np.linalg.LinAlgError, ValueError,
+                OverflowError):
+            trial = Trial(objective=float("inf"),
+                          accuracy=self.metric.worst_value(), failed=True)
+        candidate.results.add(n, trial)
+        self.trials_run += 1
+        return trial
+
+    def ensure_trials(self, candidate: Candidate, n: float,
+                      count: int) -> None:
+        """Run trials until ``candidate`` has at least ``count`` at ``n``."""
+        while candidate.results.count(n) < count:
+            self.run_trial(candidate, n)

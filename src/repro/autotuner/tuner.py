@@ -1,0 +1,291 @@
+"""The autotuning main loop (Figure 5 of the paper).
+
+::
+
+    population = [...]
+    mutators   = [...]
+    for input_size in [1, 2, 4, 8, 16, ..., N]:
+        testPopulation(population, input_size)
+        for round in [1, 2, 3, ..., R]:
+            randomMutation(population, mutators, input_size)
+            if accuracyTargetsNotReached(population):
+                guidedMutation(population, mutators, input_size)
+            prune(population)
+
+Input sizes grow exponentially, "which naturally exploits any optimal
+substructure inherent to most programs".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.autotuner.candidate import Candidate
+from repro.autotuner.comparison import Comparator, ComparisonSettings
+from repro.autotuner.guided import guided_mutation
+from repro.autotuner.mutators import MutationFailed, MutatorPool
+from repro.autotuner.pruning import k_fastest, prune_population
+from repro.autotuner.testing import ProgramTestHarness
+from repro.compiler.program import CompiledProgram
+from repro.config.configuration import Configuration
+from repro.errors import TrainingError
+from repro.rng import generator_for
+
+__all__ = ["TunerSettings", "TuningResult", "Autotuner"]
+
+
+def _exponential_sizes(max_size: float, start: float = 1.0
+                       ) -> tuple[float, ...]:
+    sizes = []
+    n = start
+    while n < max_size:
+        sizes.append(float(n))
+        n *= 2
+    sizes.append(float(max_size))
+    return tuple(dict.fromkeys(sizes))
+
+
+@dataclass(frozen=True)
+class TunerSettings:
+    """Knobs of the autotuner; defaults follow the paper where given."""
+
+    max_input_size: float = 64.0
+    min_input_size: float = 2.0
+    input_sizes: tuple[float, ...] | None = None  # overrides the sweep
+    rounds_per_size: int = 2           # R in Figure 5
+    mutation_attempts: int = 8         # random-mutation attempts per round
+    k_per_bin: int = 2                 # K kept per accuracy bin
+    min_trials: int = 3
+    max_trials: int = 25
+    objective: str = "cost"            # "cost" | "time"
+    seed: int = 0
+    initial_random: int = 2            # random seed configs beside default
+    #: Statistical accuracy guarantees are the paper's default
+    #: (Section 3.3): a candidate meets a bin only when the one-sided
+    #: confidence bound on its mean accuracy does.  ``None`` falls back
+    #: to comparing the sample mean.
+    accuracy_confidence: float | None = 0.9
+    #: "error" raises TrainingError when accuracy targets stay unmet at
+    #: the end of tuning (the paper's behaviour); "warn" records the
+    #: failure in the result; "ignore" stays silent.
+    require_targets: str = "warn"
+    guided_max_evaluations: int = 24
+    guided_factor: float = 2.0
+    max_tree_levels: int = 4
+    keep_most_accurate: bool = True
+    #: Copy the parent's results for input sizes a mutation provably
+    #: did not affect (Section 5.4 optimisation).
+    copy_parent_results: bool = True
+    include_meta_mutators: bool = True
+    lognormal_scaling: bool = True     # False => ablation: uniform scaling
+    use_guided_mutation: bool = True   # False => ablation
+    #: Weight mutator selection toward the root instance's parameters
+    #: (see MutatorPool.prefer); sub-instance parameters only matter
+    #: when the current config's recursion reaches them.
+    prefer_root_mutators: bool = True
+    root_mutator_weight: float = 4.0
+    log: Callable[[str], None] | None = None
+
+    def sizes(self) -> tuple[float, ...]:
+        if self.input_sizes is not None:
+            return tuple(float(n) for n in self.input_sizes)
+        return _exponential_sizes(self.max_input_size, self.min_input_size)
+
+    def comparison_settings(self) -> ComparisonSettings:
+        return ComparisonSettings(min_trials=self.min_trials,
+                                  max_trials=self.max_trials)
+
+
+@dataclass
+class TuningResult:
+    """Outcome of one autotuning run."""
+
+    program: CompiledProgram
+    bins: tuple[float, ...]
+    best_per_bin: dict[float, Candidate]
+    population: list[Candidate]
+    sizes: tuple[float, ...]
+    unmet_bins: tuple[float, ...]
+    trials_run: int
+
+    def config_for(self, target: float) -> Configuration:
+        try:
+            return self.best_per_bin[target].config
+        except KeyError:
+            raise TrainingError(
+                f"no tuned configuration for accuracy bin {target:g} "
+                f"(unmet bins: {self.unmet_bins})") from None
+
+    def frontier(self, n: float | None = None
+                 ) -> list[tuple[float, float, float]]:
+        """(bin target, mean accuracy, mean objective) per tuned bin."""
+        n = n if n is not None else self.sizes[-1]
+        rows = []
+        for target in self.bins:
+            candidate = self.best_per_bin.get(target)
+            if candidate is None:
+                continue
+            rows.append((target, candidate.results.mean_accuracy(n),
+                         candidate.results.mean_objective(n)))
+        return rows
+
+    def tuned_program(self):
+        """Package the per-bin best configurations for deployment."""
+        from repro.runtime.executor import TunedProgram
+        configs = {target: candidate.config
+                   for target, candidate in self.best_per_bin.items()}
+        return TunedProgram(self.program, configs)
+
+
+class Autotuner:
+    """The accuracy-aware genetic autotuner."""
+
+    def __init__(self, program: CompiledProgram,
+                 harness: ProgramTestHarness,
+                 settings: TunerSettings | None = None,
+                 pool: MutatorPool | None = None):
+        self.program = program
+        self.harness = harness
+        self.settings = settings or TunerSettings()
+        self.metric = harness.metric
+        self.bins = program.root_transform.accuracy_bins
+        if not self.bins:
+            raise TrainingError(
+                f"transform {program.root!r} declares no accuracy bins")
+        if pool is None:
+            pool = MutatorPool.from_space(
+                program.space,
+                max_tree_levels=self.settings.max_tree_levels,
+                include_meta=self.settings.include_meta_mutators,
+                lognormal_scaling=self.settings.lognormal_scaling)
+            if self.settings.prefer_root_mutators and len(pool):
+                pool.prefer(f"{program.root}@main.",
+                            self.settings.root_mutator_weight)
+        self.pool = pool
+        self.comparator = Comparator(harness,
+                                     self.settings.comparison_settings())
+
+    # ------------------------------------------------------------------
+    def _log(self, message: str) -> None:
+        if self.settings.log is not None:
+            self.settings.log(message)
+
+    def _initial_population(self, rng: np.random.Generator
+                            ) -> list[Candidate]:
+        population = [Candidate(self.program.default_config())]
+        for _ in range(self.settings.initial_random):
+            population.append(Candidate(self.program.random_config(rng)))
+        return population
+
+    def _unmet_targets(self, population: Sequence[Candidate], n: float
+                       ) -> tuple[float, ...]:
+        unmet = []
+        for target in self.bins:
+            if not any(c.meets_accuracy(n, target, self.metric,
+                                        self.settings.accuracy_confidence)
+                       for c in population):
+                unmet.append(target)
+        return tuple(unmet)
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+    def _test_population(self, population: Sequence[Candidate], n: float
+                         ) -> None:
+        for candidate in population:
+            self.harness.ensure_trials(candidate, n,
+                                       self.settings.min_trials)
+
+    def _random_mutation(self, population: list[Candidate], n: float,
+                         rng: np.random.Generator) -> None:
+        for _ in range(self.settings.mutation_attempts):
+            parent = population[int(rng.integers(0, len(population)))]
+            mutator = self.pool.random(parent, n, rng)
+            if mutator is None:
+                continue
+            try:
+                config, record = mutator.mutate(parent, n, rng)
+            except MutationFailed:
+                continue
+            child = Candidate(config, parent=parent, mutation=record)
+            if self.settings.copy_parent_results and \
+                    record.preserved_below is not None:
+                child.results.copy_from(parent.results,
+                                        below_size=record.preserved_below)
+            self.harness.ensure_trials(child, n, self.settings.min_trials)
+            better_time = self.comparator.compare(child, parent, n,
+                                                  "objective") > 0
+            better_accuracy = self.comparator.compare(child, parent, n,
+                                                      "accuracy") > 0
+            if better_time or better_accuracy:
+                population.append(child)
+
+    def _guided_mutation(self, population: list[Candidate], n: float
+                         ) -> None:
+        unmet = self._unmet_targets(population, n)
+        if not unmet:
+            return
+        added = guided_mutation(
+            population, self.harness, self.program.space, unmet, n,
+            self.metric,
+            min_trials=self.settings.min_trials,
+            max_evaluations=self.settings.guided_max_evaluations,
+            factor=self.settings.guided_factor,
+            accuracy_confidence=self.settings.accuracy_confidence)
+        self._log(f"guided mutation at n={n:g}: {len(added)} candidates "
+                  f"added toward {unmet}")
+
+    def _prune(self, population: list[Candidate], n: float
+               ) -> list[Candidate]:
+        return prune_population(
+            population, self.bins, self.settings.k_per_bin,
+            self.comparator, n, self.metric,
+            accuracy_confidence=self.settings.accuracy_confidence,
+            keep_most_accurate=self.settings.keep_most_accurate)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def tune(self) -> TuningResult:
+        settings = self.settings
+        rng = generator_for(settings.seed, "tuner", self.program.root)
+        population = self._initial_population(rng)
+        sizes = settings.sizes()
+
+        for n in sizes:
+            self._test_population(population, n)
+            for _ in range(settings.rounds_per_size):
+                self._random_mutation(population, n, rng)
+                if settings.use_guided_mutation:
+                    self._guided_mutation(population, n)
+                pruned = self._prune(population, n)
+                if pruned:
+                    population = pruned
+            self._log(f"n={n:g}: population={len(population)} "
+                      f"trials={self.harness.trials_run}")
+
+        final_n = sizes[-1]
+        best_per_bin: dict[float, Candidate] = {}
+        for target in self.bins:
+            eligible = [c for c in population
+                        if c.meets_accuracy(final_n, target, self.metric,
+                                            settings.accuracy_confidence)]
+            fastest = k_fastest(eligible, 1, self.comparator, final_n)
+            if fastest:
+                best_per_bin[target] = fastest[0]
+        unmet = tuple(t for t in self.bins if t not in best_per_bin)
+        if unmet:
+            message = (f"accuracy targets not reached for bins {unmet} "
+                       f"of {self.program.root!r}")
+            if settings.require_targets == "error":
+                raise TrainingError(message)
+            if settings.require_targets == "warn":
+                self._log("WARNING: " + message)
+        return TuningResult(
+            program=self.program, bins=self.bins,
+            best_per_bin=best_per_bin, population=population,
+            sizes=sizes, unmet_bins=unmet,
+            trials_run=self.harness.trials_run)

@@ -1,0 +1,50 @@
+"""Bin packing substrate (paper Section 6.1.1).
+
+Thirteen approximation algorithms, a known-optimal training data
+generator, and the "bins over optimal" accuracy metric.  Algorithms are
+pure functions returning a :class:`~repro.binpacking.algorithms.Packing`
+carrying both the assignment and the abstract operation count charged
+to the cost model.
+"""
+
+from repro.binpacking.algorithms import (
+    ALGORITHMS,
+    Packing,
+    almost_worst_fit,
+    almost_worst_fit_decreasing,
+    best_fit,
+    best_fit_decreasing,
+    first_fit,
+    first_fit_decreasing,
+    last_fit,
+    last_fit_decreasing,
+    modified_first_fit_decreasing,
+    next_fit,
+    next_fit_decreasing,
+    worst_fit,
+    worst_fit_decreasing,
+    validate_packing,
+)
+from repro.binpacking.datagen import generate_items_with_known_optimal
+from repro.binpacking.metrics import bins_over_optimal
+
+__all__ = [
+    "ALGORITHMS",
+    "Packing",
+    "first_fit",
+    "first_fit_decreasing",
+    "modified_first_fit_decreasing",
+    "best_fit",
+    "best_fit_decreasing",
+    "last_fit",
+    "last_fit_decreasing",
+    "next_fit",
+    "next_fit_decreasing",
+    "worst_fit",
+    "worst_fit_decreasing",
+    "almost_worst_fit",
+    "almost_worst_fit_decreasing",
+    "validate_packing",
+    "generate_items_with_known_optimal",
+    "bins_over_optimal",
+]

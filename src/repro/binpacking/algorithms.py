@@ -1,0 +1,346 @@
+"""The thirteen bin packing approximation algorithms of Section 6.1.1.
+
+All algorithms pack items of size in (0, 1] into unit-capacity bins.
+Each returns a :class:`Packing` with the item-to-bin assignment, the
+number of bins used, and ``ops`` — the abstract work charged to the
+cost model.  ``ops`` counts the bin-capacity comparisons a sequential
+implementation performs (the quantity whose asymptotics differ between
+the heuristics: NextFit is O(n), the Fit family O(n * bins)), plus
+``n log2 n`` for the sort of the Decreasing variants.  The *runtime*
+implementation vectorises the bin scans with numpy so large instances
+stay usable from pure Python; this affects wall-clock only, never the
+reported ``ops``.
+
+Worst-case guarantees (paper's list): FirstFit/BestFit 17/10 OPT,
+FirstFitDecreasing/BestFitDecreasing 11/9 OPT (the paper cites 10/9),
+ModifiedFirstFitDecreasing 71/60 OPT, NextFit 2 OPT.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "Packing", "validate_packing", "ALGORITHMS",
+    "first_fit", "first_fit_decreasing", "modified_first_fit_decreasing",
+    "best_fit", "best_fit_decreasing", "last_fit", "last_fit_decreasing",
+    "next_fit", "next_fit_decreasing", "worst_fit",
+    "worst_fit_decreasing", "almost_worst_fit",
+    "almost_worst_fit_decreasing",
+]
+
+#: Tolerance for capacity checks: known-optimal inputs split unit bins
+#: into items whose float sums can exceed 1.0 by rounding error.
+EPSILON = 1e-9
+
+
+@dataclass(frozen=True)
+class Packing:
+    """Result of packing ``n`` items."""
+
+    assignment: np.ndarray  # item index -> bin index
+    num_bins: int
+    ops: float              # abstract work (comparisons + sort cost)
+
+
+def validate_packing(items: np.ndarray, packing: Packing,
+                     capacity: float = 1.0) -> bool:
+    """Check every item is placed and no bin exceeds capacity."""
+    items = np.asarray(items, dtype=float)
+    assignment = packing.assignment
+    if assignment.shape != items.shape:
+        return False
+    if np.any(assignment < 0) or np.any(assignment >= packing.num_bins):
+        return False
+    fills = np.zeros(packing.num_bins)
+    np.add.at(fills, assignment, items)
+    return bool(np.all(fills <= capacity + 1e-6))
+
+
+def _sort_cost(n: int) -> float:
+    return float(n) * math.log2(max(n, 2))
+
+
+class _BinState:
+    """Open bins with vectorised scans but sequential-cost accounting."""
+
+    __slots__ = ("remaining", "used", "ops")
+
+    def __init__(self, max_bins: int, capacity: float):
+        self.remaining = np.full(max_bins, capacity)
+        self.used = 0
+        self.ops = 0.0
+
+    def open_bin(self, item: float) -> int:
+        index = self.used
+        self.remaining[index] -= item
+        self.used += 1
+        return index
+
+    def place(self, index: int, item: float) -> int:
+        self.remaining[index] -= item
+        return index
+
+    def fits(self, item: float) -> np.ndarray:
+        return self.remaining[:self.used] >= item - EPSILON
+
+
+def _first_fit_core(items: np.ndarray, capacity: float) -> Packing:
+    n = len(items)
+    state = _BinState(n, capacity)
+    assignment = np.empty(n, dtype=np.int64)
+    for i, item in enumerate(items):
+        fits = state.fits(item)
+        if fits.any():
+            index = int(np.argmax(fits))
+            state.ops += index + 1  # bins scanned until the first fit
+            assignment[i] = state.place(index, item)
+        else:
+            state.ops += state.used
+            assignment[i] = state.open_bin(item)
+    return Packing(assignment, state.used, state.ops)
+
+
+def _best_fit_core(items: np.ndarray, capacity: float) -> Packing:
+    n = len(items)
+    state = _BinState(n, capacity)
+    assignment = np.empty(n, dtype=np.int64)
+    for i, item in enumerate(items):
+        fits = state.fits(item)
+        state.ops += state.used  # scans every open bin
+        if fits.any():
+            slack = np.where(fits, state.remaining[:state.used], np.inf)
+            assignment[i] = state.place(int(np.argmin(slack)), item)
+        else:
+            assignment[i] = state.open_bin(item)
+    return Packing(assignment, state.used, state.ops)
+
+
+def _worst_fit_core(items: np.ndarray, capacity: float,
+                    kth: int = 1) -> Packing:
+    """WorstFit (kth=1) and AlmostWorstFit (kth-least-full bin)."""
+    n = len(items)
+    state = _BinState(n, capacity)
+    assignment = np.empty(n, dtype=np.int64)
+    for i, item in enumerate(items):
+        fits = state.fits(item)
+        state.ops += state.used
+        if fits.any():
+            slack = np.where(fits, state.remaining[:state.used], -np.inf)
+            fitting = int(fits.sum())
+            rank = min(kth, fitting) - 1
+            # kth-least-full == (rank+1)-th largest remaining capacity.
+            order = np.argsort(slack)
+            index = int(order[len(order) - 1 - rank])
+            assignment[i] = state.place(index, item)
+        else:
+            assignment[i] = state.open_bin(item)
+    return Packing(assignment, state.used, state.ops)
+
+
+def _last_fit_core(items: np.ndarray, capacity: float) -> Packing:
+    n = len(items)
+    state = _BinState(n, capacity)
+    assignment = np.empty(n, dtype=np.int64)
+    for i, item in enumerate(items):
+        fits = state.fits(item)
+        if fits.any():
+            reversed_fits = fits[::-1]
+            back_offset = int(np.argmax(reversed_fits))
+            index = state.used - 1 - back_offset
+            state.ops += back_offset + 1  # scanned from the back
+            assignment[i] = state.place(index, item)
+        else:
+            state.ops += state.used
+            assignment[i] = state.open_bin(item)
+    return Packing(assignment, state.used, state.ops)
+
+
+def _next_fit_core(items: np.ndarray, capacity: float) -> Packing:
+    n = len(items)
+    assignment = np.empty(n, dtype=np.int64)
+    num_bins = 0
+    remaining = 0.0
+    ops = 0.0
+    for i, item in enumerate(items):
+        ops += 1
+        if num_bins > 0 and remaining >= item - EPSILON:
+            remaining -= item
+        else:
+            num_bins += 1
+            remaining = capacity - item
+        assignment[i] = num_bins - 1
+    return Packing(assignment, num_bins, ops)
+
+
+def _decreasing(core, items: np.ndarray, capacity: float, **kwargs
+                ) -> Packing:
+    """Reverse-sort the items, run ``core``, map assignment back."""
+    items = np.asarray(items, dtype=float)
+    order = np.argsort(-items, kind="stable")
+    packing = core(items[order], capacity, **kwargs)
+    assignment = np.empty_like(packing.assignment)
+    assignment[order] = packing.assignment
+    return Packing(assignment, packing.num_bins,
+                   packing.ops + _sort_cost(len(items)))
+
+
+# ----------------------------------------------------------------------
+# Public algorithms
+# ----------------------------------------------------------------------
+def first_fit(items, capacity: float = 1.0) -> Packing:
+    """Place each item in the first bin with capacity (17/10 OPT)."""
+    return _first_fit_core(np.asarray(items, dtype=float), capacity)
+
+
+def first_fit_decreasing(items, capacity: float = 1.0) -> Packing:
+    """Reverse-sort, then FirstFit (11/9 OPT asymptotically)."""
+    return _decreasing(_first_fit_core, items, capacity)
+
+
+def best_fit(items, capacity: float = 1.0) -> Packing:
+    """Place each item in the most-full bin with capacity."""
+    return _best_fit_core(np.asarray(items, dtype=float), capacity)
+
+
+def best_fit_decreasing(items, capacity: float = 1.0) -> Packing:
+    """Reverse-sort, then BestFit."""
+    return _decreasing(_best_fit_core, items, capacity)
+
+
+def last_fit(items, capacity: float = 1.0) -> Packing:
+    """Place each item in the last nonempty bin that has capacity."""
+    return _last_fit_core(np.asarray(items, dtype=float), capacity)
+
+
+def last_fit_decreasing(items, capacity: float = 1.0) -> Packing:
+    """Reverse-sort, then LastFit."""
+    return _decreasing(_last_fit_core, items, capacity)
+
+
+def next_fit(items, capacity: float = 1.0) -> Packing:
+    """Keep one open bin; start a new one when the item misses (2 OPT)."""
+    return _next_fit_core(np.asarray(items, dtype=float), capacity)
+
+
+def next_fit_decreasing(items, capacity: float = 1.0) -> Packing:
+    """Reverse-sort, then NextFit."""
+    return _decreasing(_next_fit_core, items, capacity)
+
+
+def worst_fit(items, capacity: float = 1.0) -> Packing:
+    """Place each item in the least-full nonempty bin with capacity."""
+    return _worst_fit_core(np.asarray(items, dtype=float), capacity, kth=1)
+
+
+def worst_fit_decreasing(items, capacity: float = 1.0) -> Packing:
+    """Reverse-sort, then WorstFit."""
+    return _decreasing(_worst_fit_core, items, capacity, kth=1)
+
+
+def almost_worst_fit(items, capacity: float = 1.0, kth: int = 2) -> Packing:
+    """Place each item in the kth-least-full bin that has capacity.
+
+    AlmostWorstFit by definition sets k=2; as in the paper, our
+    implementation generalises it to a compiler-set ``kth``.
+    """
+    if kth < 1:
+        raise ValueError(f"kth must be >= 1: {kth}")
+    return _worst_fit_core(np.asarray(items, dtype=float), capacity, kth=kth)
+
+
+def almost_worst_fit_decreasing(items, capacity: float = 1.0,
+                                kth: int = 2) -> Packing:
+    """Reverse-sort, then AlmostWorstFit."""
+    return _decreasing(_worst_fit_core, items, capacity, kth=kth)
+
+
+def modified_first_fit_decreasing(items, capacity: float = 1.0) -> Packing:
+    """Johnson & Garey's MFFD variant (71/60 OPT bound).
+
+    Classifies items and pre-pairs small items into the bins opened by
+    large items before falling back to FirstFitDecreasing; this is the
+    classic simplified presentation of the 71/60 algorithm.
+    """
+    items = np.asarray(items, dtype=float)
+    n = len(items)
+    ops = _sort_cost(n) + n  # sort + classification pass
+    order = np.argsort(-items, kind="stable")
+    assignment = np.full(n, -1, dtype=np.int64)
+
+    large = [i for i in order if items[i] > capacity / 2]
+    rest = [i for i in order if items[i] <= capacity / 2]
+
+    remaining: list[float] = []
+    for index in large:  # one bin per large item, decreasing order
+        assignment[index] = len(remaining)
+        remaining.append(capacity - items[index])
+
+    # Walk large bins from the smallest large item (most free space);
+    # insert the smallest remaining item plus the largest that still
+    # fits beside it, when such a pair exists.
+    import collections
+    pool = collections.deque(rest)  # sorted decreasing
+    for bin_index in range(len(remaining) - 1, -1, -1):
+        if len(pool) < 2:
+            break
+        smallest = pool[-1]
+        second_smallest = pool[-2]
+        ops += 2
+        if items[smallest] + items[second_smallest] > \
+                remaining[bin_index] + EPSILON:
+            continue
+        pool.pop()
+        assignment[smallest] = bin_index
+        remaining[bin_index] -= items[smallest]
+        partner = None
+        for position, candidate in enumerate(pool):
+            ops += 1
+            if items[candidate] <= remaining[bin_index] + EPSILON:
+                partner = position
+                break
+        if partner is not None:
+            candidate = pool[partner]
+            del pool[partner]
+            assignment[candidate] = bin_index
+            remaining[bin_index] -= items[candidate]
+
+    # FirstFit the leftovers over all bins (decreasing order preserved).
+    capacities = np.full(n, capacity)
+    used = len(remaining)
+    if used:
+        capacities[:used] = remaining
+    for index in pool:
+        item = items[index]
+        fits = capacities[:used] >= item - EPSILON
+        if fits.any():
+            target = int(np.argmax(fits))
+            ops += target + 1
+        else:
+            ops += used
+            target = used
+            used += 1
+        capacities[target] -= item
+        assignment[index] = target
+    return Packing(assignment, used, ops)
+
+
+#: Name -> callable, in the paper's listing order (Section 6.1.1).
+ALGORITHMS = {
+    "FirstFit": first_fit,
+    "FirstFitDecreasing": first_fit_decreasing,
+    "ModifiedFirstFitDecreasing": modified_first_fit_decreasing,
+    "BestFit": best_fit,
+    "BestFitDecreasing": best_fit_decreasing,
+    "LastFit": last_fit,
+    "LastFitDecreasing": last_fit_decreasing,
+    "NextFit": next_fit,
+    "NextFitDecreasing": next_fit_decreasing,
+    "WorstFit": worst_fit,
+    "WorstFitDecreasing": worst_fit_decreasing,
+    "AlmostWorstFit": almost_worst_fit,
+    "AlmostWorstFitDecreasing": almost_worst_fit_decreasing,
+}

@@ -1,0 +1,22 @@
+"""The bin packing accuracy metric.
+
+Figure 7's caption defines it: "Accuracy is defined as the number of
+bins over the optimal number of bins achievable.  Lower numbers
+represents a higher accuracy." — a *lower-is-better* metric, exercising
+the direction machinery of :class:`repro.lang.metrics.AccuracyMetric`.
+"""
+
+from __future__ import annotations
+
+__all__ = ["bins_over_optimal"]
+
+
+def bins_over_optimal(bins_used: int, optimal_bins: int) -> float:
+    """Ratio of bins used to the known optimal (>= 1.0, lower better)."""
+    if optimal_bins < 1:
+        raise ValueError(f"optimal_bins must be >= 1: {optimal_bins}")
+    if bins_used < optimal_bins:
+        raise ValueError(
+            f"bins_used {bins_used} below the optimum {optimal_bins}: "
+            f"the packing or the optimum is wrong")
+    return bins_used / optimal_bins

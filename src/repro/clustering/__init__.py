@@ -1,0 +1,22 @@
+"""k-means clustering substrate (paper Section 6.1.2)."""
+
+from repro.clustering.kernels import (
+    assign_clusters,
+    new_cluster_locations,
+    lloyd_iterations,
+    sum_cluster_distance_squared,
+)
+from repro.clustering.seeding import random_centers, kmeans_plus_plus
+from repro.clustering.datagen import generate_clustered_points
+from repro.clustering.metrics import kmeans_accuracy
+
+__all__ = [
+    "assign_clusters",
+    "new_cluster_locations",
+    "lloyd_iterations",
+    "sum_cluster_distance_squared",
+    "random_centers",
+    "kmeans_plus_plus",
+    "generate_clustered_points",
+    "kmeans_accuracy",
+]

@@ -1,0 +1,43 @@
+"""Clustered training data for the kmeans benchmark.
+
+Section 6.1.2: "First, sqrt(n) 'center' points are uniformly generated
+from the region [-250, 250] x [-250, 250].  The remaining n - sqrt(n)
+data points are distributed evenly to each of the sqrt(n) centers by
+adding a random number generated from a standard normal distribution
+to the corresponding center point.  The optimal value of k = sqrt(n)
+is not known to the autotuner."
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["generate_clustered_points"]
+
+
+def generate_clustered_points(n: int, rng: np.random.Generator, *,
+                              box: float = 250.0,
+                              noise_std: float = 1.0
+                              ) -> tuple[np.ndarray, int]:
+    """Generate ``n`` 2-D points around ``round(sqrt(n))`` true centers.
+
+    Returns ``(points, true_k)``; ``points`` has shape (n, 2).  The
+    first ``true_k`` rows are the center points themselves; the rest
+    are noisy copies distributed round-robin, matching the paper's
+    "distributed evenly" construction.
+    """
+    if n < 1:
+        raise ValueError(f"need n >= 1 points: {n}")
+    true_k = max(1, int(round(math.sqrt(n))))
+    true_k = min(true_k, n)
+    centers = rng.uniform(-box, box, size=(true_k, 2))
+    points = np.empty((n, 2))
+    points[:true_k] = centers
+    remaining = n - true_k
+    if remaining > 0:
+        owners = np.arange(remaining) % true_k
+        noise = rng.normal(0.0, noise_std, size=(remaining, 2))
+        points[true_k:] = centers[owners] + noise
+    return points, true_k

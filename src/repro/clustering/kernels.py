@@ -1,0 +1,108 @@
+"""Lloyd-iteration kernels for k-means.
+
+The paper's kmeans transform (Figure 3) is built from two kernels —
+``AssignClusters`` and ``NewClusterLocations`` — iterated inside a
+``for_enough`` loop until a stopping condition.  Table 1 shows the
+autotuner choosing between three stopping modes: iterate *once*,
+iterate until no more than some percentage of assignments change
+("25% stabilize"), and iterate to a fixed point ("100% stabilize").
+
+All kernels return the abstract operation count they performed so the
+caller can charge the cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "assign_clusters",
+    "new_cluster_locations",
+    "sum_cluster_distance_squared",
+    "lloyd_iterations",
+]
+
+
+def assign_clusters(points: np.ndarray, centroids: np.ndarray
+                    ) -> tuple[np.ndarray, float]:
+    """Assign each point (rows of ``points``) to its nearest centroid.
+
+    Returns ``(assignments, ops)`` where ops = n * k distance
+    evaluations.
+    """
+    points = np.asarray(points, dtype=float)
+    centroids = np.asarray(centroids, dtype=float)
+    if centroids.ndim != 2 or points.ndim != 2:
+        raise ValueError("points and centroids must be 2-D arrays")
+    deltas = points[:, None, :] - centroids[None, :, :]
+    squared = np.einsum("nkd,nkd->nk", deltas, deltas)
+    assignments = np.argmin(squared, axis=1)
+    return assignments.astype(np.int64), float(points.shape[0]
+                                               * centroids.shape[0])
+
+
+def new_cluster_locations(points: np.ndarray, assignments: np.ndarray,
+                          k: int) -> tuple[np.ndarray, float]:
+    """Move each centroid to the mean of its assigned points.
+
+    Empty clusters keep a NaN-free placeholder: the mean of all points
+    (so later assignment steps remain well defined).  ops = n.
+    """
+    points = np.asarray(points, dtype=float)
+    centroids = np.empty((k, points.shape[1]))
+    counts = np.bincount(assignments, minlength=k).astype(float)
+    sums = np.zeros((k, points.shape[1]))
+    np.add.at(sums, assignments, points)
+    nonempty = counts > 0
+    centroids[nonempty] = sums[nonempty] / counts[nonempty, None]
+    if not nonempty.all():
+        centroids[~nonempty] = points.mean(axis=0)
+    return centroids, float(points.shape[0])
+
+
+def sum_cluster_distance_squared(points: np.ndarray,
+                                 assignments: np.ndarray,
+                                 centroids: np.ndarray) -> float:
+    """Sum of squared distances from points to their assigned centers."""
+    deltas = np.asarray(points, dtype=float) - \
+        np.asarray(centroids, dtype=float)[assignments]
+    return float(np.einsum("nd,nd->", deltas, deltas))
+
+
+def lloyd_iterations(points: np.ndarray, centroids: np.ndarray, *,
+                     max_iterations: int,
+                     change_fraction: float = 0.0,
+                     on_cost: Callable[[float], None] | None = None
+                     ) -> tuple[np.ndarray, np.ndarray, int]:
+    """Iterate AssignClusters / NewClusterLocations.
+
+    Stops after ``max_iterations``, or earlier once the fraction of
+    points whose assignment changed drops to ``change_fraction`` or
+    below (0.0 reproduces the paper's fixed-point loop: ``change == 0``).
+    Returns ``(assignments, centroids, iterations_run)``.
+    """
+    if max_iterations < 1:
+        raise ValueError(f"max_iterations must be >= 1: {max_iterations}")
+    points = np.asarray(points, dtype=float)
+    centroids = np.asarray(centroids, dtype=float).copy()
+    k = centroids.shape[0]
+    n = points.shape[0]
+    previous: np.ndarray | None = None
+    iterations = 0
+    assignments = np.zeros(n, dtype=np.int64)
+    for _ in range(max_iterations):
+        assignments, ops = assign_clusters(points, centroids)
+        if on_cost is not None:
+            on_cost(ops)
+        iterations += 1
+        if previous is not None:
+            changed = int(np.count_nonzero(assignments != previous))
+            if changed <= change_fraction * n:
+                break
+        previous = assignments
+        centroids, ops = new_cluster_locations(points, assignments, k)
+        if on_cost is not None:
+            on_cost(ops)
+    return assignments, centroids, iterations

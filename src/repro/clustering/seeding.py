@@ -1,0 +1,56 @@
+"""Centroid seeding: random and k-means++ ("CenterPlus").
+
+Figure 3's two initialisation rules: a random set of input points, or
+the k-means++ algorithm of Arthur & Vassilvitskii [4], which "chooses
+subsequent centers from the remaining data points with probability
+proportional to the distance squared to the closest center"
+(Section 6.1.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["random_centers", "kmeans_plus_plus"]
+
+
+def random_centers(points: np.ndarray, k: int, rng: np.random.Generator
+                   ) -> tuple[np.ndarray, float]:
+    """Pick ``k`` input points uniformly at random (with replacement).
+
+    With-replacement sampling mirrors the paper's Rule 1, which draws
+    ``rand(0, n)`` independently per centroid column.  ops = k.
+    """
+    points = np.asarray(points, dtype=float)
+    if k < 1:
+        raise ValueError(f"k must be >= 1: {k}")
+    indices = rng.integers(0, points.shape[0], size=k)
+    return points[indices].copy(), float(k)
+
+
+def kmeans_plus_plus(points: np.ndarray, k: int, rng: np.random.Generator
+                     ) -> tuple[np.ndarray, float]:
+    """k-means++ seeding.  ops = n * k distance updates."""
+    points = np.asarray(points, dtype=float)
+    n = points.shape[0]
+    if k < 1:
+        raise ValueError(f"k must be >= 1: {k}")
+    centers = np.empty((k, points.shape[1]))
+    first = int(rng.integers(0, n))
+    centers[0] = points[first]
+    # Squared distance to the closest chosen center so far.
+    best_squared = np.einsum("nd,nd->n", points - centers[0],
+                             points - centers[0])
+    for j in range(1, k):
+        total = float(best_squared.sum())
+        if total <= 0.0:
+            # All points coincide with chosen centers; fall back to
+            # uniform choice.
+            index = int(rng.integers(0, n))
+        else:
+            index = int(rng.choice(n, p=best_squared / total))
+        centers[j] = points[index]
+        deltas = points - centers[j]
+        squared = np.einsum("nd,nd->n", deltas, deltas)
+        np.minimum(best_squared, squared, out=best_squared)
+    return centers, float(n * k)

@@ -1,0 +1,28 @@
+"""The accuracy-aware compiler.
+
+Turns :class:`~repro.lang.transform.Transform` declarations into an
+executable :class:`~repro.compiler.program.CompiledProgram`:
+
+1. :mod:`repro.compiler.choice_graph` builds the choice dependency
+   graph (Section 4.1) and derives a schedule for each transform;
+2. :mod:`repro.compiler.analysis` enumerates every tunable into a
+   :class:`~repro.config.parameters.ParameterSpace`, instantiating each
+   variable-accuracy transform once per accuracy bin (the template-like
+   representation of Section 4.2);
+3. :mod:`repro.compiler.training_info` packages the static analysis
+   results into the training information file the autotuner consumes
+   (Section 5.3).
+"""
+
+from repro.compiler.compile import compile_program
+from repro.compiler.program import CompiledProgram, ExecutionResult, Instance
+from repro.compiler.training_info import TrainingInfo, TunableInfo
+
+__all__ = [
+    "compile_program",
+    "CompiledProgram",
+    "ExecutionResult",
+    "Instance",
+    "TrainingInfo",
+    "TunableInfo",
+]

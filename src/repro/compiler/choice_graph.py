@@ -1,0 +1,109 @@
+"""The choice dependency graph.
+
+Section 4.1: "the main transform level representation is the choice
+dependency graph ... data dependencies are represented by vertices,
+while rules are represented by graph hyperedges".  We realise the
+hypergraph as a bipartite ``networkx`` digraph with two node kinds —
+``("data", name)`` and ``("group", outputs)`` — where a *group* is the
+set of rules sharing an output tuple (i.e. one hyperedge per rule
+choice group).  The graph is used to
+
+* validate that the program is schedulable (acyclic once rules'
+  self-dependencies are dropped), and
+* derive the execution schedule: a topological order over choice
+  groups such that every group runs after all data any of its
+  candidate rules may read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import networkx as nx
+
+from repro.errors import CompileError
+from repro.lang.rule import Rule
+from repro.lang.transform import Transform
+
+__all__ = ["ChoiceGroup", "build_choice_graph", "schedule_groups"]
+
+
+@dataclass(frozen=True)
+class ChoiceGroup:
+    """All rules producing the same output tuple.
+
+    Groups with more than one rule are algorithmic choice sites; the
+    site name is the '+'-joined output tuple, which is stable across
+    runs and readable in configuration files.
+    """
+
+    outputs: Tuple[str, ...]
+    rules: Tuple[Rule, ...]
+
+    @property
+    def site_name(self) -> str:
+        return "+".join(self.outputs)
+
+    @property
+    def is_choice_site(self) -> bool:
+        return len(self.rules) > 1
+
+    def effective_inputs(self) -> frozenset[str]:
+        """Union of data any candidate rule may read.
+
+        A rule's own outputs are excluded: iterative rules (like the
+        kmeans solver, which updates Centroids in place) may read data
+        they produce without creating a scheduling cycle.
+        """
+        reads: set[str] = set()
+        for rule in self.rules:
+            reads.update(set(rule.inputs) - set(rule.outputs))
+        return frozenset(reads)
+
+
+def build_choice_graph(transform: Transform) -> tuple[nx.DiGraph,
+                                                      list[ChoiceGroup]]:
+    """Build the bipartite choice dependency graph for ``transform``."""
+    transform.validate()
+    groups = [ChoiceGroup(outputs, tuple(rules))
+              for outputs, rules in transform.choice_groups()]
+
+    graph = nx.DiGraph()
+    for name in transform.data_names:
+        graph.add_node(("data", name), kind="data",
+                       role=("input" if name in transform.inputs else
+                             "output" if name in transform.outputs else
+                             "through"))
+    for group in groups:
+        node = ("group", group.outputs)
+        graph.add_node(node, kind="group", group=group)
+        for read in group.effective_inputs():
+            graph.add_edge(("data", read), node)
+        for written in group.outputs:
+            graph.add_edge(node, ("data", written))
+    return graph, groups
+
+
+def schedule_groups(transform: Transform) -> list[ChoiceGroup]:
+    """Topologically order the choice groups of ``transform``.
+
+    The order is valid for *any* runtime choice because each group's
+    dependencies are the union over its candidate rules (a conservative
+    over-approximation; PetaBricks prunes per-choice, which only
+    matters for performance of scheduling, not correctness).
+    """
+    graph, groups = build_choice_graph(transform)
+    try:
+        order = list(nx.topological_sort(graph))
+    except nx.NetworkXUnfeasible:
+        cycle = nx.find_cycle(graph)
+        raise CompileError(
+            f"transform {transform.name!r}: choice dependency graph has a "
+            f"cycle: {cycle}") from None
+    by_outputs = {group.outputs: group for group in groups}
+    scheduled = [by_outputs[node[1]] for node in order if node[0] == "group"]
+    if len(scheduled) != len(groups):
+        raise CompileError(
+            f"transform {transform.name!r}: scheduling dropped groups")
+    return scheduled

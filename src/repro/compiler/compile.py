@@ -1,0 +1,52 @@
+"""Top-level compilation entry point.
+
+Mirrors the flow of Figure 4 in the paper: transform declarations are
+analysed into a choice dependency graph per transform, instances are
+created per accuracy bin, and compilation emits two artifacts — the
+executable program (the "output binary") and the training information
+used by the autotuner.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.compiler.analysis import (
+    build_instances,
+    build_parameter_space,
+    gather_transforms,
+)
+from repro.compiler.program import CompiledProgram
+from repro.compiler.training_info import TrainingInfo, build_training_info
+from repro.lang.transform import Transform
+
+__all__ = ["compile_program"]
+
+
+def compile_program(root: Transform,
+                    transforms: Iterable[Transform] = ()
+                    ) -> tuple[CompiledProgram, TrainingInfo]:
+    """Compile ``root`` (and everything it calls) into a program.
+
+    ``transforms`` must contain every transform referenced by call
+    sites that is not ``root`` itself.  Returns the executable program
+    together with its training information file.
+    """
+    registry = {t.name: t for t in transforms}
+    reachable = gather_transforms(root, registry)
+    for transform in reachable.values():
+        transform.validate()
+    # Bin inference (Section 4.2): an explicit call-site accuracy
+    # becomes an extra bin boundary of the callee, so the call
+    # dispatches to an instance tuned for exactly that accuracy.
+    for transform in reachable.values():
+        for site in transform.call_sites.values():
+            callee = reachable[site.target]
+            if site.accuracy is not None and callee.is_variable_accuracy:
+                callee.add_accuracy_bin(site.accuracy)
+    instances = build_instances(root, reachable)
+    space = build_parameter_space(instances, reachable)
+    program = CompiledProgram(root=root.name, transforms=reachable,
+                              instances=instances, space=space)
+    info = build_training_info(root, reachable, instances, space)
+    return program, info

@@ -1,0 +1,216 @@
+"""Compiled programs.
+
+A :class:`CompiledProgram` bundles every transform reachable from a
+root transform, an :class:`Instance` for each (transform, accuracy bin)
+pair — the paper represents "each requested accuracy ... as a separate
+type" (Section 4.2) — plus the parameter space describing every tunable
+in every instance.  Executing the program walks the root instance's
+schedule, resolving each algorithmic choice site and tunable from a
+:class:`~repro.config.configuration.Configuration` at the current input
+size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.compiler.choice_graph import ChoiceGroup
+from repro.config.configuration import Configuration
+from repro.config.parameters import ParameterSpace
+from repro.errors import CompileError, ExecutionError
+from repro.lang.context import ExecutionContext
+from repro.lang.rule import Rule
+from repro.lang.transform import Transform
+from repro.rng import generator_for
+from repro.runtime.timing import CostAccumulator, Metrics, WallTimer
+from repro.runtime.trace import ExecutionTrace
+
+__all__ = ["Instance", "CompiledProgram", "ExecutionResult"]
+
+
+@dataclass(frozen=True)
+class Instance:
+    """One (transform, accuracy-bin) instantiation.
+
+    ``bin_target`` is ``None`` for the root's "main" instance and for
+    fixed-accuracy transforms; otherwise it is the nominal accuracy
+    target of the bin.  All configuration keys of the instance are
+    namespaced under ``prefix`` ( ``"<transform>@<bin>"`` ).
+    """
+
+    prefix: str
+    transform: Transform
+    bin_target: float | None
+    schedule: tuple[ChoiceGroup, ...]
+
+    def key(self, name: str) -> str:
+        return f"{self.prefix}.{name}"
+
+    def choice_key(self, site: str) -> str:
+        return f"{self.prefix}.rule.{site}"
+
+    def call_bin_key(self, site: str) -> str:
+        return f"{self.prefix}.call.{site}.bin"
+
+    def order_key(self, rule_name: str) -> str:
+        return f"{self.prefix}.order.{rule_name}"
+
+
+@dataclass
+class ExecutionResult:
+    """Outputs and measurements from one program execution."""
+
+    outputs: dict[str, Any]
+    metrics: Metrics
+    trace: ExecutionTrace
+
+    @property
+    def cost(self) -> float:
+        return self.metrics.cost
+
+    @property
+    def wall_time(self) -> float:
+        return self.metrics.wall_time
+
+
+class CompiledProgram:
+    """An executable program: instances + parameter space."""
+
+    def __init__(self, root: str, transforms: Mapping[str, Transform],
+                 instances: Mapping[str, Instance], space: ParameterSpace):
+        self.root = root
+        self._transforms = dict(transforms)
+        self._instances = dict(instances)
+        self.space = space
+        if f"{root}@main" not in self._instances:
+            raise CompileError(f"missing root instance {root}@main")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def transform(self, name: str) -> Transform:
+        try:
+            return self._transforms[name]
+        except KeyError:
+            raise CompileError(f"program has no transform {name!r}") from None
+
+    def instance(self, prefix: str) -> Instance:
+        try:
+            return self._instances[prefix]
+        except KeyError:
+            raise CompileError(f"program has no instance {prefix!r}") from None
+
+    @property
+    def transforms(self) -> dict[str, Transform]:
+        return dict(self._transforms)
+
+    @property
+    def instances(self) -> dict[str, Instance]:
+        return dict(self._instances)
+
+    @property
+    def root_transform(self) -> Transform:
+        return self._transforms[self.root]
+
+    def default_config(self) -> Configuration:
+        return self.space.default_config()
+
+    def random_config(self, rng: np.random.Generator) -> Configuration:
+        return self.space.random_config(rng)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self, inputs: Mapping[str, Any], n: float,
+                config: Configuration, *, seed: int = 0,
+                collect_trace: bool = False,
+                cost_limit: float | None = None) -> ExecutionResult:
+        """Run the root instance on ``inputs`` of size ``n``.
+
+        ``cost_limit`` aborts executions whose accumulated cost exceeds
+        the budget (raising
+        :class:`~repro.runtime.timing.CostLimitExceeded`), the cost
+        model's analogue of a trial timeout.
+        """
+        cost = CostAccumulator(limit=cost_limit)
+        trace = ExecutionTrace(enabled=collect_trace)
+        rng = generator_for(seed, "execute", self.root)
+        with WallTimer() as timer:
+            outputs = self.run_instance(
+                f"{self.root}@main", dict(inputs), n, config, rng, cost,
+                trace, depth=0)
+        metrics = Metrics(cost=cost.units, wall_time=timer.elapsed)
+        return ExecutionResult(outputs=outputs, metrics=metrics, trace=trace)
+
+    def accuracy_of(self, outputs: Mapping[str, Any],
+                    inputs: Mapping[str, Any]) -> float:
+        """Root transform's accuracy metric on an input/output pair."""
+        metric = self.root_transform.accuracy_metric
+        if metric is None:
+            raise CompileError(
+                f"root transform {self.root!r} has no accuracy metric")
+        return metric.compute(outputs, inputs)
+
+    # ------------------------------------------------------------------
+    # Instance execution (also entered by ExecutionContext.call)
+    # ------------------------------------------------------------------
+    def run_instance(self, prefix: str, inputs: dict[str, Any], n: float,
+                     config: Configuration, rng: np.random.Generator,
+                     cost: CostAccumulator, trace: ExecutionTrace,
+                     depth: int) -> dict[str, Any]:
+        instance = self.instance(prefix)
+        transform = instance.transform
+        missing = [name for name in transform.inputs if name not in inputs]
+        if missing:
+            raise ExecutionError(
+                f"instance {prefix!r}: missing inputs {missing}")
+        ctx = ExecutionContext(self, instance, config, n, rng, cost, trace,
+                               depth)
+        data: dict[str, Any] = {name: inputs[name]
+                                for name in transform.inputs}
+        for group in instance.schedule:
+            if group.is_choice_site:
+                index = ctx.choose(group.site_name, len(group.rules))
+            else:
+                index = 0
+            self._run_rule(ctx, group.rules[index], data)
+        return {name: data[name] for name in transform.outputs}
+
+    def _run_rule(self, ctx: ExecutionContext, rule: Rule,
+                  data: dict[str, Any]) -> None:
+        if rule.granularity == "whole":
+            args = [data[name] for name in rule.inputs]
+            result = rule.fn(ctx, *args)
+            if len(rule.outputs) == 1:
+                data[rule.outputs[0]] = result
+            else:
+                if not isinstance(result, tuple) or \
+                        len(result) != len(rule.outputs):
+                    raise ExecutionError(
+                        f"rule {rule.name!r} must return a tuple of "
+                        f"{len(rule.outputs)} outputs")
+                for name, value in zip(rule.outputs, result):
+                    data[name] = value
+            return
+
+        # Column granularity: the compiler synthesizes the outer loop
+        # over output columns; its direction is a switch tunable.
+        out_name = rule.outputs[0]
+        transform = ctx.instance.transform
+        allocator = transform.allocators.get(out_name)
+        if allocator is None:
+            raise ExecutionError(
+                f"column rule {rule.name!r} needs an allocator for "
+                f"{out_name!r}")
+        out = allocator(ctx, data)
+        columns = range(out.shape[1])
+        order = ctx.config.lookup(ctx.instance.order_key(rule.name), ctx.n)
+        if order == "backward":
+            columns = reversed(columns)
+        args = [data[name] for name in rule.inputs]
+        for j in columns:
+            rule.fn(ctx, j, out, *args)
+        data[out_name] = out

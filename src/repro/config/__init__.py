@@ -1,0 +1,29 @@
+"""Configuration representation: decision trees, entries, parameter spaces.
+
+A *configuration* (Section 5.2 of the paper) is an assignment of
+decisions to every available choice: decision trees mapping input size
+to an algorithm for each choice site, cutoff values, switches, accuracy
+variables, and user-defined parameters.  The autotuner manipulates
+configurations through the mutators in :mod:`repro.autotuner.mutators`.
+"""
+
+from repro.config.decision_tree import SizeDecisionTree
+from repro.config.configuration import Configuration, ConfigEntry
+from repro.config.parameters import (
+    ParameterSpace,
+    ChoiceSiteParam,
+    SizeValueParam,
+    ScalarParam,
+    SwitchParam,
+)
+
+__all__ = [
+    "SizeDecisionTree",
+    "Configuration",
+    "ConfigEntry",
+    "ParameterSpace",
+    "ChoiceSiteParam",
+    "SizeValueParam",
+    "ScalarParam",
+    "SwitchParam",
+]

@@ -1,0 +1,159 @@
+"""Choice configuration files.
+
+A :class:`Configuration` is the paper's "choice configuration file"
+(Section 5.2): a mapping from parameter name to either a
+:class:`~repro.config.decision_tree.SizeDecisionTree` (for choice sites
+and size-indexed values) or a plain scalar/switch value.  Configurations
+are immutable from the outside; the mutators build modified copies via
+:meth:`Configuration.with_entry`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterator, Mapping
+
+from repro.config.decision_tree import SizeDecisionTree
+from repro.errors import ConfigError
+
+__all__ = ["Configuration", "ConfigEntry"]
+
+ConfigEntry = Any  # SizeDecisionTree | float | int | str | bool
+
+
+class Configuration:
+    """An immutable assignment of values to every tunable parameter."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries: Mapping[str, ConfigEntry]):
+        self._entries = dict(entries)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __getitem__(self, name: str) -> ConfigEntry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ConfigError(f"configuration has no entry {name!r}") from None
+
+    def get(self, name: str, default: ConfigEntry | None = None) -> ConfigEntry:
+        return self._entries.get(name, default)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def items(self):
+        return self._entries.items()
+
+    def tree(self, name: str) -> SizeDecisionTree:
+        entry = self[name]
+        if not isinstance(entry, SizeDecisionTree):
+            raise ConfigError(f"entry {name!r} is not a decision tree")
+        return entry
+
+    def lookup(self, name: str, n: float) -> ConfigEntry:
+        """Resolve entry ``name`` for input size ``n``.
+
+        Decision-tree entries are looked up at ``n``; scalar entries are
+        returned unchanged, so call sites need not care which kind a
+        parameter is.
+        """
+        entry = self[name]
+        if isinstance(entry, SizeDecisionTree):
+            return entry.lookup(n)
+        return entry
+
+    # ------------------------------------------------------------------
+    # Functional updates
+    # ------------------------------------------------------------------
+    def with_entry(self, name: str, value: ConfigEntry) -> "Configuration":
+        if name not in self._entries:
+            raise ConfigError(f"configuration has no entry {name!r}")
+        entries = dict(self._entries)
+        entries[name] = value
+        return Configuration(entries)
+
+    def with_entries(self, updates: Mapping[str, ConfigEntry]) -> "Configuration":
+        entries = dict(self._entries)
+        for name, value in updates.items():
+            if name not in entries:
+                raise ConfigError(f"configuration has no entry {name!r}")
+            entries[name] = value
+        return Configuration(entries)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        payload = {}
+        for name, entry in sorted(self._entries.items()):
+            if isinstance(entry, SizeDecisionTree):
+                payload[name] = {"kind": "tree", **entry.to_json()}
+            else:
+                payload[name] = {"kind": "value", "value": entry}
+        return payload
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "Configuration":
+        entries: dict[str, ConfigEntry] = {}
+        for name, item in data.items():
+            if item.get("kind") == "tree":
+                entries[name] = SizeDecisionTree.from_json(item)
+            else:
+                entries[name] = item["value"]
+        return cls(entries)
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_json(), indent=2, sort_keys=True)
+
+    @classmethod
+    def loads(cls, text: str) -> "Configuration":
+        return cls.from_json(json.loads(text))
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.dumps())
+
+    @classmethod
+    def load(cls, path) -> "Configuration":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.loads(handle.read())
+
+    # ------------------------------------------------------------------
+    # Equality / display
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        return self._entries == other._entries
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(
+            (name, entry if not isinstance(entry, SizeDecisionTree)
+             else ("tree", entry.cutoffs, entry.leaves))
+            for name, entry in self._entries.items())))
+
+    def __repr__(self) -> str:
+        return f"Configuration({len(self._entries)} entries)"
+
+    def describe(self, n: float | None = None) -> str:
+        """Human-readable dump, optionally resolved at input size ``n``."""
+        lines = []
+        for name in sorted(self._entries):
+            entry = self._entries[name]
+            if isinstance(entry, SizeDecisionTree):
+                if n is None:
+                    lines.append(f"{name} = {entry!r}")
+                else:
+                    lines.append(f"{name} = {entry.lookup(n)!r}  (at n={n})")
+            else:
+                lines.append(f"{name} = {entry!r}")
+        return "\n".join(lines)

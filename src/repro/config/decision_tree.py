@@ -1,0 +1,188 @@
+"""Input-size decision trees.
+
+The paper's configuration files contain "decision trees to decide which
+algorithm to use for each choice site, accuracy, and input size"
+(Section 5.2).  Because the trees branch only on the input size ``n``,
+they are equivalent to a sorted list of cutoffs partitioning the size
+axis into intervals, each carrying a leaf value.  This module implements
+that flattened representation together with the mutation operations the
+autotuner's decision-tree-manipulation mutators require (Section 5.4):
+
+* ``add_level`` — split an interval at a new cutoff, initially placed at
+  ``3 * N / 4`` by the mutator so behaviour for smaller inputs is
+  preserved;
+* ``remove_level`` — merge two adjacent intervals;
+* ``set_leaf`` — change the value of one interval;
+* ``scale_cutoff`` — multiply a cutoff by a (log-normal) factor.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator, Sequence
+
+from repro.errors import ConfigError
+
+__all__ = ["SizeDecisionTree"]
+
+
+class SizeDecisionTree:
+    """Piecewise-constant map from input size to a value.
+
+    ``cutoffs`` is a strictly increasing sequence ``[c1, ..., ck]`` and
+    ``leaves`` has length ``k + 1``.  ``lookup(n)`` returns
+    ``leaves[i]`` where ``i`` is the number of cutoffs ``<= n``; i.e.
+    leaf 0 covers ``n < c1``, leaf 1 covers ``c1 <= n < c2`` and so on.
+    """
+
+    __slots__ = ("_cutoffs", "_leaves")
+
+    def __init__(self, leaves: Sequence[Any], cutoffs: Sequence[float] = ()):
+        cutoffs = [float(c) for c in cutoffs]
+        leaves = list(leaves)
+        if not leaves:
+            raise ConfigError("decision tree needs at least one leaf")
+        if len(leaves) != len(cutoffs) + 1:
+            raise ConfigError(
+                f"decision tree with {len(cutoffs)} cutoffs needs "
+                f"{len(cutoffs) + 1} leaves, got {len(leaves)}")
+        if any(c2 <= c1 for c1, c2 in zip(cutoffs, cutoffs[1:])):
+            raise ConfigError(f"cutoffs must be strictly increasing: {cutoffs}")
+        if any(c <= 0 for c in cutoffs):
+            raise ConfigError(f"cutoffs must be positive: {cutoffs}")
+        self._cutoffs = cutoffs
+        self._leaves = leaves
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def cutoffs(self) -> tuple[float, ...]:
+        return tuple(self._cutoffs)
+
+    @property
+    def leaves(self) -> tuple[Any, ...]:
+        return tuple(self._leaves)
+
+    @property
+    def num_levels(self) -> int:
+        """Number of cutoffs (tree depth in the paper's terminology)."""
+        return len(self._cutoffs)
+
+    def lookup(self, n: float) -> Any:
+        """Return the leaf value governing input size ``n``."""
+        return self._leaves[bisect.bisect_right(self._cutoffs, n)]
+
+    def leaf_index(self, n: float) -> int:
+        """Return the index of the interval containing size ``n``."""
+        return bisect.bisect_right(self._cutoffs, n)
+
+    def intervals(self) -> Iterator[tuple[float, float, Any]]:
+        """Yield ``(lo, hi, value)`` triples covering ``[0, inf)``."""
+        bounds = [0.0, *self._cutoffs, float("inf")]
+        for i, value in enumerate(self._leaves):
+            yield bounds[i], bounds[i + 1], value
+
+    # ------------------------------------------------------------------
+    # Mutation operations (all return new trees; trees are immutable)
+    # ------------------------------------------------------------------
+    def add_level(self, cutoff: float, upper_value: Any | None = None
+                  ) -> "SizeDecisionTree":
+        """Split the interval containing ``cutoff`` at ``cutoff``.
+
+        The new upper interval receives ``upper_value`` (defaulting to a
+        copy of the split interval's value, which preserves behaviour
+        everywhere — the mutator then changes the upper leaf).  Raises
+        :class:`ConfigError` if ``cutoff`` duplicates an existing one.
+        """
+        cutoff = float(cutoff)
+        if cutoff <= 0:
+            raise ConfigError(f"cutoff must be positive: {cutoff}")
+        if cutoff in self._cutoffs:
+            raise ConfigError(f"cutoff {cutoff} already present")
+        index = bisect.bisect_right(self._cutoffs, cutoff)
+        if upper_value is None:
+            upper_value = self._leaves[index]
+        cutoffs = list(self._cutoffs)
+        leaves = list(self._leaves)
+        cutoffs.insert(index, cutoff)
+        leaves.insert(index + 1, upper_value)
+        return SizeDecisionTree(leaves, cutoffs)
+
+    def remove_level(self, index: int) -> "SizeDecisionTree":
+        """Drop cutoff ``index``, merging its intervals (lower leaf wins)."""
+        if not 0 <= index < len(self._cutoffs):
+            raise ConfigError(
+                f"no cutoff {index} in tree with {len(self._cutoffs)} levels")
+        cutoffs = list(self._cutoffs)
+        leaves = list(self._leaves)
+        del cutoffs[index]
+        del leaves[index + 1]
+        return SizeDecisionTree(leaves, cutoffs)
+
+    def set_leaf(self, index: int, value: Any) -> "SizeDecisionTree":
+        """Return a tree with leaf ``index`` replaced by ``value``."""
+        if not 0 <= index < len(self._leaves):
+            raise ConfigError(
+                f"no leaf {index} in tree with {len(self._leaves)} leaves")
+        leaves = list(self._leaves)
+        leaves[index] = value
+        return SizeDecisionTree(leaves, self._cutoffs)
+
+    def set_leaf_for_size(self, n: float, value: Any) -> "SizeDecisionTree":
+        """Replace the leaf governing input size ``n``."""
+        return self.set_leaf(self.leaf_index(n), value)
+
+    def scale_cutoff(self, index: int, factor: float) -> "SizeDecisionTree":
+        """Multiply cutoff ``index`` by ``factor``.
+
+        If scaling would violate strict monotonicity the cutoff is
+        clamped to stay strictly between its neighbours; a clamp that
+        cannot preserve strictness raises :class:`ConfigError`.
+        """
+        if not 0 <= index < len(self._cutoffs):
+            raise ConfigError(
+                f"no cutoff {index} in tree with {len(self._cutoffs)} levels")
+        if factor <= 0:
+            raise ConfigError(f"scale factor must be positive: {factor}")
+        new_cutoff = self._cutoffs[index] * factor
+        lo = self._cutoffs[index - 1] if index > 0 else 0.0
+        hi = (self._cutoffs[index + 1]
+              if index + 1 < len(self._cutoffs) else float("inf"))
+        # Clamp strictly inside (lo, hi).
+        if new_cutoff <= lo:
+            new_cutoff = lo * (1 + 1e-9) + 1e-9
+        if new_cutoff >= hi:
+            new_cutoff = hi * (1 - 1e-9)
+        if not lo < new_cutoff < hi:
+            raise ConfigError(
+                f"cannot scale cutoff {index} by {factor}: no room "
+                f"between neighbours ({lo}, {hi})")
+        cutoffs = list(self._cutoffs)
+        cutoffs[index] = new_cutoff
+        return SizeDecisionTree(self._leaves, cutoffs)
+
+    # ------------------------------------------------------------------
+    # Serialisation / equality
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        return {"cutoffs": list(self._cutoffs), "leaves": list(self._leaves)}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "SizeDecisionTree":
+        return cls(data["leaves"], data["cutoffs"])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SizeDecisionTree):
+            return NotImplemented
+        return (self._cutoffs == other._cutoffs
+                and self._leaves == other._leaves)
+
+    def __hash__(self) -> int:
+        return hash((tuple(self._cutoffs), tuple(self._leaves)))
+
+    def __repr__(self) -> str:
+        parts = []
+        for lo, hi, value in self.intervals():
+            parts.append(f"[{lo:g},{hi:g})->{value!r}")
+        return f"SizeDecisionTree({' '.join(parts)})"

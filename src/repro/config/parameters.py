@@ -1,0 +1,289 @@
+"""Parameter space descriptions.
+
+The compiler's static analysis (Section 5.3) reduces a program to a set
+of named, typed tunable parameters; the autotuner generates mutators
+from these descriptions.  Four parameter kinds cover everything in the
+paper's configuration files (Section 5.2):
+
+* :class:`ChoiceSiteParam` — an algorithmic choice site; configured by a
+  decision tree over input size whose leaves are choice indices.
+* :class:`SizeValueParam` — a numeric value that may differ per input
+  size (accuracy variables, ``for_enough`` iteration counts); configured
+  by a decision tree with numeric leaves.
+* :class:`ScalarParam` — a single numeric value (cutoffs, blocking
+  sizes); mutated by log-normal scaling.
+* :class:`SwitchParam` — a single value drawn from a small finite set
+  (storage strategies, iteration orders); mutated uniformly at random.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+from repro.config.decision_tree import SizeDecisionTree
+from repro.errors import ConfigError
+
+__all__ = [
+    "ChoiceSiteParam",
+    "SizeValueParam",
+    "ScalarParam",
+    "SwitchParam",
+    "ParameterSpace",
+]
+
+
+@dataclass(frozen=True)
+class ChoiceSiteParam:
+    """An algorithmic choice site with ``num_choices`` alternatives."""
+
+    name: str
+    num_choices: int
+    default: int = 0
+    choice_labels: tuple[str, ...] = ()
+    #: True when switching the choice can change result accuracy (the
+    #: autotuner conservatively assumes so unless told otherwise).
+    affects_accuracy: bool = True
+
+    def __post_init__(self):
+        if self.num_choices < 1:
+            raise ConfigError(f"choice site {self.name!r} needs >= 1 choice")
+        if not 0 <= self.default < self.num_choices:
+            raise ConfigError(
+                f"choice site {self.name!r}: default {self.default} out of "
+                f"range [0, {self.num_choices})")
+        if self.choice_labels and len(self.choice_labels) != self.num_choices:
+            raise ConfigError(
+                f"choice site {self.name!r}: {len(self.choice_labels)} labels "
+                f"for {self.num_choices} choices")
+
+    def default_entry(self) -> SizeDecisionTree:
+        return SizeDecisionTree([self.default])
+
+    def clamp(self, value: int) -> int:
+        return int(min(max(value, 0), self.num_choices - 1))
+
+    def label(self, index: int) -> str:
+        if self.choice_labels:
+            return self.choice_labels[index]
+        return str(index)
+
+
+@dataclass(frozen=True)
+class SizeValueParam:
+    """A numeric tunable whose value may vary with input size.
+
+    ``accuracy_direction`` is the static-analysis hint used by guided
+    mutation (Section 5.5.3): +1 means increasing the value tends to
+    increase accuracy (e.g. iteration counts), -1 the opposite, 0 means
+    unknown / no monotone relationship.
+    """
+
+    name: str
+    lo: float
+    hi: float
+    default: float
+    integer: bool = True
+    scaling: str = "lognormal"  # "lognormal" | "uniform"
+    accuracy_direction: int = 0
+    is_accuracy_variable: bool = False
+
+    def __post_init__(self):
+        if self.lo > self.hi:
+            raise ConfigError(
+                f"parameter {self.name!r}: lo {self.lo} > hi {self.hi}")
+        if not self.lo <= self.default <= self.hi:
+            raise ConfigError(
+                f"parameter {self.name!r}: default {self.default} outside "
+                f"[{self.lo}, {self.hi}]")
+        if self.scaling not in ("lognormal", "uniform"):
+            raise ConfigError(
+                f"parameter {self.name!r}: unknown scaling {self.scaling!r}")
+
+    def default_entry(self) -> SizeDecisionTree:
+        return SizeDecisionTree([self.coerce(self.default)])
+
+    def coerce(self, value: float) -> float:
+        """Clamp ``value`` into the domain and round if integral."""
+        value = min(max(float(value), self.lo), self.hi)
+        if self.integer:
+            value = float(int(round(value)))
+        return value
+
+
+@dataclass(frozen=True)
+class ScalarParam:
+    """A single numeric tunable (cutoff, block size, ...)."""
+
+    name: str
+    lo: float
+    hi: float
+    default: float
+    integer: bool = True
+    scaling: str = "lognormal"
+    affects_accuracy: bool = False
+
+    def __post_init__(self):
+        if self.lo > self.hi:
+            raise ConfigError(
+                f"parameter {self.name!r}: lo {self.lo} > hi {self.hi}")
+        if not self.lo <= self.default <= self.hi:
+            raise ConfigError(
+                f"parameter {self.name!r}: default {self.default} outside "
+                f"[{self.lo}, {self.hi}]")
+
+    def default_entry(self) -> float:
+        return self.coerce(self.default)
+
+    def coerce(self, value: float) -> float:
+        value = min(max(float(value), self.lo), self.hi)
+        if self.integer:
+            value = float(int(round(value)))
+        return value
+
+
+@dataclass(frozen=True)
+class SwitchParam:
+    """A tunable drawn from a small finite set of values."""
+
+    name: str
+    choices: tuple[Any, ...]
+    default: Any = None
+    affects_accuracy: bool = False
+
+    def __post_init__(self):
+        if not self.choices:
+            raise ConfigError(f"switch {self.name!r} needs choices")
+        if self.default is not None and self.default not in self.choices:
+            raise ConfigError(
+                f"switch {self.name!r}: default {self.default!r} not in "
+                f"choices {self.choices!r}")
+
+    def default_entry(self) -> Any:
+        return self.default if self.default is not None else self.choices[0]
+
+
+Param = ChoiceSiteParam | SizeValueParam | ScalarParam | SwitchParam
+
+
+class ParameterSpace:
+    """The set of all tunable parameters of a compiled program.
+
+    Acts as a mapping from parameter name to parameter description and
+    knows how to produce a default configuration and validate arbitrary
+    configurations against the domains.
+    """
+
+    def __init__(self, params: Iterable[Param] = ()):
+        self._params: dict[str, Param] = {}
+        for param in params:
+            self.add(param)
+
+    def add(self, param: Param) -> None:
+        if param.name in self._params:
+            raise ConfigError(f"duplicate parameter {param.name!r}")
+        self._params[param.name] = param
+
+    # Mapping-style access -------------------------------------------------
+    def __getitem__(self, name: str) -> Param:
+        try:
+            return self._params[name]
+        except KeyError:
+            raise ConfigError(f"unknown parameter {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._params
+
+    def __iter__(self):
+        return iter(self._params.values())
+
+    def __len__(self) -> int:
+        return len(self._params)
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._params)
+
+    def choice_sites(self) -> list[ChoiceSiteParam]:
+        return [p for p in self if isinstance(p, ChoiceSiteParam)]
+
+    def size_values(self) -> list[SizeValueParam]:
+        return [p for p in self if isinstance(p, SizeValueParam)]
+
+    def accuracy_variables(self) -> list[SizeValueParam]:
+        return [p for p in self.size_values() if p.is_accuracy_variable]
+
+    def scalars(self) -> list[ScalarParam]:
+        return [p for p in self if isinstance(p, ScalarParam)]
+
+    def switches(self) -> list[SwitchParam]:
+        return [p for p in self if isinstance(p, SwitchParam)]
+
+    # Configuration construction -------------------------------------------
+    def default_config(self):
+        from repro.config.configuration import Configuration
+        entries = {p.name: p.default_entry() for p in self}
+        return Configuration(entries)
+
+    def random_config(self, rng: np.random.Generator):
+        """A configuration sampled uniformly from every domain."""
+        from repro.config.configuration import Configuration
+        entries: dict[str, Any] = {}
+        for param in self:
+            if isinstance(param, ChoiceSiteParam):
+                entries[param.name] = SizeDecisionTree(
+                    [int(rng.integers(0, param.num_choices))])
+            elif isinstance(param, SizeValueParam):
+                value = param.coerce(rng.uniform(param.lo, param.hi))
+                entries[param.name] = SizeDecisionTree([value])
+            elif isinstance(param, ScalarParam):
+                entries[param.name] = param.coerce(
+                    rng.uniform(param.lo, param.hi))
+            else:
+                entries[param.name] = param.choices[
+                    int(rng.integers(0, len(param.choices)))]
+        return Configuration(entries)
+
+    def validate(self, config) -> None:
+        """Raise :class:`ConfigError` if ``config`` violates any domain."""
+        for param in self:
+            entry = config[param.name]
+            if isinstance(param, ChoiceSiteParam):
+                self._expect_tree(param.name, entry)
+                for leaf in entry.leaves:
+                    if not 0 <= int(leaf) < param.num_choices:
+                        raise ConfigError(
+                            f"{param.name!r}: choice {leaf} out of range "
+                            f"[0, {param.num_choices})")
+            elif isinstance(param, SizeValueParam):
+                self._expect_tree(param.name, entry)
+                for leaf in entry.leaves:
+                    if not param.lo <= float(leaf) <= param.hi:
+                        raise ConfigError(
+                            f"{param.name!r}: value {leaf} outside "
+                            f"[{param.lo}, {param.hi}]")
+            elif isinstance(param, ScalarParam):
+                if not param.lo <= float(entry) <= param.hi:
+                    raise ConfigError(
+                        f"{param.name!r}: value {entry} outside "
+                        f"[{param.lo}, {param.hi}]")
+            else:
+                if entry not in param.choices:
+                    raise ConfigError(
+                        f"{param.name!r}: value {entry!r} not in "
+                        f"{param.choices!r}")
+
+    @staticmethod
+    def _expect_tree(name: str, entry: Any) -> None:
+        if not isinstance(entry, SizeDecisionTree):
+            raise ConfigError(
+                f"{name!r}: expected a SizeDecisionTree, got "
+                f"{type(entry).__name__}")
+
+    def merged_with(self, other: "ParameterSpace") -> "ParameterSpace":
+        merged = ParameterSpace(list(self))
+        for param in other:
+            if param.name not in merged:
+                merged.add(param)
+        return merged

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so
+callers can catch library failures with a single except clause while the
+subclasses keep the failure domains (language, compiler, configuration,
+tuning, runtime accuracy) distinguishable.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class LanguageError(ReproError):
+    """A transform or rule declaration is malformed."""
+
+
+class CompileError(ReproError):
+    """The compiler could not build an executable program.
+
+    Raised, for example, when a through/output datum has no producing
+    rule or when the choice dependency graph contains a cycle that no
+    schedule can satisfy.
+    """
+
+
+class ConfigError(ReproError):
+    """A configuration value is missing, malformed, or out of domain."""
+
+
+class ExecutionError(ReproError):
+    """A configured program failed while executing.
+
+    Most commonly raised when a candidate configuration drives
+    unbounded recursion through variable-accuracy sub-calls; the
+    autotuner treats such candidates as failed trials.
+    """
+
+
+class TrainingError(ReproError):
+    """Autotuning failed.
+
+    The paper reports an error to the user when guided mutation cannot
+    reach a required accuracy target (Section 5.5.3); that condition is
+    signalled with this exception.
+    """
+
+
+class AccuracyError(ReproError):
+    """A runtime ``verify_accuracy`` check failed with no retry left."""
+
+    def __init__(self, message: str, achieved: float | None = None,
+                 required: float | None = None):
+        super().__init__(message)
+        self.achieved = achieved
+        self.required = required

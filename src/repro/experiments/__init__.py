@@ -1,0 +1,28 @@
+"""Experiment harness: regenerate the paper's tables and figures.
+
+==========  ========================================================
+Experiment  Entry point
+==========  ========================================================
+fig6a..f    :func:`repro.experiments.figure6.run_figure6`
+fig7        :func:`repro.experiments.figure7.run_figure7`
+tab1        :func:`repro.experiments.table1.run_table1`
+fig8        :func:`repro.experiments.figure8.run_figure8`
+==========  ========================================================
+
+Each returns a result object with a ``render()`` method producing the
+paper-style rows/series, and is runnable from the command line::
+
+    python -m repro.experiments fig6a --quick
+"""
+
+from repro.experiments.figure6 import Figure6Result, run_figure6
+from repro.experiments.figure7 import Figure7Result, run_figure7
+from repro.experiments.table1 import Table1Result, run_table1
+from repro.experiments.figure8 import Figure8Result, run_figure8
+
+__all__ = [
+    "run_figure6", "Figure6Result",
+    "run_figure7", "Figure7Result",
+    "run_table1", "Table1Result",
+    "run_figure8", "Figure8Result",
+]

@@ -1,0 +1,59 @@
+"""Command-line entry point for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments fig6a [--quick] [--seed N]
+    python -m repro.experiments all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.common import ExperimentSettings
+from repro.experiments.figure6 import SUBFIGURES, run_figure6
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.table1 import run_table1
+
+EXPERIMENTS = tuple(SUBFIGURES) + ("fig7", "tab1", "fig8")
+
+
+def run_experiment(name: str, settings: ExperimentSettings) -> str:
+    if name in SUBFIGURES:
+        return run_figure6(name, settings).render()
+    if name == "fig7":
+        sizes = (8, 32, 128) if settings.quick else (8, 32, 128, 512, 2048)
+        return run_figure7(sizes=sizes, seed=settings.seed).render()
+    if name == "tab1":
+        return run_table1(settings).render()
+    if name == "fig8":
+        return run_figure8(settings).render()
+    raise SystemExit(f"unknown experiment {name!r}; "
+                     f"choose from {EXPERIMENTS + ('all',)}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("experiment", choices=EXPERIMENTS + ("all",))
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sizes/budgets (CI-friendly)")
+    parser.add_argument("--seed", type=int, default=0)
+    arguments = parser.parse_args(argv)
+    settings = ExperimentSettings(seed=arguments.seed,
+                                  quick=arguments.quick)
+    names = EXPERIMENTS if arguments.experiment == "all" \
+        else (arguments.experiment,)
+    for name in names:
+        start = time.time()
+        print(run_experiment(name, settings))
+        print(f"[{name} done in {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,108 @@
+"""Figure 6: speedup per accuracy level and input size.
+
+"Speedups for each accuracy level and input size, compared to the
+highest accuracy level for each benchmark."  For every benchmark we
+autotune once, then measure the mean execution cost of each accuracy
+bin's tuned configuration across the size sweep; the speedup of bin B
+at size n is cost(most-accurate bin, n) / cost(B, n).
+
+Sub-figure mapping (paper -> suite benchmark):
+  (a) binpacking  (b) clustering  (c) helmholtz
+  (d) imagecompression  (e) poisson  (f) preconditioner
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import (
+    ExperimentSettings,
+    mean_cost,
+    tune_benchmark,
+)
+from repro.experiments.reporting import format_table
+
+__all__ = ["SUBFIGURES", "Figure6Result", "run_figure6"]
+
+SUBFIGURES = {
+    "fig6a": "binpacking",
+    "fig6b": "clustering",
+    "fig6c": "helmholtz",
+    "fig6d": "imagecompression",
+    "fig6e": "poisson",
+    "fig6f": "preconditioner",
+}
+
+
+@dataclass
+class Figure6Result:
+    """Speedup series: one row per input size, one column per bin."""
+
+    benchmark: str
+    sizes: tuple[float, ...]
+    bins: tuple[float, ...]
+    #: costs[bin][size] = mean execution cost
+    costs: dict[float, dict[float, float]]
+    unmet_bins: tuple[float, ...]
+
+    @property
+    def reference_bin(self) -> float:
+        """The most accurate bin that was actually tuned.
+
+        Normally the last declared bin; when training could not meet
+        the tightest targets (e.g. quick runs at small sizes where
+        1.01x optimal means exactly optimal) the most accurate *met*
+        bin anchors the speedup column instead.
+        """
+        for target in reversed(self.bins):
+            if target in self.costs:
+                return target
+        raise ValueError("no accuracy bin was tuned")
+
+    def speedup(self, target: float, n: float) -> float:
+        """Speedup of bin ``target`` vs the reference bin at size ``n``."""
+        base = self.costs.get(self.reference_bin, {}).get(n, float("nan"))
+        mine = self.costs.get(target, {}).get(n, float("nan"))
+        if mine and mine == mine and base == base:
+            return base / mine
+        return float("nan")
+
+    def render(self) -> str:
+        headers = ["input size"] + [
+            f"x{target:g}" for target in self.bins]
+        rows = []
+        for n in self.sizes:
+            rows.append([int(n)] + [self.speedup(target, n)
+                                    for target in self.bins])
+        title = (f"Figure 6 ({self.benchmark}): speedup vs most accurate "
+                 f"tuned bin ({self.reference_bin:g})")
+        table = format_table(headers, rows, title)
+        if self.unmet_bins:
+            table += f"\n(unmet accuracy bins: {self.unmet_bins})"
+        return table
+
+
+def run_figure6(benchmark: str,
+                settings: ExperimentSettings | None = None
+                ) -> Figure6Result:
+    """Tune ``benchmark`` and measure its per-bin cost sweep."""
+    settings = settings or ExperimentSettings()
+    if benchmark in SUBFIGURES:
+        benchmark = SUBFIGURES[benchmark]
+    spec, program, result = tune_benchmark(benchmark, settings)
+    sizes = settings.sizes_for(spec)
+    costs: dict[float, dict[float, float]] = {}
+    for target, candidate in result.best_per_bin.items():
+        per_size: dict[float, float] = {}
+        for n in sizes:
+            try:
+                per_size[n] = mean_cost(
+                    program, spec, candidate.config, n,
+                    trials=settings.evaluation_trials,
+                    seed=settings.seed + 17)
+            except Exception:
+                per_size[n] = float("nan")
+        costs[target] = per_size
+    return Figure6Result(
+        benchmark=benchmark, sizes=sizes, bins=result.bins,
+        costs=costs, unmet_bins=result.unmet_bins)

@@ -1,0 +1,99 @@
+"""Figure 7: best bin packing algorithm per (accuracy, input size).
+
+"Best algorithm for each accuracy and input size in the Bin Packing
+benchmark.  By best we mean on the optimal frontier (there exists no
+algorithm with better performance and accuracy for a given input size
+on average)."
+
+For every input size we measure each of the 13 algorithms' mean
+(bins-over-optimal, cost) on shared evaluation inputs; for every
+required accuracy level the winner is the cheapest algorithm whose
+mean accuracy meets the level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.binpacking.algorithms import ALGORITHMS
+from repro.binpacking.datagen import generate_items_with_known_optimal
+from repro.experiments.reporting import format_table
+from repro.rng import generator_for
+
+__all__ = ["Figure7Result", "run_figure7", "DEFAULT_ACCURACIES"]
+
+DEFAULT_ACCURACIES = (1.01, 1.05, 1.1, 1.15, 1.2, 1.25, 1.3, 1.4, 1.5)
+
+#: Short codes used in the rendered grid.
+CODES = {
+    "FirstFit": "FF", "FirstFitDecreasing": "FFD",
+    "ModifiedFirstFitDecreasing": "MFFD", "BestFit": "BF",
+    "BestFitDecreasing": "BFD", "LastFit": "LF",
+    "LastFitDecreasing": "LFD", "NextFit": "NF",
+    "NextFitDecreasing": "NFD", "WorstFit": "WF",
+    "WorstFitDecreasing": "WFD", "AlmostWorstFit": "AWF",
+    "AlmostWorstFitDecreasing": "AWFD",
+}
+
+
+@dataclass
+class Figure7Result:
+    sizes: tuple[int, ...]
+    accuracies: tuple[float, ...]
+    #: winners[(accuracy, size)] = algorithm name (or None if unmet)
+    winners: dict[tuple[float, int], str | None]
+    #: measured[(algorithm, size)] = (mean accuracy, mean cost)
+    measured: dict[tuple[str, int], tuple[float, float]]
+
+    def render(self) -> str:
+        headers = ["size \\ accuracy"] + [f"{a:g}" for a in self.accuracies]
+        rows = []
+        for n in self.sizes:
+            row: list[object] = [n]
+            for accuracy in self.accuracies:
+                winner = self.winners.get((accuracy, n))
+                row.append(CODES.get(winner, "-") if winner else "-")
+            rows.append(row)
+        legend = ", ".join(f"{code}={name}"
+                           for name, code in CODES.items())
+        return (format_table(headers, rows,
+                             "Figure 7: best algorithm per accuracy level "
+                             "and input size")
+                + "\n" + legend)
+
+    def distinct_winners(self) -> set[str]:
+        return {w for w in self.winners.values() if w}
+
+
+def run_figure7(sizes: tuple[int, ...] = (8, 32, 128, 512, 2048),
+                accuracies: tuple[float, ...] = DEFAULT_ACCURACIES,
+                *, trials: int = 5, seed: int = 0,
+                awf_k: int = 2) -> Figure7Result:
+    measured: dict[tuple[str, int], tuple[float, float]] = {}
+    for n in sizes:
+        trial_inputs = []
+        for trial in range(trials):
+            rng = generator_for(seed, "fig7", n, trial)
+            trial_inputs.append(generate_items_with_known_optimal(n, rng))
+        for name, algorithm in ALGORITHMS.items():
+            ratios, costs = [], []
+            for items, optimal in trial_inputs:
+                if name.startswith("AlmostWorstFit"):
+                    packing = algorithm(items, kth=awf_k)
+                else:
+                    packing = algorithm(items)
+                ratios.append(packing.num_bins / optimal)
+                costs.append(packing.ops)
+            measured[(name, n)] = (float(np.mean(ratios)),
+                                   float(np.mean(costs)))
+    winners: dict[tuple[float, int], str | None] = {}
+    for n in sizes:
+        for accuracy in accuracies:
+            eligible = [(measured[(name, n)][1], name)
+                        for name in ALGORITHMS
+                        if measured[(name, n)][0] <= accuracy]
+            winners[(accuracy, n)] = min(eligible)[1] if eligible else None
+    return Figure7Result(sizes=tuple(sizes), accuracies=tuple(accuracies),
+                         winners=winners, measured=measured)

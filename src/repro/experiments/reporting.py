@@ -1,0 +1,41 @@
+"""Plain-text rendering helpers for experiment results."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_value"]
+
+
+def format_value(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render an ASCII table with right-aligned numeric columns."""
+    rendered = [[format_value(cell) for cell in row] for row in rows]
+    columns = len(headers)
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for j in range(min(columns, len(row))):
+            widths[j] = max(widths[j], len(row[j]))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.rjust(widths[j]) for j, h in enumerate(headers))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rendered:
+        lines.append("  ".join(
+            cell.rjust(widths[j]) for j, cell in enumerate(row)))
+    return "\n".join(lines)

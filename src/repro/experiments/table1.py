@@ -1,0 +1,75 @@
+"""Table 1: algorithm selection for autotuned k-means.
+
+"Algorithm selection and initial k value results for autotuned k-means
+benchmark for various accuracy levels with n=2048 and k optimal = 45."
+
+For each accuracy bin the tuned configuration is inspected at the
+training size: the chosen number of clusters ``k``, the initial-center
+rule (random vs k-means++/CenterPlus), and the iteration mode (once /
+%-change threshold / fixed point).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.experiments.common import ExperimentSettings, tune_benchmark
+from repro.experiments.reporting import format_table
+
+__all__ = ["Table1Result", "run_table1"]
+
+_INIT_LABELS = {"random_init": "random", "center_plus": "k-means++"}
+
+
+@dataclass
+class Table1Result:
+    n: float
+    optimal_k: int
+    #: rows: (accuracy bin, k, initial-center algorithm, iteration mode)
+    rows: tuple[tuple[float, int, str, str], ...]
+    unmet_bins: tuple[float, ...]
+
+    def render(self) -> str:
+        headers = ["Accuracy", "k", "Initial Center", "Iteration Algorithm"]
+        table_rows = [[f"{target:.2f}", k, init, iteration]
+                      for target, k, init, iteration in self.rows]
+        title = (f"Table 1: autotuned kmeans at n={int(self.n)} "
+                 f"(k optimal = {self.optimal_k})")
+        rendered = format_table(headers, table_rows, title)
+        if self.unmet_bins:
+            rendered += f"\n(unmet accuracy bins: {self.unmet_bins})"
+        return rendered
+
+
+def _iteration_label(config, prefix: str, n: float) -> str:
+    mode = config.lookup(f"{prefix}.iter_mode", n)
+    if mode == "once":
+        return "once"
+    if mode == "threshold":
+        threshold = float(config.lookup(f"{prefix}.change_threshold", n))
+        return f"{threshold:.0%} stabilize"
+    return "100% stabilize"
+
+
+def run_table1(settings: ExperimentSettings | None = None) -> Table1Result:
+    settings = settings or ExperimentSettings()
+    spec, program, result = tune_benchmark("clustering", settings)
+    n = settings.sizes_for(spec)[-1]
+    prefix = "kmeans@main"
+    rows = []
+    for target in result.bins:
+        candidate = result.best_per_bin.get(target)
+        if candidate is None:
+            continue
+        config = candidate.config
+        k = int(config.lookup(f"{prefix}.k", n))
+        k = min(k, int(n))
+        choice = int(config.lookup(f"{prefix}.rule.centroids", n))
+        site = program.space[f"{prefix}.rule.centroids"]
+        init = _INIT_LABELS.get(site.label(choice), site.label(choice))
+        rows.append((target, k, init,
+                     _iteration_label(config, prefix, n)))
+    return Table1Result(
+        n=n, optimal_k=max(1, int(round(math.sqrt(n)))),
+        rows=tuple(rows), unmet_bins=result.unmet_bins)

@@ -1,0 +1,46 @@
+"""The variable-accuracy DSL.
+
+This package embeds the PetaBricks variable-accuracy language of the
+paper into Python.  A :class:`~repro.lang.transform.Transform` declares
+inputs, intermediate ("through") data and outputs; *rules* registered on
+the transform provide one or more ways of producing each datum (multiple
+producers of the same datum form an algorithmic choice site).  The
+variable-accuracy extensions of Section 3 map as follows:
+
+===========================  ==================================================
+Paper construct              DSL construct
+===========================  ==================================================
+``accuracy_metric``          ``Transform(accuracy_metric=...)``
+``accuracy_variable``        :func:`repro.lang.tunables.accuracy_variable`
+``accuracy_bins``            ``Transform(accuracy_bins=...)``
+``for_enough``               ``ctx.for_enough("name")`` + ``for_enough`` tunable
+``scaled_by``                :func:`repro.lang.scaling.scaled_by`
+``Foo<accuracy>`` calls      ``CallSite(..., accuracy=N)`` / ``ctx.call(...)``
+automatic sub-accuracy       ``CallSite(..., accuracy=None)`` (either...or)
+``verify_accuracy``          :func:`repro.runtime.executor.run_verified`
+===========================  ==================================================
+"""
+
+from repro.lang.tunables import (
+    accuracy_variable,
+    for_enough,
+    cutoff,
+    switch,
+)
+from repro.lang.metrics import AccuracyMetric
+from repro.lang.rule import Rule
+from repro.lang.transform import CallSite, Transform
+from repro.lang.scaling import scaled_by, RESAMPLERS
+
+__all__ = [
+    "Transform",
+    "CallSite",
+    "Rule",
+    "AccuracyMetric",
+    "accuracy_variable",
+    "for_enough",
+    "cutoff",
+    "switch",
+    "scaled_by",
+    "RESAMPLERS",
+]

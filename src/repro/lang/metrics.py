@@ -1,0 +1,69 @@
+"""Accuracy metrics.
+
+The ``accuracy metric`` keyword (Section 3.2) names a user-defined
+transform that computes the accuracy of an input/output pair.  In this
+embedding a metric is a callable ``metric(outputs, inputs) -> float``
+wrapped in :class:`AccuracyMetric`, which also records the *direction*
+of the metric: most of the paper's benchmarks define higher values as
+more accurate, but Bin Packing's "bins over optimal" metric is better
+when *lower*.  All bin/target comparisons in the compiler, autotuner and
+runtime go through this class so direction handling lives in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+__all__ = ["AccuracyMetric"]
+
+MetricFn = Callable[[Mapping[str, object], Mapping[str, object]], float]
+
+
+class AccuracyMetric:
+    """A named, directional accuracy metric."""
+
+    __slots__ = ("name", "fn", "higher_is_better")
+
+    def __init__(self, fn: MetricFn, name: str | None = None, *,
+                 higher_is_better: bool = True):
+        self.fn = fn
+        self.name = name or getattr(fn, "__name__", "accuracy")
+        self.higher_is_better = higher_is_better
+
+    def compute(self, outputs: Mapping[str, object],
+                inputs: Mapping[str, object]) -> float:
+        """Accuracy of ``outputs`` produced from ``inputs``."""
+        return float(self.fn(outputs, inputs))
+
+    # ------------------------------------------------------------------
+    # Directional comparisons
+    # ------------------------------------------------------------------
+    def meets(self, achieved: float, target: float) -> bool:
+        """True when ``achieved`` satisfies an accuracy target."""
+        if self.higher_is_better:
+            return achieved >= target
+        return achieved <= target
+
+    def better(self, a: float, b: float) -> bool:
+        """True when accuracy ``a`` is strictly better than ``b``."""
+        if self.higher_is_better:
+            return a > b
+        return a < b
+
+    def improvement(self, achieved: float, target: float) -> float:
+        """Signed slack: positive when the target is met, in metric units."""
+        if self.higher_is_better:
+            return achieved - target
+        return target - achieved
+
+    def sort_key(self, value: float) -> float:
+        """Key under which *better* accuracy sorts *larger*."""
+        return value if self.higher_is_better else -value
+
+    def worst_value(self) -> float:
+        """A value worse than any achievable accuracy (failure marker)."""
+        return float("-inf") if self.higher_is_better else float("inf")
+
+    def __repr__(self) -> str:
+        arrow = "higher" if self.higher_is_better else "lower"
+        return f"AccuracyMetric({self.name!r}, {arrow} is better)"

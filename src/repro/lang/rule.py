@@ -1,0 +1,59 @@
+"""Rules: the building blocks of a transform.
+
+A rule converts named input data to named output data.  As in
+PetaBricks, more than one rule may produce the same data; the compiler
+turns each such group of producers into an algorithmic choice site that
+the autotuner configures with an input-size decision tree.
+
+Rules come in two granularities:
+
+* ``"whole"`` — the rule computes its entire outputs in one call
+  (``fn(ctx, *inputs) -> outputs``).
+* ``"column"`` — the rule computes one column of its (single, 2-D)
+  output per call (``fn(ctx, j, out, *inputs) -> None``); the compiler
+  synthesizes the outer loop over columns and exposes its iteration
+  order as a switch tunable — the paper's "synthesized outer control
+  flow" (Section 2.1, Rule 1 of the kmeans example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+from repro.errors import LanguageError
+
+__all__ = ["Rule", "GRANULARITIES"]
+
+GRANULARITIES = ("whole", "column")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One way of producing ``outputs`` from ``inputs``."""
+
+    name: str
+    fn: Callable
+    inputs: Tuple[str, ...]
+    outputs: Tuple[str, ...]
+    granularity: str = "whole"
+
+    def __post_init__(self):
+        if not self.outputs:
+            raise LanguageError(f"rule {self.name!r} must produce output data")
+        if self.granularity not in GRANULARITIES:
+            raise LanguageError(
+                f"rule {self.name!r}: unknown granularity "
+                f"{self.granularity!r}; expected one of {GRANULARITIES}")
+        if self.granularity == "column" and len(self.outputs) != 1:
+            raise LanguageError(
+                f"rule {self.name!r}: column granularity requires exactly "
+                f"one output, got {self.outputs}")
+        if len(set(self.inputs)) != len(self.inputs):
+            raise LanguageError(f"rule {self.name!r}: duplicate inputs")
+        if len(set(self.outputs)) != len(self.outputs):
+            raise LanguageError(f"rule {self.name!r}: duplicate outputs")
+
+    def __repr__(self) -> str:
+        return (f"Rule({self.name!r}: {', '.join(self.inputs) or '()'}"
+                f" -> {', '.join(self.outputs)})")

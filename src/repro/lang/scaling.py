@@ -1,0 +1,152 @@
+"""The ``scaled_by`` language extension.
+
+Section 3.2: "The ``scaled by`` keyword on data inputs and outputs
+allows the user to indicate that data may be down-sampled or up-sampled
+using a user provided transform (or one of a number of built-in
+transforms). ... This is syntactic sugar for adding a wrapper-transform
+that has algorithmic choices for scaling with each allowed re-sampler
+or not re-sampling at all.  The size to re-sample to is controlled with
+an accuracy variable in the generated transform."
+
+:func:`scaled_by` implements exactly that desugaring: it generates a
+wrapper transform with one rule per allowed resampler plus a
+no-resampling rule, a ``scale_percent`` accuracy variable, and an
+automatic-accuracy call site to the inner transform.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import LanguageError
+from repro.lang.transform import CallSite, Transform
+from repro.lang.tunables import accuracy_variable
+
+__all__ = ["scaled_by", "RESAMPLERS", "resample_nearest", "resample_linear"]
+
+
+def _axis0_length(array: np.ndarray) -> int:
+    return int(np.asarray(array).shape[0])
+
+
+def resample_nearest(array: np.ndarray, new_length: int) -> np.ndarray:
+    """Nearest-neighbour resampling along axis 0."""
+    array = np.asarray(array)
+    old_length = array.shape[0]
+    if new_length == old_length:
+        return array.copy()
+    positions = np.linspace(0, old_length - 1, new_length)
+    indices = np.clip(np.rint(positions).astype(int), 0, old_length - 1)
+    return array[indices].copy()
+
+
+def resample_linear(array: np.ndarray, new_length: int) -> np.ndarray:
+    """Linear-interpolation resampling along axis 0."""
+    array = np.asarray(array, dtype=float)
+    old_length = array.shape[0]
+    if new_length == old_length:
+        return array.copy()
+    old_positions = np.arange(old_length, dtype=float)
+    new_positions = np.linspace(0, old_length - 1, new_length)
+    if array.ndim == 1:
+        return np.interp(new_positions, old_positions, array)
+    columns = [np.interp(new_positions, old_positions, array[:, j])
+               for j in range(array.shape[1])]
+    return np.stack(columns, axis=1)
+
+
+#: Built-in resamplers available to ``scaled_by``.
+RESAMPLERS: dict[str, Callable[[np.ndarray, int], np.ndarray]] = {
+    "nearest": resample_nearest,
+    "linear": resample_linear,
+}
+
+
+def scaled_by(inner: Transform, *,
+              scaled_inputs: Sequence[str] = (),
+              scaled_outputs: Sequence[str] = (),
+              resamplers: Sequence[str] = ("nearest", "linear"),
+              min_scale_percent: float = 12.5,
+              name: str | None = None) -> Transform:
+    """Generate the ``scaled_by`` wrapper transform around ``inner``.
+
+    ``scaled_inputs``/``scaled_outputs`` name the data to down-sample
+    before and up-sample after the inner call (along axis 0).  The
+    wrapper exposes the same data interface and accuracy metric as the
+    inner transform; its ``scale_percent`` accuracy variable chooses the
+    resample target size.
+    """
+    for data_name in tuple(scaled_inputs):
+        if data_name not in inner.inputs:
+            raise LanguageError(
+                f"scaled_by: {data_name!r} is not an input of "
+                f"{inner.name!r}")
+    for data_name in tuple(scaled_outputs):
+        if data_name not in inner.outputs:
+            raise LanguageError(
+                f"scaled_by: {data_name!r} is not an output of "
+                f"{inner.name!r}")
+    unknown = [r for r in resamplers if r not in RESAMPLERS]
+    if unknown:
+        raise LanguageError(
+            f"scaled_by: unknown resamplers {unknown}; available: "
+            f"{sorted(RESAMPLERS)}")
+    if not resamplers:
+        raise LanguageError("scaled_by: need at least one resampler")
+
+    wrapper = Transform(
+        name or f"{inner.name}_scaled",
+        inputs=inner.inputs,
+        outputs=inner.outputs,
+        accuracy_metric=inner.accuracy_metric,
+        accuracy_bins=inner.accuracy_bins or None,
+        tunables=[accuracy_variable(
+            "scale_percent", lo=min_scale_percent, hi=100.0, default=100.0,
+            integer=False, direction=+1)],
+        calls=[CallSite("inner", inner.name, accuracy=None)],
+    )
+
+    inputs = inner.inputs
+    outputs = inner.outputs
+
+    def unpack(result: Mapping[str, np.ndarray]):
+        if len(outputs) == 1:
+            return result[outputs[0]]
+        return tuple(result[name] for name in outputs)
+
+    @wrapper.rule(outputs=outputs, inputs=inputs, name="no_resample")
+    def no_resample(ctx, *arrays):
+        result = ctx.call("inner", dict(zip(inputs, arrays)), n=ctx.n)
+        return unpack(result)
+
+    def make_resample_rule(resampler_name: str):
+        resample = RESAMPLERS[resampler_name]
+
+        def rule(ctx, *arrays):
+            scale = float(ctx.param("scale_percent")) / 100.0
+            data = dict(zip(inputs, arrays))
+            sub_n = max(1, int(round(ctx.n * scale)))
+            for data_name in scaled_inputs:
+                array = data[data_name]
+                target = max(1, int(round(_axis0_length(array) * scale)))
+                ctx.add_cost(_axis0_length(array))
+                data[data_name] = resample(array, target)
+            result = dict(ctx.call("inner", data, n=sub_n))
+            for data_name in scaled_outputs:
+                array = result[data_name]
+                full = _axis0_length(np.asarray(arrays[0]))
+                ctx.add_cost(full)
+                result[data_name] = resample(array, full)
+            return unpack(result)
+
+        rule.__name__ = f"resample_{resampler_name}"
+        return rule
+
+    for resampler_name in resamplers:
+        wrapper.rule(outputs=outputs, inputs=inputs,
+                     name=f"resample_{resampler_name}")(
+            make_resample_rule(resampler_name))
+
+    return wrapper

@@ -1,0 +1,72 @@
+"""Helper constructors for the DSL's tunable declarations.
+
+These are thin, intention-revealing wrappers over the parameter kinds in
+:mod:`repro.config.parameters`.  The names follow the paper's keywords:
+
+* :func:`accuracy_variable` — the ``accuracy variable`` keyword: an
+  algorithm-specific parameter that influences accuracy, trained per
+  input size (Section 3.2).
+* :func:`for_enough` — the ``for enough`` statement: "syntactic sugar
+  for adding an accuracy variable to specify the number of iterations
+  of a traditional loop".
+* :func:`cutoff` — numeric cutoffs compared against data sizes, mutated
+  by log-normal scaling (Section 5.4).
+* :func:`switch` — small finite choices (storage, iteration order),
+  mutated uniformly at random.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.config.parameters import ScalarParam, SizeValueParam, SwitchParam
+
+__all__ = ["accuracy_variable", "for_enough", "cutoff", "switch"]
+
+
+def accuracy_variable(name: str, lo: float, hi: float,
+                      default: float | None = None, *,
+                      integer: bool = True,
+                      direction: int = 0,
+                      scaling: str = "lognormal") -> SizeValueParam:
+    """Declare an ``accuracy variable`` (paper Section 3.2).
+
+    ``direction`` is the guided-mutation hint: +1 if increasing the
+    variable tends to increase accuracy, -1 for the opposite, 0 if
+    unknown.
+    """
+    if default is None:
+        default = lo
+    return SizeValueParam(
+        name=name, lo=lo, hi=hi, default=default, integer=integer,
+        scaling=scaling, accuracy_direction=direction,
+        is_accuracy_variable=True)
+
+
+def for_enough(name: str, max_iters: int, default: int = 1) -> SizeValueParam:
+    """Declare the iteration count of a ``for enough`` loop.
+
+    More iterations are assumed to give more accuracy (direction +1),
+    which is exactly the hint the paper's guided mutation exploits for
+    iteration counts.
+    """
+    return SizeValueParam(
+        name=name, lo=1, hi=max_iters, default=default, integer=True,
+        scaling="lognormal", accuracy_direction=+1,
+        is_accuracy_variable=True)
+
+
+def cutoff(name: str, lo: float, hi: float, default: float, *,
+           integer: bool = True,
+           affects_accuracy: bool = False) -> ScalarParam:
+    """Declare a scalar cutoff value (blocking size, switch point...)."""
+    return ScalarParam(name=name, lo=lo, hi=hi, default=default,
+                       integer=integer, scaling="lognormal",
+                       affects_accuracy=affects_accuracy)
+
+
+def switch(name: str, choices: Sequence[Any], default: Any = None, *,
+           affects_accuracy: bool = False) -> SwitchParam:
+    """Declare a switch over a small finite set of values."""
+    return SwitchParam(name=name, choices=tuple(choices), default=default,
+                       affects_accuracy=affects_accuracy)

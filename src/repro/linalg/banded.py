@@ -1,0 +1,82 @@
+"""Banded Cholesky factorization and solve.
+
+Stands in for LAPACK's DPBSV, which the paper's Poisson benchmark uses
+as its direct solver choice ("one direct (band Cholesky factorization
+through LAPACK's DPBSV routine)", Section 6.1.5).
+
+The symmetric positive-definite band matrix is stored in LAPACK lower
+band storage: ``band[i, j] == A[j + i, j]`` for ``0 <= i <= bandwidth``.
+Factorization costs ~ N * bandwidth^2 operations; each solve ~ 4 * N *
+bandwidth.  For the 2-D Poisson matrix on an n x n grid the bandwidth
+is n, giving the O(N * n^2) = O(n^4) direct-solve scaling that makes
+the direct choice lose to multigrid at large sizes — the crossover the
+autotuner discovers.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["banded_cholesky_factor", "banded_cholesky_solve"]
+
+
+def banded_cholesky_factor(band: np.ndarray) -> tuple[np.ndarray, float]:
+    """Cholesky factor of an SPD band matrix, in band storage.
+
+    Returns ``(L_band, ops)`` where ``L_band[i, j] == L[j + i, j]``.
+    Raises :class:`numpy.linalg.LinAlgError` if a pivot is not
+    positive (matrix not positive definite).
+    """
+    band = np.array(band, dtype=float)
+    bandwidth = band.shape[0] - 1
+    size = band.shape[1]
+    ops = 0.0
+    for j in range(size):
+        pivot = band[0, j]
+        if pivot <= 0.0:
+            raise np.linalg.LinAlgError(
+                f"matrix not positive definite at column {j}")
+        pivot = math.sqrt(pivot)
+        band[0, j] = pivot
+        reach = min(bandwidth, size - 1 - j)
+        if reach == 0:
+            ops += 1
+            continue
+        band[1:reach + 1, j] /= pivot
+        column = band[1:reach + 1, j]
+        # Rank-1 update of the trailing band columns.
+        for i in range(1, reach + 1):
+            band[0:reach - i + 1, j + i] -= column[i - 1] * \
+                column[i - 1:reach]
+        ops += reach * (reach + 3) / 2 + 1
+    return band, ops
+
+
+def banded_cholesky_solve(factor: np.ndarray, b: np.ndarray
+                          ) -> tuple[np.ndarray, float]:
+    """Solve ``A x = b`` given the band Cholesky factor of ``A``."""
+    factor = np.asarray(factor, dtype=float)
+    bandwidth = factor.shape[0] - 1
+    size = factor.shape[1]
+    x = np.array(b, dtype=float)
+    if x.shape != (size,):
+        raise ValueError(f"b must have shape ({size},), got {x.shape}")
+    ops = 0.0
+    # Forward substitution: L y = b.  Row j of L holds factor[i, j - i].
+    for j in range(size):
+        reach = min(bandwidth, j)
+        if reach > 0:
+            rows = np.arange(1, reach + 1)
+            x[j] -= float(factor[rows, j - rows] @ x[j - reach:j][::-1])
+        x[j] /= factor[0, j]
+        ops += 2 * reach + 1
+    # Backward substitution: L^T x = y.  Column j of L is factor[:, j].
+    for j in range(size - 1, -1, -1):
+        reach = min(bandwidth, size - 1 - j)
+        if reach > 0:
+            x[j] -= float(factor[1:reach + 1, j] @ x[j + 1:j + reach + 1])
+        x[j] /= factor[0, j]
+        ops += 2 * reach + 1
+    return x, ops

@@ -1,0 +1,79 @@
+"""Conjugate gradients, plain and preconditioned (Section 6.1.6).
+
+``apply_operator`` is any SPD matrix-vector product; ``apply_minv``
+the preconditioner application P^-1 r.  Both the iteration count and
+the per-application operator cost feed the abstract cost model, so the
+CG / Jacobi-PCG / polynomial-PCG trade-off (cheaper iterations vs
+fewer iterations) is visible to the autotuner.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["conjugate_gradient"]
+
+Operator = Callable[[np.ndarray], np.ndarray]
+
+
+def conjugate_gradient(apply_operator: Operator, b: np.ndarray,
+                       x0: np.ndarray | None = None, *,
+                       iterations: int,
+                       apply_minv: Operator | None = None,
+                       operator_cost: float,
+                       preconditioner_cost: float = 0.0,
+                       tolerance: float = 0.0
+                       ) -> tuple[np.ndarray, list[float], float]:
+    """Run (preconditioned) CG for ``iterations`` steps.
+
+    Returns ``(x, residual_norms, ops)``.  ``residual_norms`` holds the
+    2-norm of the residual after every step (index 0 = initial).  The
+    loop stops early when the residual norm falls to ``tolerance`` (or
+    on numerical breakdown of the search-direction recurrence).
+    """
+    b = np.asarray(b, dtype=float)
+    n = len(b)
+    x = np.zeros(n) if x0 is None else np.array(x0, dtype=float)
+    ops = 0.0
+
+    r = b - apply_operator(x)
+    ops += operator_cost + n
+    if apply_minv is not None:
+        z = apply_minv(r)
+        ops += preconditioner_cost
+    else:
+        z = r
+    p = z.copy()
+    rz = float(r @ z)
+    norms = [float(np.linalg.norm(r))]
+    for _ in range(iterations):
+        if norms[-1] <= tolerance:
+            break
+        ap = apply_operator(p)
+        ops += operator_cost
+        pap = float(p @ ap)
+        ops += 2 * n
+        if pap <= 0.0 or not np.isfinite(pap):
+            break  # loss of positive-definiteness (numerical breakdown)
+        alpha = rz / pap
+        x = x + alpha * p
+        r = r - alpha * ap
+        ops += 4 * n
+        norms.append(float(np.linalg.norm(r)))
+        ops += n
+        if apply_minv is not None:
+            z = apply_minv(r)
+            ops += preconditioner_cost
+        else:
+            z = r
+        rz_next = float(r @ z)
+        ops += 2 * n
+        if rz == 0.0 or not np.isfinite(rz_next):
+            break
+        beta = rz_next / rz
+        p = z + beta * p
+        ops += 2 * n
+        rz = rz_next
+    return x, norms, ops

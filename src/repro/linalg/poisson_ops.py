@@ -1,0 +1,80 @@
+"""Discrete Poisson operators.
+
+* 1-D: the tridiagonal ``(-1, 2, -1)/h^2`` operator used by the
+  preconditioner benchmark, optionally with an added positive diagonal
+  field (keeps the system SPD while making the diagonal non-constant —
+  without it Jacobi preconditioning degenerates to a scaled identity;
+  see DESIGN.md's substitution notes).
+* 2-D: the 5-point Laplacian on an n x n interior grid with Dirichlet
+  boundaries, both as a stencil application (for SOR/multigrid/CG) and
+  in the banded storage the direct solver consumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "apply_laplacian_1d",
+    "laplacian_1d_diagonal",
+    "apply_laplacian_2d",
+    "poisson_2d_banded",
+]
+
+
+def apply_laplacian_1d(x: np.ndarray, h: float = 1.0,
+                       extra_diagonal: np.ndarray | None = None
+                       ) -> np.ndarray:
+    """y = T x for the 1-D Dirichlet Laplacian (plus optional diagonal)."""
+    x = np.asarray(x, dtype=float)
+    y = 2.0 * x
+    y[:-1] -= x[1:]
+    y[1:] -= x[:-1]
+    y /= h * h
+    if extra_diagonal is not None:
+        y += np.asarray(extra_diagonal, dtype=float) * x
+    return y
+
+
+def laplacian_1d_diagonal(n: int, h: float = 1.0,
+                          extra_diagonal: np.ndarray | None = None
+                          ) -> np.ndarray:
+    """diag(T) for the 1-D operator (for Jacobi preconditioning)."""
+    diagonal = np.full(n, 2.0 / (h * h))
+    if extra_diagonal is not None:
+        diagonal = diagonal + np.asarray(extra_diagonal, dtype=float)
+    return diagonal
+
+
+def apply_laplacian_2d(u: np.ndarray, h: float) -> np.ndarray:
+    """y = T u for the 2-D 5-point Dirichlet Laplacian on the interior.
+
+    ``u`` is the (n x n) interior; boundary values are zero.
+    """
+    u = np.asarray(u, dtype=float)
+    y = 4.0 * u
+    y[:-1, :] -= u[1:, :]
+    y[1:, :] -= u[:-1, :]
+    y[:, :-1] -= u[:, 1:]
+    y[:, 1:] -= u[:, :-1]
+    return y / (h * h)
+
+
+def poisson_2d_banded(n: int, h: float) -> np.ndarray:
+    """The 2-D Poisson matrix in LAPACK lower band storage.
+
+    Unknowns are ordered row-major over the n x n interior grid; the
+    bandwidth is n.  Suitable for
+    :func:`repro.linalg.banded.banded_cholesky_factor`.
+    """
+    size = n * n
+    scale = 1.0 / (h * h)
+    band = np.zeros((n + 1, size))
+    band[0, :] = 4.0 * scale
+    # Horizontal neighbours: offset 1, absent across row boundaries.
+    for j in range(size - 1):
+        if (j + 1) % n != 0:
+            band[1, j] = -scale
+    # Vertical neighbours: offset n.
+    band[n, :size - n] = -scale
+    return band

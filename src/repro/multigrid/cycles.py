@@ -1,0 +1,99 @@
+"""Multigrid cycle shapes (Figure 8).
+
+The paper visualises the tuned Helmholtz solver as "cycle shapes":
+execution traces showing, over time, at which grid resolution the
+solver is working, where it relaxes, and where it shortcuts to the
+direct or iterative bottom solver.  This module reconstructs those
+shapes from :class:`~repro.runtime.trace.ExecutionTrace` events and
+renders them as ASCII diagrams in the notation of the paper's figure:
+
+* ``o``  — one or more SOR relaxations at that level,
+* ``D``  — direct bottom solve (the paper's solid arrow),
+* ``S``  — iterative (SOR-only) bottom solve (the dashed arrow),
+* ``\\`` / ``/`` — moving to a coarser / finer grid.
+
+Rules participating in cycle tracing record ``mg`` events via
+``ctx.record("mg", action=..., n=...)``; actions are ``relax``,
+``direct``, ``iterative``, ``descend``, ``ascend`` and ``estimate``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.runtime.trace import ExecutionTrace
+
+__all__ = ["CycleShape", "extract_cycle_shape", "render_cycle"]
+
+
+@dataclass(frozen=True)
+class CycleShape:
+    """A sequence of (action, level) steps; level 0 = finest grid."""
+
+    steps: tuple[tuple[str, int], ...]
+    top_size: int
+
+    @property
+    def depth(self) -> int:
+        return max((level for _, level in self.steps), default=0)
+
+    def counts(self) -> dict[str, int]:
+        totals: dict[str, int] = {}
+        for action, _ in self.steps:
+            totals[action] = totals.get(action, 0) + 1
+        return totals
+
+
+def _level_of(n: float, top_size: int) -> int:
+    """Grid level from size: n = 2^k - 1 coarsens by halving."""
+    ratio = (top_size + 1) / (float(n) + 1)
+    return max(0, int(round(math.log2(max(ratio, 1.0)))))
+
+
+def extract_cycle_shape(trace: ExecutionTrace, top_size: int) -> CycleShape:
+    """Convert recorded ``mg`` events into a cycle shape."""
+    steps: list[tuple[str, int]] = []
+    previous_level = 0
+    for event in trace.of_kind("mg"):
+        level = _level_of(event["n"], top_size)
+        action = event["action"]
+        if action in ("descend", "estimate"):
+            steps.append(("descend", level))
+        elif action == "ascend":
+            steps.append(("ascend", level))
+        elif action in ("relax", "direct", "iterative"):
+            steps.append((action, level))
+        previous_level = level
+    del previous_level
+    return CycleShape(steps=tuple(steps), top_size=top_size)
+
+
+_SYMBOLS = {"relax": "o", "direct": "D", "iterative": "S",
+            "descend": "\\", "ascend": "/"}
+
+
+def render_cycle(shape: CycleShape, *, max_width: int = 120) -> str:
+    """ASCII rendering: rows are grid levels (finest on top)."""
+    if not shape.steps:
+        return "(empty cycle)"
+    depth = shape.depth
+    columns: list[tuple[str, int]] = []
+    for action, level in shape.steps:
+        columns.append((_SYMBOLS.get(action, "?"), level))
+    if len(columns) > max_width:
+        # Compress long traces by dropping repeated relaxations.
+        compressed: list[tuple[str, int]] = []
+        for symbol, level in columns:
+            if (compressed and symbol == "o"
+                    and compressed[-1] == (symbol, level)):
+                continue
+            compressed.append((symbol, level))
+        columns = compressed[:max_width]
+    rows = []
+    for level in range(depth + 1):
+        line = "".join(symbol if column_level == level else " "
+                       for symbol, column_level in columns)
+        label = f"n={(shape.top_size + 1) // (2 ** level) - 1:>4} |"
+        rows.append(label + line)
+    return "\n".join(rows)

@@ -1,0 +1,86 @@
+"""Grid transfer operators: full-weighting restriction, linear prolongation.
+
+Node-centered convention: a grid of size ``n = 2^k - 1`` per dimension
+coarsens to ``(n - 1) / 2``; coarse node ``I`` coincides with fine node
+``2I + 1``.  Both operators are built from one-dimensional kernels
+applied per axis, which makes them correct in any dimension and keeps
+the well-known variational relation  restriction = prolongation^T / 2^d
+(property-tested in tests/test_multigrid_grids.py).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["is_grid_size", "coarse_size", "restrict_full_weighting",
+           "prolong"]
+
+
+def is_grid_size(n: int) -> bool:
+    """True for sizes of the form 2^k - 1 (k >= 1)."""
+    return n >= 1 and ((n + 1) & n) == 0
+
+
+def coarse_size(n: int) -> int:
+    """Size of the next-coarser grid."""
+    if not is_grid_size(n) or n < 3:
+        raise ValueError(f"cannot coarsen grid of size {n}")
+    return (n - 1) // 2
+
+
+def _axis_slices(ndim: int, axis: int, s: slice) -> tuple:
+    return tuple(s if d == axis else slice(None) for d in range(ndim))
+
+
+def _restrict_axis(array: np.ndarray, axis: int) -> np.ndarray:
+    """1-D full weighting (1/4, 1/2, 1/4) + subsample along ``axis``."""
+    left = array[_axis_slices(array.ndim, axis, slice(0, -1, 2))]
+    center = array[_axis_slices(array.ndim, axis, slice(1, None, 2))]
+    right = array[_axis_slices(array.ndim, axis, slice(2, None, 2))]
+    return 0.25 * left + 0.5 * center + 0.25 * right
+
+
+def _prolong_axis(array: np.ndarray, axis: int) -> np.ndarray:
+    """Linear interpolation doubling ``axis`` from nc to 2*nc + 1."""
+    nc = array.shape[axis]
+    shape = list(array.shape)
+    shape[axis] = 2 * nc + 1
+    out = np.zeros(shape, dtype=float)
+    ndim = array.ndim
+    out[_axis_slices(ndim, axis, slice(1, None, 2))] = array
+    # Interior even nodes: average of odd neighbours.
+    lower = array[_axis_slices(ndim, axis, slice(0, -1))]
+    upper = array[_axis_slices(ndim, axis, slice(1, None))]
+    out[_axis_slices(ndim, axis, slice(2, -1, 2))] = 0.5 * (lower + upper)
+    # Boundary-adjacent even nodes: the Dirichlet boundary value is 0.
+    first = array[_axis_slices(ndim, axis, slice(0, 1))]
+    last = array[_axis_slices(ndim, axis, slice(nc - 1, nc))]
+    out[_axis_slices(ndim, axis, slice(0, 1))] = 0.5 * first
+    out[_axis_slices(ndim, axis, slice(shape[axis] - 1, shape[axis]))] = \
+        0.5 * last
+    return out
+
+
+def restrict_full_weighting(fine: np.ndarray) -> tuple[np.ndarray, float]:
+    """Full-weighting restriction in every dimension.
+
+    Returns ``(coarse, ops)``; every axis must have size 2^k - 1 >= 3.
+    """
+    result = np.asarray(fine, dtype=float)
+    for axis in range(result.ndim):
+        if not is_grid_size(result.shape[axis]) or result.shape[axis] < 3:
+            raise ValueError(
+                f"axis {axis} has unrestrictable size {result.shape[axis]}")
+        result = _restrict_axis(result, axis)
+    return result, float(np.asarray(fine).size) * 2.0
+
+
+def prolong(coarse: np.ndarray) -> tuple[np.ndarray, float]:
+    """Linear prolongation in every dimension.
+
+    Returns ``(fine, ops)`` with every axis doubled from nc to 2nc+1.
+    """
+    result = np.asarray(coarse, dtype=float)
+    for axis in range(result.ndim):
+        result = _prolong_axis(result, axis)
+    return result, float(result.size) * 2.0

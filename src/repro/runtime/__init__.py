@@ -1,0 +1,12 @@
+"""Runtime support: timing/cost accounting, traces, tuned-program execution."""
+
+from repro.runtime.timing import CostAccumulator, Metrics, WallTimer
+from repro.runtime.trace import ExecutionTrace, TraceEvent
+
+__all__ = [
+    "CostAccumulator",
+    "Metrics",
+    "WallTimer",
+    "ExecutionTrace",
+    "TraceEvent",
+]

@@ -1,0 +1,129 @@
+"""Running tuned programs, with optional runtime accuracy verification.
+
+A :class:`TunedProgram` is the deployable artifact of autotuning: the
+compiled program plus one configuration per accuracy bin (the
+discretized optimal frontier of Section 5.5.4).  Users request a target
+accuracy; the dynamic bin lookup of Section 4.2 selects the cheapest
+bin that satisfies it.
+
+The ``verify_accuracy`` keyword (Section 3.2) maps to
+``run(..., verify=True)``: the output's accuracy is checked with the
+program's metric and, on failure, "the algorithm can be retried with
+the next higher level of accuracy"; an :class:`~repro.errors.
+AccuracyError` is raised when the most accurate bin still fails.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from repro.compiler.program import CompiledProgram, ExecutionResult
+from repro.config.configuration import Configuration
+from repro.errors import AccuracyError, TrainingError
+
+__all__ = ["TunedProgram"]
+
+
+class TunedProgram:
+    """A compiled program with tuned per-bin configurations."""
+
+    def __init__(self, program: CompiledProgram,
+                 bin_configs: Mapping[float, Configuration]):
+        self.program = program
+        self.metric = program.root_transform.accuracy_metric
+        # Bins sorted least -> most accurate, as in the transform.
+        declared = program.root_transform.accuracy_bins
+        self.bin_configs = {target: bin_configs[target]
+                            for target in declared if target in bin_configs}
+        if not self.bin_configs:
+            raise TrainingError(
+                f"tuned program for {program.root!r} has no bins")
+
+    # ------------------------------------------------------------------
+    @property
+    def bins(self) -> tuple[float, ...]:
+        return tuple(self.bin_configs)
+
+    def config_for_accuracy(self, requested: float
+                            ) -> tuple[float, Configuration]:
+        """Dynamic bin lookup: cheapest bin satisfying ``requested``."""
+        for target, config in self.bin_configs.items():
+            if self.metric.meets(target, requested):
+                return target, config
+        # Nothing satisfies the request; fall back to the most
+        # accurate available bin.
+        target = list(self.bin_configs)[-1]
+        return target, self.bin_configs[target]
+
+    # ------------------------------------------------------------------
+    def run(self, inputs: Mapping[str, Any], n: float, *,
+            accuracy: float | None = None,
+            bin_target: float | None = None,
+            verify: bool = False,
+            seed: int = 0,
+            collect_trace: bool = False) -> ExecutionResult:
+        """Execute at the requested accuracy.
+
+        Exactly one of ``accuracy`` (a free-form requested accuracy,
+        resolved by dynamic bin lookup) or ``bin_target`` (an exact
+        bin) may be given; with neither, the most accurate bin runs.
+        With ``verify=True`` the accuracy metric is evaluated on the
+        result and failing bins escalate to more accurate ones.
+        """
+        if accuracy is not None and bin_target is not None:
+            raise ValueError("pass either accuracy or bin_target, not both")
+        if bin_target is not None:
+            if bin_target not in self.bin_configs:
+                raise TrainingError(
+                    f"no tuned configuration for bin {bin_target:g}")
+            start = bin_target
+            required = bin_target
+        elif accuracy is not None:
+            start, _ = self.config_for_accuracy(accuracy)
+            required = accuracy
+        else:
+            start = list(self.bin_configs)[-1]
+            required = start
+
+        ladder = [t for t in self.bin_configs if t == start or
+                  self.metric.better(t, start)]
+        last_accuracy: float | None = None
+        for target in ladder:
+            config = self.bin_configs[target]
+            result = self.program.execute(inputs, n, config, seed=seed,
+                                          collect_trace=collect_trace)
+            if not verify:
+                return result
+            achieved = self.program.accuracy_of(result.outputs, inputs)
+            result.metrics.accuracy = achieved
+            last_accuracy = achieved
+            if self.metric.meets(achieved, required):
+                return result
+        raise AccuracyError(
+            f"verify_accuracy failed: required {required:g}, best achieved "
+            f"{last_accuracy!r} after trying bins {ladder}",
+            achieved=last_accuracy, required=float(required))
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        return {f"{target:g}": config.to_json()
+                for target, config in self.bin_configs.items()}
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_json(), handle, indent=2, sort_keys=True)
+
+    @classmethod
+    def load(cls, program: CompiledProgram, path) -> "TunedProgram":
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        configs = {float(target): Configuration.from_json(payload)
+                   for target, payload in data.items()}
+        return cls(program, configs)
+
+    def __repr__(self) -> str:
+        return (f"TunedProgram({self.program.root!r}, "
+                f"bins={[f'{t:g}' for t in self.bins]})")

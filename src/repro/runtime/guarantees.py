@@ -1,0 +1,81 @@
+"""Accuracy guarantees (Section 3.3).
+
+The paper supports three guarantee regimes:
+
+* **Statistical guarantees** — off-line testing determines statistical
+  bounds on the accuracy metric to a desired confidence; implemented
+  by :func:`statistical_guarantee` over recorded trial accuracies.
+* **Run-time checking** — the ``verify_accuracy`` keyword; implemented
+  by ``TunedProgram.run(verify=True)`` (see
+  :mod:`repro.runtime.executor`).
+* **Domain-specific guarantees** — hand-proven accuracy bounds that
+  "reduce or eliminate the cost of runtime checking"; implemented by
+  :func:`fixed_accuracy_metric`, whose fitted normal degenerates to a
+  singular point exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.autotuner.stats import confidence_bound, fit_normal
+from repro.lang.metrics import AccuracyMetric
+
+__all__ = ["StatisticalGuarantee", "statistical_guarantee",
+           "fixed_accuracy_metric"]
+
+
+@dataclass(frozen=True)
+class StatisticalGuarantee:
+    """Off-line statistical bound on an accuracy metric."""
+
+    target: float
+    confidence: float
+    bound: float        # one-sided confidence bound on the mean accuracy
+    mean: float
+    std: float
+    samples: int
+    holds: bool
+
+    def __str__(self) -> str:
+        verdict = "holds" if self.holds else "does NOT hold"
+        return (f"accuracy >= {self.target:g} at {self.confidence:.0%} "
+                f"confidence {verdict} (bound {self.bound:.6g}, mean "
+                f"{self.mean:.6g}, n={self.samples})")
+
+
+def statistical_guarantee(accuracies: Sequence[float], target: float,
+                          metric: AccuracyMetric,
+                          confidence: float = 0.95
+                          ) -> StatisticalGuarantee:
+    """Test whether observed accuracies guarantee ``target``.
+
+    The bound is one-sided in the metric's direction: for
+    higher-is-better metrics a lower confidence bound must meet the
+    target; for lower-is-better metrics an upper bound must.
+    """
+    fit = fit_normal(accuracies)
+    side = "lower" if metric.higher_is_better else "upper"
+    bound = confidence_bound(accuracies, confidence, side=side)
+    return StatisticalGuarantee(
+        target=float(target), confidence=float(confidence), bound=bound,
+        mean=fit.mean, std=fit.std, samples=fit.count,
+        holds=metric.meets(bound, target))
+
+
+def fixed_accuracy_metric(value: float, name: str = "fixed", *,
+                          higher_is_better: bool = True) -> AccuracyMetric:
+    """A metric returning a hand-proven constant accuracy.
+
+    "When the programmer has provided fixed (hand proven) accuracies
+    the accuracy metrics will return a constant value for each
+    candidate algorithm and the normal distributions will become
+    singular points" (Section 5.5.1).
+    """
+
+    def metric(outputs, inputs, _value=float(value)):
+        return _value
+
+    return AccuracyMetric(metric, name=name,
+                          higher_is_better=higher_is_better)

@@ -1,0 +1,95 @@
+"""Timing and the deterministic operation-count cost model.
+
+The paper evaluates candidates by wall-clock time on a dedicated 8-core
+machine.  A pure-Python reproduction cannot use wall-clock time as the
+primary signal without making every experiment nondeterministic and
+machine-dependent, so every substrate kernel in this repository also
+*accounts its work* — floating-point operations, comparisons, item
+moves — into a :class:`CostAccumulator`.  The autotuner and the
+experiment harness can then optimise either metric:
+
+* ``objective="cost"`` (default) — deterministic operation counts;
+  reproducible "who wins / by what factor" results.
+* ``objective="time"`` — real wall-clock seconds, identical code path.
+
+DESIGN.md documents this as the hardware substitution.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+__all__ = ["CostAccumulator", "CostLimitExceeded", "WallTimer", "Metrics"]
+
+
+class CostLimitExceeded(Exception):
+    """Execution exceeded its cost budget.
+
+    Subclasses nothing from repro.errors to avoid an import cycle; the
+    test harness and executor treat it like any execution failure.  It
+    plays the role of the trial timeout a wall-clock autotuner would
+    use: candidate configurations that drive runaway work (e.g. deep
+    recursion with many V-cycles per level) fail their trial instead
+    of stalling training.
+    """
+
+
+class CostAccumulator:
+    """Accumulates abstract operation counts during one execution."""
+
+    __slots__ = ("units", "limit")
+
+    def __init__(self, limit: float | None = None):
+        self.units = 0.0
+        self.limit = limit
+
+    def add(self, units: float) -> None:
+        self.units += float(units)
+        if self.limit is not None and self.units > self.limit:
+            raise CostLimitExceeded(
+                f"cost {self.units:g} exceeded limit {self.limit:g}")
+
+    def reset(self) -> None:
+        self.units = 0.0
+
+    def __repr__(self) -> str:
+        return f"CostAccumulator(units={self.units:g})"
+
+
+class WallTimer:
+    """Context manager measuring elapsed wall-clock seconds."""
+
+    __slots__ = ("start", "elapsed")
+
+    def __init__(self):
+        self.start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "WallTimer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self.start
+
+
+@dataclass
+class Metrics:
+    """Measurements from one execution of a compiled program."""
+
+    cost: float = 0.0
+    wall_time: float = 0.0
+    accuracy: float | None = None
+
+    def objective(self, name: str) -> float:
+        """Return the optimisation objective value ``name``.
+
+        ``"cost"`` selects the deterministic operation count and
+        ``"time"`` the wall-clock seconds.
+        """
+        if name == "cost":
+            return self.cost
+        if name == "time":
+            return self.wall_time
+        raise ValueError(f"unknown objective {name!r}")

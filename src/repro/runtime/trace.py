@@ -1,0 +1,61 @@
+"""Execution traces.
+
+Traces record what a configured program actually did: which rule each
+choice site selected, which accuracy bin each sub-call dispatched to,
+and domain events such as multigrid relaxations.  Figure 8 of the paper
+(multigrid cycle shapes) is regenerated from these traces by
+:mod:`repro.multigrid.cycles`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+__all__ = ["TraceEvent", "ExecutionTrace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event.
+
+    ``kind`` is a short tag (``"choice"``, ``"subcall"``, ``"relax"``,
+    ``"direct_solve"``, ...), ``depth`` the sub-call nesting depth at
+    which it occurred, and ``payload`` arbitrary keyword details.
+    """
+
+    kind: str
+    depth: int
+    payload: dict[str, Any]
+
+    def __getitem__(self, key: str) -> Any:
+        return self.payload[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.payload.get(key, default)
+
+
+class ExecutionTrace:
+    """An append-only sequence of :class:`TraceEvent`."""
+
+    __slots__ = ("events", "enabled")
+
+    def __init__(self, enabled: bool = True):
+        self.events: list[TraceEvent] = []
+        self.enabled = enabled
+
+    def record(self, kind: str, depth: int = 0, **payload: Any) -> None:
+        if self.enabled:
+            self.events.append(TraceEvent(kind, depth, payload))
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return f"ExecutionTrace({len(self.events)} events)"

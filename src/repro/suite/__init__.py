@@ -1,0 +1,13 @@
+"""The paper's benchmark suite, written in the variable-accuracy DSL.
+
+Six benchmarks (Section 6.1): Bin Packing, Clustering (k-means), the
+3-D variable-coefficient Helmholtz equation, Image Compression (SVD),
+the 2-D Poisson equation, and Preconditioned iterative solvers.  Each
+module exposes ``build()`` returning the root transform (plus any
+helper transforms), ``generate(n, rng)`` producing training inputs, and
+a :data:`SPEC` registered in :mod:`repro.suite.registry`.
+"""
+
+from repro.suite.registry import BenchmarkSpec, all_benchmarks, get_benchmark
+
+__all__ = ["BenchmarkSpec", "all_benchmarks", "get_benchmark"]

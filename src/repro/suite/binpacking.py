@@ -1,0 +1,82 @@
+"""The Bin Packing benchmark (Section 6.1.1).
+
+Thirteen algorithmic choices producing the same output pair
+(assignment, bin count), a lower-is-better accuracy metric (bins used
+over optimal), and a generalised AlmostWorstFit whose ``k`` is a
+compiler-set accuracy variable.  Accuracy bins follow Figure 6(a):
+1.01, 1.1, 1.2, 1.3, 1.4 (plus 1.5 covering Figure 7's loosest level).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.binpacking.algorithms import ALGORITHMS
+from repro.binpacking.datagen import generate_items_with_known_optimal
+from repro.lang.metrics import AccuracyMetric
+from repro.lang.transform import Transform
+from repro.lang.tunables import accuracy_variable
+from repro.suite.registry import BenchmarkSpec
+
+__all__ = ["build", "generate", "SPEC", "ACCURACY_BINS"]
+
+ACCURACY_BINS = (1.01, 1.1, 1.2, 1.3, 1.4, 1.5)
+
+
+def _metric(outputs, inputs) -> float:
+    return float(outputs["num_bins"]) / float(inputs["optimal_bins"])
+
+
+def build() -> tuple[Transform, tuple[Transform, ...]]:
+    transform = Transform(
+        "binpacking",
+        inputs=("items",),
+        outputs=("assignment", "num_bins"),
+        accuracy_metric=AccuracyMetric(_metric, "bins_over_optimal",
+                                       higher_is_better=False),
+        accuracy_bins=ACCURACY_BINS,
+        tunables=[
+            # The paper's AlmostWorstFit "supports a variable
+            # compiler-set k"; direction unknown.
+            accuracy_variable("awf_k", lo=2, hi=16, default=2,
+                              direction=0),
+        ],
+    )
+
+    def make_rule(algorithm_name: str):
+        algorithm = ALGORITHMS[algorithm_name]
+        takes_kth = algorithm_name.startswith("AlmostWorstFit")
+
+        def rule(ctx, items):
+            if takes_kth:
+                packing = algorithm(items, kth=int(ctx.param("awf_k")))
+            else:
+                packing = algorithm(items)
+            ctx.add_cost(packing.ops)
+            ctx.record("packing", algorithm=algorithm_name,
+                       num_bins=packing.num_bins)
+            return packing.assignment, packing.num_bins
+
+        rule.__name__ = algorithm_name
+        return rule
+
+    for algorithm_name in ALGORITHMS:
+        transform.rule(outputs=("assignment", "num_bins"),
+                       inputs=("items",), name=algorithm_name)(
+            make_rule(algorithm_name))
+    return transform, ()
+
+
+def generate(n: int, rng: np.random.Generator):
+    items, optimal = generate_items_with_known_optimal(n, rng)
+    return {"items": items, "optimal_bins": optimal}
+
+
+SPEC = BenchmarkSpec(
+    name="binpacking",
+    build=build,
+    generate=generate,
+    training_sizes=(8.0, 32.0, 128.0, 512.0, 2048.0),
+    cost_limit=None,
+    description="13 packing heuristics vs. bins-over-optimal accuracy",
+)

@@ -1,0 +1,70 @@
+"""Benchmark registry: one spec per paper benchmark."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.compiler.compile import compile_program
+from repro.compiler.program import CompiledProgram
+from repro.compiler.training_info import TrainingInfo
+from repro.lang.transform import Transform
+
+__all__ = ["BenchmarkSpec", "get_benchmark", "all_benchmarks"]
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Everything needed to compile and train one benchmark."""
+
+    name: str
+    #: Builds fresh transform objects: (root, extra transforms).
+    build: Callable[[], tuple[Transform, tuple[Transform, ...]]]
+    #: Training-input generator: (n, rng) -> inputs dict (may contain
+    #: metric-only extras such as exact solutions).
+    generate: Callable[[int, np.random.Generator], Mapping[str, object]]
+    #: Default training input sizes (exponential, per the paper).
+    training_sizes: tuple[float, ...]
+    #: Per-trial cost budget during training (None = unlimited).
+    cost_limit: float | None
+    description: str
+
+    def compile(self) -> tuple[CompiledProgram, TrainingInfo]:
+        root, extras = self.build()
+        return compile_program(root, extras)
+
+
+def _load_specs() -> dict[str, BenchmarkSpec]:
+    # Imported lazily to avoid import cycles at package import time.
+    from repro.suite import binpacking as _binpacking
+    from repro.suite import clustering as _clustering
+    from repro.suite import helmholtz as _helmholtz
+    from repro.suite import imagecompression as _imagecompression
+    from repro.suite import poisson as _poisson
+    from repro.suite import preconditioner as _preconditioner
+
+    specs = [
+        _binpacking.SPEC,
+        _clustering.SPEC,
+        _helmholtz.SPEC,
+        _imagecompression.SPEC,
+        _poisson.SPEC,
+        _preconditioner.SPEC,
+    ]
+    return {spec.name: spec for spec in specs}
+
+
+def get_benchmark(name: str) -> BenchmarkSpec:
+    specs = _load_specs()
+    try:
+        return specs[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: "
+            f"{sorted(specs)}") from None
+
+
+def all_benchmarks() -> dict[str, BenchmarkSpec]:
+    return _load_specs()

@@ -1,0 +1,77 @@
+"""Shared fixtures: a tiny variable-accuracy transform used across tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compiler.compile import compile_program
+from repro.lang.transform import Transform
+from repro.lang.tunables import accuracy_variable, for_enough
+
+
+def make_approxmean_transform() -> Transform:
+    """A minimal variable-accuracy transform: approximate the mean.
+
+    One accuracy variable (sample count ``m``), two algorithmic rules
+    (subsampled mean vs exact mean).  Deterministic given the
+    execution seed, cheap, and its accuracy is monotone in ``m`` —
+    ideal for exercising the tuner.
+    """
+
+    def metric(outputs, inputs):
+        estimate = float(outputs["est"])
+        truth = float(np.mean(inputs["xs"]))
+        return max(0.0, 1.0 - abs(estimate - truth) / (abs(truth) + 1e-9))
+
+    transform = Transform(
+        "approxmean",
+        inputs=("xs",),
+        outputs=("est",),
+        accuracy_metric=metric,
+        accuracy_bins=(0.5, 0.9, 0.99),
+        tunables=[
+            accuracy_variable("m", lo=1, hi=100000, default=4,
+                              direction=+1),
+            for_enough("reps", max_iters=8, default=1),
+        ],
+    )
+
+    @transform.rule(outputs=("est",), inputs=("xs",), name="sample_mean")
+    def sample_mean(ctx, xs):
+        m = min(len(xs), int(ctx.param("m")))
+        total = 0.0
+        count = 0
+        for _ in ctx.for_enough("reps"):
+            indices = ctx.rng.integers(0, len(xs), size=m)
+            ctx.add_cost(m)
+            total += float(np.mean(xs[indices]))
+            count += 1
+        return total / count
+
+    @transform.rule(outputs=("est",), inputs=("xs",), name="exact_mean")
+    def exact_mean(ctx, xs):
+        ctx.add_cost(2 * len(xs))
+        return float(np.mean(xs))
+
+    return transform
+
+
+def approxmean_inputs(n: int, rng: np.random.Generator):
+    return {"xs": rng.normal(10.0, 1.0, size=max(2, int(n)))}
+
+
+@pytest.fixture
+def approxmean():
+    """(program, training_info) for the approxmean transform."""
+    return compile_program(make_approxmean_transform())
+
+
+@pytest.fixture
+def approxmean_program(approxmean):
+    return approxmean[0]
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

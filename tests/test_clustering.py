@@ -1,0 +1,212 @@
+"""Tests for the k-means substrate."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.datagen import generate_clustered_points
+from repro.clustering.kernels import (
+    assign_clusters,
+    lloyd_iterations,
+    new_cluster_locations,
+    sum_cluster_distance_squared,
+)
+from repro.clustering.metrics import PERFECT_ACCURACY, kmeans_accuracy
+from repro.clustering.seeding import kmeans_plus_plus, random_centers
+
+
+def tiny_points():
+    return np.array([[0.0, 0.0], [0.1, 0.0], [5.0, 5.0], [5.1, 5.0]])
+
+
+class TestAssignClusters:
+    def test_nearest_assignment(self):
+        centroids = np.array([[0.0, 0.0], [5.0, 5.0]])
+        assignments, ops = assign_clusters(tiny_points(), centroids)
+        assert list(assignments) == [0, 0, 1, 1]
+        assert ops == 4 * 2
+
+    def test_matches_bruteforce(self):
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(40, 2))
+        centroids = rng.normal(size=(5, 2))
+        assignments, _ = assign_clusters(points, centroids)
+        for i, point in enumerate(points):
+            distances = [np.linalg.norm(point - c) for c in centroids]
+            assert assignments[i] == int(np.argmin(distances))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            assign_clusters(np.zeros(3), np.zeros((2, 2)))
+
+
+class TestNewClusterLocations:
+    def test_means(self):
+        assignments = np.array([0, 0, 1, 1])
+        centroids, ops = new_cluster_locations(tiny_points(), assignments,
+                                               2)
+        assert np.allclose(centroids[0], [0.05, 0.0])
+        assert np.allclose(centroids[1], [5.05, 5.0])
+        assert ops == 4
+
+    def test_empty_cluster_placeholder(self):
+        assignments = np.array([0, 0, 0, 0])
+        centroids, _ = new_cluster_locations(tiny_points(), assignments, 3)
+        assert np.isfinite(centroids).all()
+        global_mean = tiny_points().mean(axis=0)
+        assert np.allclose(centroids[1], global_mean)
+        assert np.allclose(centroids[2], global_mean)
+
+
+class TestLloydIterations:
+    def test_fixed_point_on_separated_clusters(self):
+        points = tiny_points()
+        start = np.array([[0.2, 0.1], [4.5, 4.9]])
+        assignments, centroids, iterations = lloyd_iterations(
+            points, start, max_iterations=50, change_fraction=0.0)
+        assert list(assignments) == [0, 0, 1, 1]
+        assert iterations < 50
+
+    def test_once_mode(self):
+        points = tiny_points()
+        start = np.array([[0.2, 0.1], [4.5, 4.9]])
+        _, _, iterations = lloyd_iterations(points, start,
+                                            max_iterations=1)
+        assert iterations == 1
+
+    def test_threshold_stops_earlier_than_fixpoint(self):
+        rng = np.random.default_rng(1)
+        points, _ = generate_clustered_points(400, rng)
+        start, _ = random_centers(points, 10, np.random.default_rng(2))
+        _, _, relaxed = lloyd_iterations(points, start,
+                                         max_iterations=100,
+                                         change_fraction=0.5)
+        _, _, strict = lloyd_iterations(points, start,
+                                        max_iterations=100,
+                                        change_fraction=0.0)
+        assert relaxed <= strict
+
+    def test_cost_callback(self):
+        costs = []
+        points = tiny_points()
+        start = np.array([[0.0, 0.0], [5.0, 5.0]])
+        lloyd_iterations(points, start, max_iterations=3,
+                         on_cost=costs.append)
+        assert sum(costs) > 0
+
+    def test_invalid_iteration_count(self):
+        with pytest.raises(ValueError):
+            lloyd_iterations(tiny_points(), tiny_points()[:1],
+                             max_iterations=0)
+
+
+class TestSeeding:
+    def test_random_centers_are_input_points(self):
+        rng = np.random.default_rng(0)
+        points = tiny_points()
+        centers, ops = random_centers(points, 3, rng)
+        assert centers.shape == (3, 2)
+        assert ops == 3
+        for center in centers:
+            assert any(np.allclose(center, p) for p in points)
+
+    def test_kmeans_plus_plus_centers_are_input_points(self):
+        rng = np.random.default_rng(0)
+        points = tiny_points()
+        centers, ops = kmeans_plus_plus(points, 2, rng)
+        assert centers.shape == (2, 2)
+        assert ops == 4 * 2
+        for center in centers:
+            assert any(np.allclose(center, p) for p in points)
+
+    def test_kmeans_plus_plus_spreads_centers(self):
+        """++ seeding yields lower distortion than random on average."""
+        rng = np.random.default_rng(3)
+        points, _ = generate_clustered_points(600, rng)
+        k = 24
+
+        def distortion(seeder, seed):
+            centers, _ = seeder(points, k, np.random.default_rng(seed))
+            assignments, _ = assign_clusters(points, centers)
+            return sum_cluster_distance_squared(points, assignments,
+                                                centers)
+
+        random_mean = np.mean([distortion(random_centers, s)
+                               for s in range(10)])
+        pp_mean = np.mean([distortion(kmeans_plus_plus, s)
+                           for s in range(10)])
+        assert pp_mean < random_mean
+
+    def test_degenerate_identical_points(self):
+        points = np.zeros((5, 2))
+        centers, _ = kmeans_plus_plus(points, 3, np.random.default_rng(0))
+        assert centers.shape == (3, 2)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            random_centers(tiny_points(), 0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            kmeans_plus_plus(tiny_points(), 0, np.random.default_rng(0))
+
+
+class TestMetric:
+    def test_perfect_clustering_capped(self):
+        points = tiny_points()
+        assignments = np.array([0, 0, 1, 1])
+        centroids = np.array([[0.05, 0.0], [5.05, 5.0]])
+        # Not exactly zero distance, but tiny -> large accuracy.
+        accuracy = kmeans_accuracy(points, assignments, centroids)
+        assert accuracy > 1.0
+
+    def test_zero_distance_returns_cap(self):
+        points = np.array([[1.0, 1.0], [2.0, 2.0]])
+        assignments = np.array([0, 1])
+        centroids = points.copy()
+        assert kmeans_accuracy(points, assignments, centroids) == \
+            PERFECT_ACCURACY
+
+    def test_recomputes_centroids_from_assignments(self):
+        points = tiny_points()
+        assignments = np.array([0, 0, 1, 1])
+        from_assignments = kmeans_accuracy(points, assignments)
+        explicit = kmeans_accuracy(points, assignments,
+                                   np.array([[0.05, 0.0], [5.05, 5.0]]))
+        assert from_assignments == pytest.approx(explicit)
+
+    def test_more_clusters_higher_accuracy(self):
+        rng = np.random.default_rng(5)
+        points, _ = generate_clustered_points(500, rng)
+        few, _ = assign_clusters(points, points[:3])
+        many, _ = assign_clusters(points, points[:60])
+        assert kmeans_accuracy(points, many) > kmeans_accuracy(points, few)
+
+
+class TestDatagen:
+    def test_shapes_and_true_k(self):
+        rng = np.random.default_rng(0)
+        points, true_k = generate_clustered_points(2048, rng)
+        assert points.shape == (2048, 2)
+        assert true_k == 45  # round(sqrt(2048))
+
+    def test_centers_in_box(self):
+        rng = np.random.default_rng(1)
+        points, true_k = generate_clustered_points(100, rng, box=250.0)
+        assert np.all(np.abs(points[:true_k]) <= 250.0)
+
+    def test_points_cluster_around_centers(self):
+        rng = np.random.default_rng(2)
+        points, true_k = generate_clustered_points(400, rng,
+                                                   noise_std=1.0)
+        centers = points[:true_k]
+        assignments, _ = assign_clusters(points, centers)
+        distances = np.linalg.norm(points - centers[assignments], axis=1)
+        assert np.percentile(distances, 95) < 5.0
+
+    def test_tiny_n(self):
+        rng = np.random.default_rng(3)
+        points, true_k = generate_clustered_points(1, rng)
+        assert points.shape == (1, 2)
+        assert true_k == 1
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            generate_clustered_points(0, np.random.default_rng(0))

@@ -1,0 +1,134 @@
+"""Tests for the adaptive comparison heuristic (Section 5.5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.autotuner.candidate import Candidate
+from repro.autotuner.comparison import Comparator, ComparisonSettings
+from repro.autotuner.testing import ProgramTestHarness
+from repro.compiler.compile import compile_program
+from repro.config.decision_tree import SizeDecisionTree
+
+from tests.conftest import approxmean_inputs, make_approxmean_transform
+
+
+def make_harness(noise: float = 0.0, seed: int = 0) -> ProgramTestHarness:
+    program, _ = compile_program(make_approxmean_transform())
+    return ProgramTestHarness(program, approxmean_inputs, base_seed=seed,
+                              noise=noise)
+
+
+def candidate_with_m(harness, m: float) -> Candidate:
+    config = harness.program.default_config().with_entry(
+        "approxmean@main.m", SizeDecisionTree([float(m)]))
+    return Candidate(config)
+
+
+class TestComparisonSettings:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ComparisonSettings(min_trials=0)
+        with pytest.raises(ValueError):
+            ComparisonSettings(min_trials=5, max_trials=3)
+
+
+class TestDeterministicComparisons:
+    def test_clear_cost_difference_decided_at_min_trials(self):
+        harness = make_harness()
+        comparator = Comparator(harness, ComparisonSettings(
+            min_trials=3, max_trials=25))
+        cheap = candidate_with_m(harness, 2)
+        expensive = candidate_with_m(harness, 5000)
+        assert comparator.compare(cheap, expensive, 64, "objective") == 1
+        assert comparator.compare(expensive, cheap, 64, "objective") == -1
+        # Deterministic costs: decided without extra trials.
+        assert cheap.results.count(64) == 3
+        assert expensive.results.count(64) == 3
+
+    def test_identical_candidates_same(self):
+        harness = make_harness()
+        comparator = Comparator(harness, ComparisonSettings(
+            min_trials=3, max_trials=25))
+        a = candidate_with_m(harness, 10)
+        b = candidate_with_m(harness, 10)
+        assert comparator.compare(a, b, 64, "objective") == 0
+        assert a.results.count(64) == 3
+
+    def test_accuracy_comparison_direction(self):
+        harness = make_harness()
+        comparator = Comparator(harness, ComparisonSettings(
+            min_trials=3, max_trials=25))
+        rough = candidate_with_m(harness, 1)
+        fine = candidate_with_m(harness, 5000)
+        assert comparator.compare(fine, rough, 256, "accuracy") == 1
+
+    def test_unknown_kind_rejected(self):
+        harness = make_harness()
+        comparator = Comparator(harness)
+        a = candidate_with_m(harness, 4)
+        with pytest.raises(ValueError):
+            comparator.compare(a, a, 4, "nope")
+
+
+class TestFailureDominance:
+    def test_failed_candidate_loses(self):
+        harness = make_harness()
+        comparator = Comparator(harness, ComparisonSettings(
+            min_trials=2, max_trials=4))
+        good = candidate_with_m(harness, 4)
+        bad = candidate_with_m(harness, 4)
+        harness.ensure_trials(good, 16, 2)
+        from repro.autotuner.results import Trial
+        bad.results.add(16, Trial(0.0, 0.0, failed=True))
+        bad.results.add(16, Trial(0.0, 0.0, failed=True))
+        assert comparator.compare(good, bad, 16, "objective") == 1
+        assert comparator.compare(bad, good, 16, "objective") == -1
+
+    def test_both_failed_same(self):
+        harness = make_harness()
+        comparator = Comparator(harness, ComparisonSettings(
+            min_trials=1, max_trials=2))
+        from repro.autotuner.results import Trial
+        a = candidate_with_m(harness, 4)
+        b = candidate_with_m(harness, 4)
+        for candidate in (a, b):
+            candidate.results.add(16, Trial(0.0, 0.0, failed=True))
+        assert comparator.compare(a, b, 16, "objective") == 0
+
+
+class TestAdaptiveTrialCounts:
+    def test_noise_increases_trials(self):
+        """The paper's mouse-wiggle anecdote: more variance, more trials."""
+        settings = ComparisonSettings(min_trials=3, max_trials=25)
+
+        def trials_used(noise: float) -> int:
+            harness = make_harness(noise=noise, seed=42)
+            comparator = Comparator(harness, settings)
+            # Two candidates with a small true cost difference.
+            a = candidate_with_m(harness, 100)
+            b = candidate_with_m(harness, 103)
+            comparator.compare(a, b, 512, "objective")
+            return a.results.count(512) + b.results.count(512)
+
+        quiet = trials_used(0.0)
+        noisy = trials_used(0.5)
+        assert quiet == 6          # decided at min trials
+        assert noisy > quiet       # variance forces extra testing
+
+    def test_trials_never_exceed_max(self):
+        harness = make_harness(noise=2.0, seed=1)
+        settings = ComparisonSettings(min_trials=3, max_trials=8)
+        comparator = Comparator(harness, settings)
+        a = candidate_with_m(harness, 100)
+        b = candidate_with_m(harness, 101)
+        comparator.compare(a, b, 512, "objective")
+        assert a.results.count(512) <= 8
+        assert b.results.count(512) <= 8
+
+    def test_indistinguishable_noisy_candidates_judged_same(self):
+        harness = make_harness(noise=1.0, seed=3)
+        settings = ComparisonSettings(min_trials=3, max_trials=6)
+        comparator = Comparator(harness, settings)
+        a = candidate_with_m(harness, 100)
+        b = candidate_with_m(harness, 100)
+        assert comparator.compare(a, b, 512, "objective") == 0

@@ -1,0 +1,133 @@
+"""Tests for input-size decision trees."""
+
+import pytest
+
+from repro.config.decision_tree import SizeDecisionTree
+from repro.errors import ConfigError
+
+
+class TestConstruction:
+    def test_single_leaf(self):
+        tree = SizeDecisionTree([7])
+        assert tree.lookup(0) == 7
+        assert tree.lookup(1e9) == 7
+        assert tree.num_levels == 0
+
+    def test_leaf_cutoff_mismatch(self):
+        with pytest.raises(ConfigError):
+            SizeDecisionTree([1, 2], cutoffs=[10, 20])
+
+    def test_empty_leaves_rejected(self):
+        with pytest.raises(ConfigError):
+            SizeDecisionTree([])
+
+    def test_unsorted_cutoffs_rejected(self):
+        with pytest.raises(ConfigError):
+            SizeDecisionTree([1, 2, 3], cutoffs=[20, 10])
+
+    def test_duplicate_cutoffs_rejected(self):
+        with pytest.raises(ConfigError):
+            SizeDecisionTree([1, 2, 3], cutoffs=[10, 10])
+
+    def test_nonpositive_cutoff_rejected(self):
+        with pytest.raises(ConfigError):
+            SizeDecisionTree([1, 2], cutoffs=[0])
+
+
+class TestLookup:
+    def test_interval_semantics(self):
+        tree = SizeDecisionTree(["small", "mid", "large"], cutoffs=[10, 100])
+        assert tree.lookup(5) == "small"
+        assert tree.lookup(10) == "mid"      # cutoff belongs to upper leaf
+        assert tree.lookup(99) == "mid"
+        assert tree.lookup(100) == "large"
+
+    def test_leaf_index(self):
+        tree = SizeDecisionTree([0, 1, 2], cutoffs=[10, 100])
+        assert tree.leaf_index(3) == 0
+        assert tree.leaf_index(10) == 1
+        assert tree.leaf_index(1000) == 2
+
+    def test_intervals_cover_everything(self):
+        tree = SizeDecisionTree([0, 1], cutoffs=[8])
+        spans = list(tree.intervals())
+        assert spans[0][:2] == (0.0, 8.0)
+        assert spans[1][0] == 8.0
+        assert spans[1][1] == float("inf")
+
+
+class TestMutations:
+    def test_add_level_preserves_behaviour_by_default(self):
+        tree = SizeDecisionTree([3])
+        split = tree.add_level(12.0)
+        for n in (1, 11, 12, 500):
+            assert split.lookup(n) == 3
+
+    def test_add_level_then_change_upper(self):
+        tree = SizeDecisionTree([3]).add_level(12.0).set_leaf_for_size(20, 9)
+        assert tree.lookup(5) == 3
+        assert tree.lookup(20) == 9
+
+    def test_add_duplicate_cutoff_rejected(self):
+        tree = SizeDecisionTree([3]).add_level(12.0)
+        with pytest.raises(ConfigError):
+            tree.add_level(12.0)
+
+    def test_add_level_with_explicit_value(self):
+        tree = SizeDecisionTree([3]).add_level(10.0, upper_value=5)
+        assert tree.lookup(9) == 3
+        assert tree.lookup(10) == 5
+
+    def test_remove_level_merges_downward(self):
+        tree = SizeDecisionTree([1, 2, 3], cutoffs=[10, 100])
+        merged = tree.remove_level(0)
+        assert merged.lookup(5) == 1
+        assert merged.lookup(50) == 1
+        assert merged.lookup(500) == 3
+
+    def test_remove_level_out_of_range(self):
+        with pytest.raises(ConfigError):
+            SizeDecisionTree([1]).remove_level(0)
+
+    def test_set_leaf(self):
+        tree = SizeDecisionTree([1, 2], cutoffs=[10]).set_leaf(1, 7)
+        assert tree.lookup(20) == 7
+        assert tree.lookup(5) == 1
+
+    def test_set_leaf_out_of_range(self):
+        with pytest.raises(ConfigError):
+            SizeDecisionTree([1]).set_leaf(3, 0)
+
+    def test_scale_cutoff(self):
+        tree = SizeDecisionTree([1, 2], cutoffs=[10]).scale_cutoff(0, 2.0)
+        assert tree.cutoffs == (20.0,)
+
+    def test_scale_cutoff_clamps_between_neighbours(self):
+        tree = SizeDecisionTree([1, 2, 3], cutoffs=[10, 20])
+        scaled = tree.scale_cutoff(0, 100.0)
+        assert 10 < scaled.cutoffs[0] < 20
+
+    def test_scale_cutoff_invalid_factor(self):
+        with pytest.raises(ConfigError):
+            SizeDecisionTree([1, 2], cutoffs=[10]).scale_cutoff(0, -1.0)
+
+    def test_mutations_do_not_modify_original(self):
+        tree = SizeDecisionTree([1], cutoffs=[])
+        tree.add_level(5.0)
+        assert tree.num_levels == 0
+
+
+class TestSerialisation:
+    def test_json_round_trip(self):
+        tree = SizeDecisionTree([1, "x", 3.5], cutoffs=[4, 9])
+        assert SizeDecisionTree.from_json(tree.to_json()) == tree
+
+    def test_equality_and_hash(self):
+        a = SizeDecisionTree([1, 2], cutoffs=[10])
+        b = SizeDecisionTree([1, 2], cutoffs=[10])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != SizeDecisionTree([1, 3], cutoffs=[10])
+
+    def test_repr_mentions_intervals(self):
+        assert "inf" in repr(SizeDecisionTree([1]))

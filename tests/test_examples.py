@@ -1,0 +1,39 @@
+"""Smoke tests for the example scripts.
+
+Each example is imported (not executed: ``__main__`` guards keep the
+multi-second training runs out of CI) so syntax errors, missing
+imports, and API drift in the examples fail the test suite.  The
+examples' full runs are exercised manually / in the benchmark docs.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_populated():
+    names = {path.name for path in EXAMPLES}
+    assert {"quickstart.py", "binpacking_library.py",
+            "multigrid_poisson.py", "image_compression.py",
+            "signal_scaling.py", "poisson_manual_vs_dsl.py"} <= names
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports_cleanly(path):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert hasattr(module, "main"), \
+        f"example {path.name} must define main()"
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_has_module_docstring(path):
+    first_line = path.read_text().lstrip().splitlines()[0]
+    assert first_line.startswith('"""'), \
+        f"example {path.name} must document itself"

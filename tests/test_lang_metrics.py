@@ -1,0 +1,64 @@
+"""Tests for directional accuracy metrics."""
+
+from repro.lang.metrics import AccuracyMetric
+
+
+def fn(outputs, inputs):
+    return outputs["v"]
+
+
+class TestHigherIsBetter:
+    metric = AccuracyMetric(fn, "m")
+
+    def test_compute(self):
+        assert self.metric.compute({"v": 0.7}, {}) == 0.7
+
+    def test_meets(self):
+        assert self.metric.meets(0.9, 0.5)
+        assert self.metric.meets(0.5, 0.5)
+        assert not self.metric.meets(0.4, 0.5)
+
+    def test_better(self):
+        assert self.metric.better(0.9, 0.5)
+        assert not self.metric.better(0.5, 0.5)
+
+    def test_improvement(self):
+        assert self.metric.improvement(0.9, 0.5) == 0.4
+
+    def test_sort_key_orders_better_larger(self):
+        assert self.metric.sort_key(0.9) > self.metric.sort_key(0.1)
+
+    def test_worst_value(self):
+        assert self.metric.worst_value() == float("-inf")
+
+
+class TestLowerIsBetter:
+    metric = AccuracyMetric(fn, "m", higher_is_better=False)
+
+    def test_meets(self):
+        assert self.metric.meets(1.05, 1.1)
+        assert self.metric.meets(1.1, 1.1)
+        assert not self.metric.meets(1.2, 1.1)
+
+    def test_better(self):
+        assert self.metric.better(1.01, 1.5)
+        assert not self.metric.better(1.5, 1.01)
+
+    def test_improvement(self):
+        assert self.metric.improvement(1.0, 1.2) == \
+            __import__("pytest").approx(0.2)
+
+    def test_sort_key_orders_better_larger(self):
+        assert self.metric.sort_key(1.01) > self.metric.sort_key(1.5)
+
+    def test_worst_value(self):
+        assert self.metric.worst_value() == float("inf")
+
+
+def test_name_defaults_to_function_name():
+    assert AccuracyMetric(fn).name == "fn"
+
+
+def test_repr_mentions_direction():
+    assert "higher" in repr(AccuracyMetric(fn))
+    assert "lower" in repr(AccuracyMetric(fn, higher_is_better=False))

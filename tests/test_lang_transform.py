@@ -1,0 +1,169 @@
+"""Tests for transform declarations."""
+
+import pytest
+
+from repro.errors import LanguageError
+from repro.lang.metrics import AccuracyMetric
+from repro.lang.transform import CallSite, Transform
+from repro.lang.tunables import accuracy_variable
+
+
+def _noop_metric(outputs, inputs):
+    return 1.0
+
+
+def simple_transform(**kwargs) -> Transform:
+    transform = Transform("t", inputs=("a",), outputs=("b",), **kwargs)
+
+    @transform.rule(outputs=("b",), inputs=("a",))
+    def produce(ctx, a):
+        return a
+
+    return transform
+
+
+class TestDeclaration:
+    def test_name_must_be_identifier(self):
+        with pytest.raises(LanguageError):
+            Transform("bad name", inputs=("a",), outputs=("b",))
+
+    def test_needs_outputs(self):
+        with pytest.raises(LanguageError):
+            Transform("t", inputs=("a",), outputs=())
+
+    def test_data_names_unique(self):
+        with pytest.raises(LanguageError):
+            Transform("t", inputs=("a",), outputs=("a",))
+
+    def test_bins_require_metric(self):
+        with pytest.raises(LanguageError):
+            Transform("t", inputs=("a",), outputs=("b",),
+                      accuracy_bins=(0.5,))
+
+    def test_metric_function_wrapped(self):
+        transform = simple_transform(accuracy_metric=_noop_metric)
+        assert isinstance(transform.accuracy_metric, AccuracyMetric)
+
+    def test_default_bins_applied(self):
+        transform = simple_transform(accuracy_metric=_noop_metric)
+        assert transform.accuracy_bins == (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+    def test_bins_sorted_least_to_most_accurate(self):
+        transform = simple_transform(accuracy_metric=_noop_metric,
+                                     accuracy_bins=(0.9, 0.1, 0.5))
+        assert transform.accuracy_bins == (0.1, 0.5, 0.9)
+
+    def test_bins_sorted_for_lower_is_better(self):
+        metric = AccuracyMetric(_noop_metric, higher_is_better=False)
+        transform = simple_transform(accuracy_metric=metric,
+                                     accuracy_bins=(1.1, 1.5, 1.01))
+        assert transform.accuracy_bins == (1.5, 1.1, 1.01)
+
+    def test_duplicate_bins_rejected(self):
+        with pytest.raises(LanguageError):
+            simple_transform(accuracy_metric=_noop_metric,
+                             accuracy_bins=(0.5, 0.5))
+
+    def test_duplicate_tunables_rejected(self):
+        with pytest.raises(LanguageError):
+            Transform("t", inputs=("a",), outputs=("b",),
+                      tunables=[accuracy_variable("v", 1, 2),
+                                accuracy_variable("v", 1, 2)])
+
+    def test_duplicate_call_sites_rejected(self):
+        with pytest.raises(LanguageError):
+            Transform("t", inputs=("a",), outputs=("b",),
+                      calls=[CallSite("c", "x"), CallSite("c", "y")])
+
+    def test_allocator_for_unknown_data_rejected(self):
+        with pytest.raises(LanguageError):
+            Transform("t", inputs=("a",), outputs=("b",),
+                      allocators={"zzz": lambda ctx, data: None})
+
+    def test_allocator_for_input_rejected(self):
+        with pytest.raises(LanguageError):
+            Transform("t", inputs=("a",), outputs=("b",),
+                      allocators={"a": lambda ctx, data: None})
+
+
+class TestRules:
+    def test_rule_with_unknown_data(self):
+        transform = Transform("t", inputs=("a",), outputs=("b",))
+        with pytest.raises(LanguageError):
+            transform.rule(outputs=("b",), inputs=("zzz",))(lambda ctx: 0)
+
+    def test_rule_writing_input_rejected(self):
+        transform = Transform("t", inputs=("a",), outputs=("b",))
+        with pytest.raises(LanguageError):
+            transform.rule(outputs=("a",), inputs=())(lambda ctx: 0)
+
+    def test_duplicate_rule_names(self):
+        transform = Transform("t", inputs=("a",), outputs=("b",))
+        transform.rule(outputs=("b",), name="r")(lambda ctx: 0)
+        with pytest.raises(LanguageError):
+            transform.rule(outputs=("b",), name="r")(lambda ctx: 1)
+
+    def test_choice_groups(self):
+        transform = Transform("t", inputs=("a",), outputs=("b",),
+                              through=("mid",))
+        transform.rule(outputs=("mid",), name="m1")(lambda ctx: 0)
+        transform.rule(outputs=("mid",), name="m2")(lambda ctx: 1)
+        transform.rule(outputs=("b",), inputs=("mid",),
+                       name="final")(lambda ctx, mid: mid)
+        groups = dict(transform.choice_groups())
+        assert len(groups[("mid",)]) == 2
+        assert len(groups[("b",)]) == 1
+
+    def test_overlapping_output_groups_rejected(self):
+        transform = Transform("t", inputs=("a",), outputs=("b", "c"))
+        transform.rule(outputs=("b", "c"), name="both")(lambda ctx: (0, 1))
+        transform.rule(outputs=("b",), name="only_b")(lambda ctx: 0)
+        with pytest.raises(LanguageError):
+            transform.choice_groups()
+
+    def test_validate_requires_producers(self):
+        transform = Transform("t", inputs=("a",), outputs=("b",),
+                              through=("mid",))
+        transform.rule(outputs=("b",), name="r")(lambda ctx: 0)
+        with pytest.raises(LanguageError):
+            transform.validate()
+
+    def test_validate_requires_rules(self):
+        with pytest.raises(LanguageError):
+            Transform("t", inputs=("a",), outputs=("b",)).validate()
+
+    def test_producers(self):
+        transform = simple_transform()
+        assert [r.name for r in transform.producers("b")] == ["produce"]
+
+
+class TestBins:
+    def transform(self) -> Transform:
+        return simple_transform(accuracy_metric=_noop_metric,
+                                accuracy_bins=(0.1, 0.5, 0.9))
+
+    def test_bin_labels(self):
+        assert self.transform().bin_labels() == ("0.1", "0.5", "0.9")
+
+    def test_bin_label_unknown(self):
+        with pytest.raises(LanguageError):
+            self.transform().bin_label(0.42)
+
+    def test_bin_for_accuracy_picks_cheapest_satisfying(self):
+        assert self.transform().bin_for_accuracy(0.3) == 0.5
+        assert self.transform().bin_for_accuracy(0.5) == 0.5
+        assert self.transform().bin_for_accuracy(0.05) == 0.1
+
+    def test_bin_for_accuracy_falls_back_to_most_accurate(self):
+        assert self.transform().bin_for_accuracy(0.999) == 0.9
+
+    def test_bin_for_accuracy_lower_is_better(self):
+        metric = AccuracyMetric(_noop_metric, higher_is_better=False)
+        transform = simple_transform(accuracy_metric=metric,
+                                     accuracy_bins=(1.01, 1.5, 1.2))
+        assert transform.bin_for_accuracy(1.3) == 1.2
+        assert transform.bin_for_accuracy(1.0) == 1.01
+
+    def test_bin_for_accuracy_without_bins(self):
+        with pytest.raises(LanguageError):
+            simple_transform().bin_for_accuracy(0.5)

@@ -1,0 +1,246 @@
+"""Tests for the automatically generated mutator pool."""
+
+import numpy as np
+import pytest
+
+from repro.autotuner.candidate import Candidate
+from repro.autotuner.mutators import (
+    CompoundMutator,
+    MutationFailed,
+    MutatorPool,
+    ScalarScaleMutator,
+    SwitchMutator,
+    TreeAddLevelMutator,
+    TreeChangeLeafMutator,
+    TreeRemoveLevelMutator,
+    TreeScaleCutoffMutator,
+    UndoMutator,
+)
+from repro.config.parameters import (
+    ChoiceSiteParam,
+    ParameterSpace,
+    ScalarParam,
+    SizeValueParam,
+    SwitchParam,
+)
+
+
+def space() -> ParameterSpace:
+    return ParameterSpace([
+        ChoiceSiteParam("choice", 4),
+        SizeValueParam("accvar", 1, 1000, 10, is_accuracy_variable=True,
+                       accuracy_direction=+1),
+        SizeValueParam("uniformvar", 0.0, 1.0, 0.5, integer=False,
+                       scaling="uniform"),
+        ScalarParam("cut", 1, 512, 16),
+        SwitchParam("mode", ("a", "b", "c")),
+    ])
+
+
+def fresh_candidate() -> Candidate:
+    return Candidate(space().default_config())
+
+
+RNG = lambda seed=0: np.random.default_rng(seed)
+
+
+class TestTreeChangeLeaf:
+    def test_changes_leaf_at_current_size(self):
+        mutator = TreeChangeLeafMutator(space()["choice"])
+        candidate = fresh_candidate()
+        config, record = mutator.mutate(candidate, 16, RNG())
+        assert config.tree("choice").lookup(16) != \
+            candidate.config.tree("choice").lookup(16)
+        assert record.changes[0][0] == "choice"
+
+    def test_respects_domain(self):
+        mutator = TreeChangeLeafMutator(space()["accvar"])
+        candidate = fresh_candidate()
+        for seed in range(30):
+            config, _ = mutator.mutate(candidate, 16, RNG(seed))
+            value = config.tree("accvar").lookup(16)
+            assert 1 <= value <= 1000
+
+    def test_single_choice_fails(self):
+        param = ChoiceSiteParam("solo", 1)
+        sp = ParameterSpace([param])
+        candidate = Candidate(sp.default_config())
+        with pytest.raises(MutationFailed):
+            TreeChangeLeafMutator(param).mutate(candidate, 16, RNG())
+
+    def test_uniform_scaling_resamples(self):
+        mutator = TreeChangeLeafMutator(space()["uniformvar"])
+        candidate = fresh_candidate()
+        config, _ = mutator.mutate(candidate, 16, RNG())
+        assert config.tree("uniformvar").lookup(16) != 0.5
+
+
+class TestTreeAddLevel:
+    def test_cutoff_at_three_quarters_n(self):
+        mutator = TreeAddLevelMutator(space()["choice"])
+        candidate = fresh_candidate()
+        config, record = mutator.mutate(candidate, 16, RNG())
+        assert config.tree("choice").cutoffs == (12.0,)
+        assert record.preserved_below == 12.0
+
+    def test_behaviour_below_preserved(self):
+        mutator = TreeAddLevelMutator(space()["accvar"])
+        candidate = fresh_candidate()
+        config, record = mutator.mutate(candidate, 16, RNG())
+        old = candidate.config.tree("accvar")
+        new = config.tree("accvar")
+        for n in (1, 5, 11):
+            assert new.lookup(n) == old.lookup(n)
+
+    def test_not_applicable_at_max_depth(self):
+        param = space()["choice"]
+        mutator = TreeAddLevelMutator(param, max_levels=1)
+        candidate = fresh_candidate()
+        config, _ = mutator.mutate(candidate, 16, RNG())
+        deeper = Candidate(config)
+        assert not mutator.applies(deeper, 32)
+        with pytest.raises(MutationFailed):
+            mutator.mutate(deeper, 32, RNG())
+
+    def test_not_applicable_for_tiny_sizes(self):
+        mutator = TreeAddLevelMutator(space()["choice"])
+        assert not mutator.applies(fresh_candidate(), 1)
+
+
+class TestTreeRemoveLevel:
+    def test_round_trip_depth(self):
+        add = TreeAddLevelMutator(space()["choice"])
+        remove = TreeRemoveLevelMutator(space()["choice"])
+        candidate = fresh_candidate()
+        assert not remove.applies(candidate, 16)
+        config, _ = add.mutate(candidate, 16, RNG())
+        child = Candidate(config)
+        assert remove.applies(child, 16)
+        config2, _ = remove.mutate(child, 16, RNG())
+        assert config2.tree("choice").num_levels == 0
+
+
+class TestTreeScaleCutoff:
+    def test_requires_levels(self):
+        mutator = TreeScaleCutoffMutator(space()["choice"])
+        assert not mutator.applies(fresh_candidate(), 16)
+
+    def test_scales_a_cutoff(self):
+        add = TreeAddLevelMutator(space()["choice"])
+        config, _ = add.mutate(fresh_candidate(), 16, RNG())
+        child = Candidate(config)
+        mutator = TreeScaleCutoffMutator(space()["choice"])
+        new_config, _ = mutator.mutate(child, 16, RNG(3))
+        assert new_config.tree("choice").cutoffs != \
+            config.tree("choice").cutoffs
+
+
+class TestScalarAndSwitch:
+    def test_scalar_scale_in_domain(self):
+        mutator = ScalarScaleMutator(space()["cut"])
+        candidate = fresh_candidate()
+        for seed in range(30):
+            config, _ = mutator.mutate(candidate, 16, RNG(seed))
+            assert 1 <= config["cut"] <= 512
+            assert config["cut"] != candidate.config["cut"]
+
+    def test_switch_changes_value(self):
+        mutator = SwitchMutator(space()["mode"])
+        candidate = fresh_candidate()
+        config, _ = mutator.mutate(candidate, 16, RNG())
+        assert config["mode"] != candidate.config["mode"]
+        assert config["mode"] in ("a", "b", "c")
+
+
+class TestMetaMutators:
+    def test_undo_restores_parent_config(self):
+        mutator = TreeChangeLeafMutator(space()["choice"])
+        parent = fresh_candidate()
+        config, record = mutator.mutate(parent, 16, RNG())
+        child = Candidate(config, parent=parent, mutation=record)
+        undo = UndoMutator()
+        assert undo.applies(child, 16)
+        restored, _ = undo.mutate(child, 16, RNG())
+        assert restored == parent.config
+
+    def test_undo_not_applicable_without_history(self):
+        assert not UndoMutator().applies(fresh_candidate(), 16)
+
+    def test_compound_applies_multiple_changes(self):
+        base = [ScalarScaleMutator(space()["cut"]),
+                SwitchMutator(space()["mode"])]
+        compound = CompoundMutator(base, min_applications=2,
+                                   max_applications=2)
+        config, record = compound.mutate(fresh_candidate(), 16, RNG(1))
+        changed = [key for key, _ in record.changes]
+        assert len(changed) >= 1
+        assert config != fresh_candidate().config
+
+    def test_compound_records_first_seen_old_values(self):
+        base = [ScalarScaleMutator(space()["cut"])]
+        compound = CompoundMutator(base, min_applications=2,
+                                   max_applications=3)
+        parent = fresh_candidate()
+        config, record = compound.mutate(parent, 16, RNG(2))
+        # Undoing through the record restores the original value.
+        restored = config.with_entries(dict(record.changes))
+        assert restored["cut"] == parent.config["cut"]
+
+
+class TestPool:
+    def test_generated_from_space(self):
+        pool = MutatorPool.from_space(space())
+        names = {m.name for m in pool}
+        assert "tree.change:choice" in names
+        assert "tree.addlevel:accvar" in names
+        assert "scalar.scale:cut" in names
+        assert "switch:mode" in names
+        assert "meta.compound" in names
+        assert "meta.undo" in names
+
+    def test_no_meta_option(self):
+        pool = MutatorPool.from_space(space(), include_meta=False)
+        assert all(not m.name.startswith("meta.") for m in pool)
+
+    def test_uniform_ablation_replaces_lognormal(self):
+        pool = MutatorPool.from_space(space(), lognormal_scaling=False)
+        change = next(m for m in pool
+                      if m.name == "tree.change:accvar")
+        assert change.param.scaling == "uniform"
+
+    def test_random_selection_applicable_only(self):
+        pool = MutatorPool.from_space(space())
+        candidate = fresh_candidate()
+        for seed in range(20):
+            mutator = pool.random(candidate, 16, RNG(seed))
+            assert mutator is not None
+            assert mutator.applies(candidate, 16)
+
+    def test_fixed_parameters_produce_empty_pool(self):
+        fixed = ParameterSpace([
+            SizeValueParam("v", 5, 5, 5),
+            ScalarParam("c", 2, 2, 2),
+            SwitchParam("s", ("only",)),
+            ChoiceSiteParam("ch", 1),
+        ])
+        pool = MutatorPool.from_space(fixed)
+        assert len(pool) == 0
+        assert pool.random(fresh_candidate(), 16,
+                           np.random.default_rng(0)) is None
+
+
+class TestMutatedConfigsStayValid:
+    def test_random_walk_stays_in_domain(self):
+        sp = space()
+        pool = MutatorPool.from_space(sp)
+        candidate = Candidate(sp.default_config())
+        rng = RNG(7)
+        for step in range(120):
+            mutator = pool.random(candidate, 16, rng)
+            try:
+                config, record = mutator.mutate(candidate, 16, rng)
+            except MutationFailed:
+                continue
+            sp.validate(config)
+            candidate = Candidate(config, parent=candidate,
+                                  mutation=record)

@@ -1,0 +1,172 @@
+"""Tests for parameter kinds and the parameter space."""
+
+import numpy as np
+import pytest
+
+from repro.config.decision_tree import SizeDecisionTree
+from repro.config.parameters import (
+    ChoiceSiteParam,
+    ParameterSpace,
+    ScalarParam,
+    SizeValueParam,
+    SwitchParam,
+)
+from repro.errors import ConfigError
+
+
+class TestChoiceSiteParam:
+    def test_default_entry_is_single_leaf_tree(self):
+        param = ChoiceSiteParam("site", num_choices=3, default=1)
+        tree = param.default_entry()
+        assert isinstance(tree, SizeDecisionTree)
+        assert tree.lookup(1) == 1
+
+    def test_needs_at_least_one_choice(self):
+        with pytest.raises(ConfigError):
+            ChoiceSiteParam("site", num_choices=0)
+
+    def test_default_in_range(self):
+        with pytest.raises(ConfigError):
+            ChoiceSiteParam("site", num_choices=2, default=5)
+
+    def test_label_lookup(self):
+        param = ChoiceSiteParam("s", 2, choice_labels=("a", "b"))
+        assert param.label(1) == "b"
+
+    def test_label_count_checked(self):
+        with pytest.raises(ConfigError):
+            ChoiceSiteParam("s", 3, choice_labels=("a",))
+
+    def test_clamp(self):
+        param = ChoiceSiteParam("s", 3)
+        assert param.clamp(-1) == 0
+        assert param.clamp(9) == 2
+
+
+class TestSizeValueParam:
+    def test_coerce_clamps_and_rounds(self):
+        param = SizeValueParam("v", lo=1, hi=10, default=2)
+        assert param.coerce(0.2) == 1
+        assert param.coerce(99) == 10
+        assert param.coerce(3.6) == 4
+
+    def test_float_param_not_rounded(self):
+        param = SizeValueParam("v", lo=0.0, hi=1.0, default=0.5,
+                               integer=False)
+        assert param.coerce(0.33) == pytest.approx(0.33)
+
+    def test_domain_validated(self):
+        with pytest.raises(ConfigError):
+            SizeValueParam("v", lo=5, hi=1, default=2)
+        with pytest.raises(ConfigError):
+            SizeValueParam("v", lo=1, hi=5, default=9)
+
+    def test_unknown_scaling_rejected(self):
+        with pytest.raises(ConfigError):
+            SizeValueParam("v", lo=1, hi=5, default=2, scaling="magic")
+
+
+class TestScalarParam:
+    def test_default_entry(self):
+        assert ScalarParam("c", 1, 9, 4).default_entry() == 4
+
+    def test_coerce(self):
+        param = ScalarParam("c", 1.0, 2.0, 1.5, integer=False)
+        assert param.coerce(5.0) == 2.0
+
+
+class TestSwitchParam:
+    def test_default_entry_first_choice(self):
+        assert SwitchParam("s", ("x", "y")).default_entry() == "x"
+
+    def test_explicit_default(self):
+        assert SwitchParam("s", ("x", "y"), default="y").default_entry() \
+            == "y"
+
+    def test_default_must_be_choice(self):
+        with pytest.raises(ConfigError):
+            SwitchParam("s", ("x",), default="z")
+
+    def test_needs_choices(self):
+        with pytest.raises(ConfigError):
+            SwitchParam("s", ())
+
+
+class TestParameterSpace:
+    def space(self) -> ParameterSpace:
+        return ParameterSpace([
+            ChoiceSiteParam("choice", 3),
+            SizeValueParam("accvar", 1, 100, 5,
+                           is_accuracy_variable=True,
+                           accuracy_direction=+1),
+            ScalarParam("cut", 1, 64, 8),
+            SwitchParam("mode", ("a", "b")),
+        ])
+
+    def test_duplicate_rejected(self):
+        space = self.space()
+        with pytest.raises(ConfigError):
+            space.add(SwitchParam("mode", ("a",)))
+
+    def test_lookup_unknown(self):
+        with pytest.raises(ConfigError):
+            self.space()["nope"]
+
+    def test_kind_queries(self):
+        space = self.space()
+        assert len(space.choice_sites()) == 1
+        assert len(space.size_values()) == 1
+        assert len(space.accuracy_variables()) == 1
+        assert len(space.scalars()) == 1
+        assert len(space.switches()) == 1
+        assert len(space) == 4
+
+    def test_default_config_valid(self):
+        space = self.space()
+        space.validate(space.default_config())
+
+    def test_random_config_valid(self):
+        space = self.space()
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            space.validate(space.random_config(rng))
+
+    def test_validate_rejects_out_of_domain_choice(self):
+        space = self.space()
+        config = space.default_config().with_entry(
+            "choice", SizeDecisionTree([7]))
+        with pytest.raises(ConfigError):
+            space.validate(config)
+
+    def test_validate_rejects_out_of_domain_value(self):
+        space = self.space()
+        config = space.default_config().with_entry(
+            "accvar", SizeDecisionTree([5000.0]))
+        with pytest.raises(ConfigError):
+            space.validate(config)
+
+    def test_validate_rejects_scalar_out_of_range(self):
+        space = self.space()
+        config = space.default_config().with_entry("cut", 1000.0)
+        with pytest.raises(ConfigError):
+            space.validate(config)
+
+    def test_validate_rejects_unknown_switch_value(self):
+        space = self.space()
+        config = space.default_config().with_entry("mode", "zzz")
+        with pytest.raises(ConfigError):
+            space.validate(config)
+
+    def test_validate_rejects_scalar_where_tree_expected(self):
+        space = self.space()
+        config = space.default_config().with_entry("choice", 1)
+        with pytest.raises(ConfigError):
+            space.validate(config)
+
+    def test_merged_with(self):
+        space = self.space()
+        other = ParameterSpace([SwitchParam("extra", ("q",)),
+                                SwitchParam("mode", ("a", "b"))])
+        merged = space.merged_with(other)
+        assert "extra" in merged
+        assert len(merged) == 5

@@ -1,0 +1,114 @@
+"""Tests for trial results and candidates."""
+
+import math
+
+import pytest
+
+from repro.autotuner.candidate import Candidate, MutationRecord
+from repro.autotuner.results import CandidateResults, Trial
+from repro.config.configuration import Configuration
+from repro.lang.metrics import AccuracyMetric
+
+
+def metric_fn(outputs, inputs):
+    return 0.0
+
+
+HIGHER = AccuracyMetric(metric_fn, higher_is_better=True)
+LOWER = AccuracyMetric(metric_fn, higher_is_better=False)
+
+
+class TestCandidateResults:
+    def test_add_and_query(self):
+        results = CandidateResults()
+        results.add(4, Trial(10.0, 0.5))
+        results.add(4, Trial(12.0, 0.7))
+        results.add(8, Trial(100.0, 0.9))
+        assert results.count(4) == 2
+        assert results.sizes() == (4.0, 8.0)
+        assert results.mean_objective(4) == pytest.approx(11.0)
+        assert results.mean_accuracy(4) == pytest.approx(0.6)
+
+    def test_failed_trials_poison_objective(self):
+        results = CandidateResults()
+        results.add(4, Trial(10.0, 0.5))
+        results.add(4, Trial(0.0, 0.0, failed=True))
+        assert results.any_failed(4)
+        assert results.mean_objective(4) == float("inf")
+        assert float("inf") in results.objectives(4)
+
+    def test_objective_fit_skips_failures(self):
+        results = CandidateResults()
+        results.add(4, Trial(10.0, 0.5))
+        results.add(4, Trial(0.0, 0.0, failed=True))
+        assert results.objective_fit(4).count == 1
+
+    def test_copy_from_below_threshold(self):
+        parent = CandidateResults()
+        parent.add(4, Trial(1.0, 0.1))
+        parent.add(16, Trial(2.0, 0.2))
+        child = CandidateResults()
+        child.copy_from(parent, below_size=10)
+        assert child.count(4) == 1
+        assert child.count(16) == 0
+
+    def test_copy_from_unbounded(self):
+        parent = CandidateResults()
+        parent.add(4, Trial(1.0, 0.1))
+        parent.add(16, Trial(2.0, 0.2))
+        child = CandidateResults()
+        child.copy_from(parent)
+        assert child.count(16) == 1
+
+    def test_empty_queries(self):
+        results = CandidateResults()
+        assert results.mean_objective(4) == float("inf")
+        assert math.isnan(results.mean_accuracy(4))
+        assert results.trials(4) == []
+
+
+class TestCandidate:
+    def config(self) -> Configuration:
+        return Configuration({"a": 1})
+
+    def test_ids_increase(self):
+        first = Candidate(self.config())
+        second = Candidate(self.config())
+        assert second.candidate_id > first.candidate_id
+
+    def test_lineage(self):
+        parent = Candidate(self.config())
+        record = MutationRecord("mut", (("a", 1),))
+        child = Candidate(self.config(), parent=parent, mutation=record)
+        assert child.parent_id == parent.candidate_id
+        assert child.lineage == ("mut",)
+
+    def test_meets_accuracy_mean(self):
+        candidate = Candidate(self.config())
+        for accuracy in (0.8, 0.9, 1.0):
+            candidate.results.add(4, Trial(1.0, accuracy))
+        assert candidate.meets_accuracy(4, 0.9, HIGHER)
+        assert not candidate.meets_accuracy(4, 0.95, HIGHER)
+
+    def test_meets_accuracy_lower_is_better(self):
+        candidate = Candidate(self.config())
+        candidate.results.add(4, Trial(1.0, 1.05))
+        assert candidate.meets_accuracy(4, 1.1, LOWER)
+        assert not candidate.meets_accuracy(4, 1.01, LOWER)
+
+    def test_meets_accuracy_with_confidence_is_stricter(self):
+        candidate = Candidate(self.config())
+        for accuracy in (0.85, 0.95, 1.05):  # mean ~0.95, high variance
+            candidate.results.add(4, Trial(1.0, accuracy))
+        assert candidate.meets_accuracy(4, 0.94, HIGHER, confidence=None)
+        assert not candidate.meets_accuracy(4, 0.94, HIGHER,
+                                            confidence=0.95)
+
+    def test_failed_trials_never_meet(self):
+        candidate = Candidate(self.config())
+        candidate.results.add(4, Trial(1.0, 5.0))
+        candidate.results.add(4, Trial(1.0, 0.0, failed=True))
+        assert not candidate.meets_accuracy(4, 0.1, HIGHER)
+
+    def test_no_trials_never_meets(self):
+        assert not Candidate(self.config()).meets_accuracy(4, 0.0, HIGHER)

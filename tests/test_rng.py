@@ -1,0 +1,55 @@
+"""Tests for seeded RNG derivation."""
+
+import numpy as np
+
+from repro.rng import derive_seed, generator_for, spawn
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_depends_on_base_seed(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_depends_on_labels(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_depends_on_label_order(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+    def test_no_label_concatenation_ambiguity(self):
+        assert derive_seed(1, "ab") != derive_seed(1, "a", "b")
+
+    def test_64_bit_range(self):
+        seed = derive_seed(123456789, "x")
+        assert 0 <= seed < 2 ** 64
+
+    def test_numeric_labels(self):
+        assert derive_seed(0, 1.5, 2) == derive_seed(0, 1.5, 2)
+        assert derive_seed(0, 1.5) != derive_seed(0, 2.5)
+
+
+class TestGeneratorFor:
+    def test_same_seed_same_stream(self):
+        a = generator_for(7, "x").normal(size=5)
+        b = generator_for(7, "x").normal(size=5)
+        assert np.allclose(a, b)
+
+    def test_different_labels_different_streams(self):
+        a = generator_for(7, "x").normal(size=5)
+        b = generator_for(7, "y").normal(size=5)
+        assert not np.allclose(a, b)
+
+
+class TestSpawn:
+    def test_spawn_advances_parent(self):
+        parent = np.random.default_rng(0)
+        child1 = spawn(parent)
+        child2 = spawn(parent)
+        assert not np.allclose(child1.normal(size=4), child2.normal(size=4))
+
+    def test_spawn_deterministic(self):
+        a = spawn(np.random.default_rng(5)).normal(size=4)
+        b = spawn(np.random.default_rng(5)).normal(size=4)
+        assert np.allclose(a, b)

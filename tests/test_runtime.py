@@ -1,0 +1,128 @@
+"""Tests for runtime support: cost model, wall timer, traces, errors."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.autotuner import Autotuner, ProgramTestHarness, TunerSettings
+from repro.compiler.compile import compile_program
+from repro.errors import AccuracyError, ReproError
+from repro.runtime.timing import (
+    CostAccumulator,
+    CostLimitExceeded,
+    Metrics,
+    WallTimer,
+)
+from repro.runtime.trace import ExecutionTrace, TraceEvent
+
+from tests.conftest import approxmean_inputs, make_approxmean_transform
+
+
+class TestCostAccumulator:
+    def test_accumulates(self):
+        cost = CostAccumulator()
+        cost.add(3)
+        cost.add(4.5)
+        assert cost.units == 7.5
+
+    def test_reset(self):
+        cost = CostAccumulator()
+        cost.add(10)
+        cost.reset()
+        assert cost.units == 0.0
+
+    def test_limit_enforced(self):
+        cost = CostAccumulator(limit=10.0)
+        cost.add(9.0)
+        with pytest.raises(CostLimitExceeded):
+            cost.add(2.0)
+
+    def test_no_limit(self):
+        cost = CostAccumulator()
+        cost.add(1e18)
+        assert cost.units == 1e18
+
+
+class TestWallTimer:
+    def test_measures_elapsed(self):
+        with WallTimer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.009
+
+
+class TestMetrics:
+    def test_objective_selection(self):
+        metrics = Metrics(cost=5.0, wall_time=0.25)
+        assert metrics.objective("cost") == 5.0
+        assert metrics.objective("time") == 0.25
+
+    def test_unknown_objective(self):
+        with pytest.raises(ValueError):
+            Metrics().objective("energy")
+
+
+class TestExecutionTrace:
+    def test_record_and_filter(self):
+        trace = ExecutionTrace()
+        trace.record("a", 0, value=1)
+        trace.record("b", 1, value=2)
+        trace.record("a", 2, value=3)
+        assert len(trace) == 3
+        assert [e["value"] for e in trace.of_kind("a")] == [1, 3]
+
+    def test_disabled_trace_records_nothing(self):
+        trace = ExecutionTrace(enabled=False)
+        trace.record("a", 0)
+        assert len(trace) == 0
+
+    def test_event_access(self):
+        event = TraceEvent("k", 2, {"x": 7})
+        assert event["x"] == 7
+        assert event.get("y", "default") == "default"
+        assert event.depth == 2
+
+
+class TestWallClockObjective:
+    def test_time_objective_tunes(self):
+        """The identical pipeline works on wall-clock measurements."""
+        program, _ = compile_program(make_approxmean_transform())
+        harness = ProgramTestHarness(program, approxmean_inputs,
+                                     objective="time", base_seed=3)
+        settings = TunerSettings(input_sizes=(64.0, 512.0),
+                                 rounds_per_size=1, mutation_attempts=4,
+                                 min_trials=2, max_trials=4, seed=7,
+                                 initial_random=1,
+                                 accuracy_confidence=None)
+        result = Autotuner(program, harness, settings).tune()
+        assert result.trials_run > 0
+        n = result.sizes[-1]
+        for candidate in result.best_per_bin.values():
+            assert candidate.results.mean_objective(n) > 0
+
+    def test_invalid_objective_rejected(self):
+        program, _ = compile_program(make_approxmean_transform())
+        with pytest.raises(ValueError):
+            ProgramTestHarness(program, approxmean_inputs,
+                               objective="energy")
+
+    def test_metric_required(self):
+        from repro.lang.transform import Transform
+        plain = Transform("plain", inputs=("x",), outputs=("y",))
+        plain.rule(outputs=("y",), inputs=("x",))(lambda ctx, x: x)
+        program, _ = compile_program(plain)
+        with pytest.raises(ReproError):
+            ProgramTestHarness(program, lambda n, rng: {"x": 0})
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        from repro import errors
+        for name in ("LanguageError", "CompileError", "ConfigError",
+                     "TrainingError", "AccuracyError", "ExecutionError"):
+            assert issubclass(getattr(errors, name), errors.ReproError)
+
+    def test_accuracy_error_payload(self):
+        error = AccuracyError("failed", achieved=0.3, required=0.9)
+        assert error.achieved == 0.3
+        assert error.required == 0.9

@@ -1,0 +1,154 @@
+"""Tests for the scaled_by extension and the built-in resamplers."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.compile import compile_program
+from repro.config.decision_tree import SizeDecisionTree
+from repro.errors import LanguageError
+from repro.lang.scaling import (
+    RESAMPLERS,
+    resample_linear,
+    resample_nearest,
+    scaled_by,
+)
+from repro.lang.transform import Transform
+
+
+class TestResamplers:
+    def test_nearest_identity(self):
+        x = np.arange(5.0)
+        assert np.allclose(resample_nearest(x, 5), x)
+
+    def test_nearest_endpoints_preserved(self):
+        x = np.arange(10.0)
+        down = resample_nearest(x, 4)
+        assert down[0] == x[0]
+        assert down[-1] == x[-1]
+
+    def test_linear_identity(self):
+        x = np.arange(5.0)
+        assert np.allclose(resample_linear(x, 5), x)
+
+    def test_linear_recovers_linear_signals(self):
+        x = np.linspace(0, 1, 33)
+        down = resample_linear(x, 9)
+        up = resample_linear(down, 33)
+        assert np.allclose(up, x, atol=1e-12)
+
+    def test_2d_resampling_along_axis0(self):
+        x = np.stack([np.arange(8.0), np.arange(8.0) * 2], axis=1)
+        down = resample_linear(x, 4)
+        assert down.shape == (4, 2)
+        assert np.allclose(down[:, 1], down[:, 0] * 2)
+
+    def test_registry(self):
+        assert set(RESAMPLERS) == {"nearest", "linear"}
+
+
+def make_smoother() -> Transform:
+    """Inner transform: three-point moving average of a 1-D signal."""
+
+    def metric(outputs, inputs):
+        signal = np.asarray(inputs["signal"], dtype=float)
+        smooth = np.asarray(outputs["smooth"], dtype=float)
+        scale = float(np.abs(signal).max()) + 1e-12
+        return max(0.0, 1.0 - float(np.abs(smooth - signal).mean())
+                   / scale)
+
+    transform = Transform("smoother", inputs=("signal",),
+                          outputs=("smooth",), accuracy_metric=metric,
+                          accuracy_bins=(0.5, 0.9))
+
+    @transform.rule(outputs=("smooth",), inputs=("signal",))
+    def smooth(ctx, signal):
+        padded = np.pad(np.asarray(signal, dtype=float), 1, mode="edge")
+        ctx.add_cost(3 * len(signal))
+        return (padded[:-2] + padded[1:-1] + padded[2:]) / 3.0
+
+    return transform
+
+
+class TestScaledBy:
+    def test_wrapper_structure(self):
+        inner = make_smoother()
+        wrapper = scaled_by(inner, scaled_inputs=("signal",),
+                            scaled_outputs=("smooth",))
+        assert wrapper.name == "smoother_scaled"
+        assert [r.name for r in wrapper.rules] == [
+            "no_resample", "resample_nearest", "resample_linear"]
+        assert wrapper.accuracy_bins == inner.accuracy_bins
+        assert any(t.name == "scale_percent" for t in wrapper.tunables)
+
+    def test_compiles_with_inner_instances(self):
+        inner = make_smoother()
+        wrapper = scaled_by(inner, scaled_inputs=("signal",),
+                            scaled_outputs=("smooth",))
+        program, _ = compile_program(wrapper, [inner])
+        assert "smoother@0.5" in program.instances
+        assert "smoother@0.9" in program.instances
+
+    def test_no_resample_rule_matches_inner(self):
+        inner = make_smoother()
+        wrapper = scaled_by(inner, scaled_inputs=("signal",),
+                            scaled_outputs=("smooth",))
+        program, _ = compile_program(wrapper, [inner])
+        rng = np.random.default_rng(0)
+        signal = np.cumsum(rng.normal(size=64))
+        config = program.default_config().with_entry(
+            "smoother_scaled@main.rule.smooth", SizeDecisionTree([0]))
+        result = program.execute({"signal": signal}, 64, config)
+        inner_program, _ = compile_program(make_smoother())
+        direct = inner_program.execute(
+            {"signal": signal}, 64, inner_program.default_config())
+        assert np.allclose(result.outputs["smooth"],
+                           direct.outputs["smooth"])
+
+    def test_downsampling_reduces_cost(self):
+        inner = make_smoother()
+        wrapper = scaled_by(inner, scaled_inputs=("signal",),
+                            scaled_outputs=("smooth",))
+        program, _ = compile_program(wrapper, [inner])
+        rng = np.random.default_rng(1)
+        signal = np.cumsum(rng.normal(size=256))
+
+        def run(scale_percent):
+            config = program.default_config().with_entries({
+                "smoother_scaled@main.rule.smooth":
+                    SizeDecisionTree([2]),  # resample_linear
+                "smoother_scaled@main.scale_percent":
+                    SizeDecisionTree([scale_percent]),
+            })
+            return program.execute({"signal": signal}, 256, config)
+
+        full = run(100.0)
+        quarter = run(25.0)
+        assert quarter.cost < full.cost
+        assert quarter.outputs["smooth"].shape == signal.shape
+
+    def test_output_shape_restored_for_all_resamplers(self):
+        inner = make_smoother()
+        wrapper = scaled_by(inner, scaled_inputs=("signal",),
+                            scaled_outputs=("smooth",))
+        program, _ = compile_program(wrapper, [inner])
+        signal = np.sin(np.linspace(0, 6, 100))
+        for rule_index in (1, 2):
+            config = program.default_config().with_entries({
+                "smoother_scaled@main.rule.smooth":
+                    SizeDecisionTree([rule_index]),
+                "smoother_scaled@main.scale_percent":
+                    SizeDecisionTree([50.0]),
+            })
+            result = program.execute({"signal": signal}, 100, config)
+            assert result.outputs["smooth"].shape == signal.shape
+
+    def test_validation(self):
+        inner = make_smoother()
+        with pytest.raises(LanguageError):
+            scaled_by(inner, scaled_inputs=("nope",))
+        with pytest.raises(LanguageError):
+            scaled_by(inner, scaled_outputs=("nope",))
+        with pytest.raises(LanguageError):
+            scaled_by(inner, resamplers=("warp",))
+        with pytest.raises(LanguageError):
+            scaled_by(inner, resamplers=())
