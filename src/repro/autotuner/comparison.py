@@ -60,7 +60,13 @@ class ComparisonSettings:
 
 
 class Comparator:
-    """Compares candidates, adaptively running more trials as needed."""
+    """Compares candidates, adaptively running more trials as needed.
+
+    Top-up trials flow through the harness's batch interface
+    (``run_trial`` is a single-request batch), so they hit the same
+    execution backend and trial cache as population-sized batches;
+    the decision sequence itself is inherently serial.
+    """
 
     def __init__(self, harness: ProgramTestHarness,
                  settings: ComparisonSettings | None = None):

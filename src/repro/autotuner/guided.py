@@ -88,25 +88,31 @@ def guided_mutation(population: list[Candidate],
     current_factor = factor
     max_factor = factor ** 4
     while evaluations < max_evaluations and not targets_met(base):
+        # Build every move of this hill-climbing sweep, truncate to the
+        # remaining evaluation budget, then run the sweep's initial
+        # trials as one backend batch.
+        moves = [(param, value) for param in accuracy_variables
+                 for value in _candidate_moves(base, param, n,
+                                               current_factor)]
+        sweep: list[Candidate] = []
+        for param, value in moves[:max_evaluations - evaluations]:
+            tree = base.config.tree(param.name)
+            config = base.config.with_entry(
+                param.name, tree.set_leaf_for_size(n, value))
+            record = MutationRecord(f"guided:{param.name}",
+                                    ((param.name, tree),))
+            sweep.append(Candidate(config, parent=base, mutation=record))
+        harness.ensure_trials_batch(
+            [(child, n, min_trials) for child in sweep])
+        evaluations += len(sweep)
         best_child: Candidate | None = None
-        for param in accuracy_variables:
-            for value in _candidate_moves(base, param, n, current_factor):
-                if evaluations >= max_evaluations:
-                    break
-                tree = base.config.tree(param.name)
-                config = base.config.with_entry(
-                    param.name, tree.set_leaf_for_size(n, value))
-                record = MutationRecord(f"guided:{param.name}",
-                                        ((param.name, tree),))
-                child = Candidate(config, parent=base, mutation=record)
-                harness.ensure_trials(child, n, min_trials)
-                evaluations += 1
-                if child.results.any_failed(n):
-                    continue
-                child_acc = child.results.mean_accuracy(n)
-                if best_child is None or metric.better(
-                        child_acc, best_child.results.mean_accuracy(n)):
-                    best_child = child
+        for child in sweep:
+            if child.results.any_failed(n):
+                continue
+            child_acc = child.results.mean_accuracy(n)
+            if best_child is None or metric.better(
+                    child_acc, best_child.results.mean_accuracy(n)):
+                best_child = child
         if best_child is None:
             break
         base_acc = base.results.mean_accuracy(n)

@@ -61,7 +61,9 @@ def fit_normal(values: Sequence[float]) -> NormalFit:
     count = len(values)
     if count == 0:
         return NormalFit(mean=float("nan"), std=float("nan"), count=0)
-    mean = sum(values) / count
+    # The sample mean lies in [min, max] mathematically; float
+    # summation can drift one ulp outside, so clamp it back.
+    mean = min(max(sum(values) / count, min(values)), max(values))
     if count == 1:
         return NormalFit(mean=mean, std=0.0, count=1)
     variance = sum((v - mean) ** 2 for v in values) / (count - 1)

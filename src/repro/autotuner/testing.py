@@ -9,15 +9,30 @@ function.  Trials are *paired*: trial ``i`` at input size ``n`` uses the
 same generated input (and the same execution seed) for every candidate,
 which reduces the variance of candidate-vs-candidate comparisons.
 
+Since the trial path dominates tuning time, the harness no longer runs
+trials itself: it builds batches of :class:`TrialRequest` work units
+and hands them to a pluggable
+:class:`~repro.runtime.backends.ExecutionBackend` (serial by default;
+thread- and process-pool backends run batches in parallel).  Because a
+trial's outcome is fully determined by ``(config, n, trial index, base
+seed)``, outcomes are recorded in request order regardless of how the
+backend schedules them — tuning results are bit-identical across
+backends under the cost objective.  An optional
+:class:`~repro.runtime.backends.TrialCache` short-circuits requests
+whose outcome is already known, across candidates and across runs.
+
 ``noise`` injects multiplicative Gaussian noise into the objective; it
 exists to reproduce the paper's anecdote that increased measurement
 variance (rapid mouse movement during autotuning) inflates the number
-of adaptive trials.
+of adaptive trials.  Noise is applied harness-side, after the backend
+returns (and after any cache hit), so the cache stores clean
+measurements and noisy replay stays deterministic.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Mapping
+from collections import OrderedDict
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -26,85 +41,250 @@ from repro.autotuner.results import Trial
 from repro.compiler.program import CompiledProgram
 from repro.errors import ReproError
 from repro.rng import derive_seed, generator_for
-from repro.runtime.timing import CostLimitExceeded
+from repro.runtime.backends import (
+    ExecutionBackend,
+    SerialBackend,
+    TrialCache,
+    TrialOutcome,
+    TrialRequest,
+    config_digest,
+)
 
 __all__ = ["ProgramTestHarness", "InputGenerator"]
 
 #: Input generators map (input size, rng) to the root transform's inputs.
 InputGenerator = Callable[[int, np.random.Generator], Mapping[str, object]]
 
+#: Default bound on cached training inputs; see ``input_cache_size``.
+DEFAULT_INPUT_CACHE_SIZE = 256
+
 
 class ProgramTestHarness:
-    """Runs candidate configurations and records trial results."""
+    """Builds trial batches, dispatches them to a backend, records results.
+
+    ``backend`` defaults to :class:`SerialBackend`; ``cache`` (a
+    :class:`TrialCache`) is consulted before dispatch and updated
+    after.  ``input_cache_size`` bounds the number of generated
+    training inputs held in memory (least-recently-used eviction;
+    ``None`` means unbounded) so long sweeps over many sizes don't
+    accumulate every input ever generated.
+    """
 
     def __init__(self, program: CompiledProgram,
                  input_generator: InputGenerator, *,
                  objective: str = "cost",
                  base_seed: int = 0,
                  noise: float = 0.0,
-                 cost_limit: float | None = None):
+                 cost_limit: float | None = None,
+                 backend: ExecutionBackend | None = None,
+                 cache: TrialCache | None = None,
+                 input_cache_size: int | None = DEFAULT_INPUT_CACHE_SIZE):
         if objective not in ("cost", "time"):
             raise ValueError(f"unknown objective {objective!r}")
+        if input_cache_size is not None and input_cache_size < 1:
+            raise ValueError("input_cache_size must be >= 1 or None")
+        if objective == "time" and backend is not None and \
+                not isinstance(backend, SerialBackend):
+            # Concurrent trials time each other's contention: samples
+            # would mix loaded and unloaded measurements and bias the
+            # adaptive comparisons.  Wall-clock tuning is serial.
+            raise ValueError(
+                f"objective='time' requires the serial backend; "
+                f"{type(backend).__name__} would measure scheduler "
+                f"contention, not the candidate")
         self.program = program
         self.input_generator = input_generator
         self.objective = objective
         self.base_seed = base_seed
         self.noise = noise
         self.cost_limit = cost_limit
+        self.backend = backend if backend is not None else SerialBackend()
+        self.cache = cache
+        self.input_cache_size = input_cache_size
         self.metric = program.root_transform.accuracy_metric
         if self.metric is None:
             raise ReproError(
                 f"transform {program.root!r} has no accuracy metric; "
                 f"the variable-accuracy tuner requires one")
-        #: Total trials executed (used by ablation benchmarks).
+        #: Total trials recorded on candidates (used by ablation
+        #: benchmarks); includes cache hits, which substitute for runs.
         self.trials_run = 0
-        self._input_cache: dict[tuple[float, int], Mapping[str, object]] = {}
+        #: Trials actually executed by the backend (excludes cache hits).
+        self.trials_executed = 0
+        self._input_cache: OrderedDict[tuple[float, int],
+                                       Mapping[str, object]] = OrderedDict()
+        self._digests: dict[int, str] = {}
+        # Trial-cache namespace: outcomes depend on the program AND on
+        # which generator produced the training inputs, so both name
+        # the store.  (Editing a generator's *body* while keeping its
+        # name still requires deleting the cache file — see TrialCache.)
+        generator_id = getattr(input_generator, "__qualname__",
+                               type(input_generator).__name__)
+        self._cache_namespace = f"{program.root}/{generator_id}"
 
+    # ------------------------------------------------------------------
+    # Inputs
     # ------------------------------------------------------------------
     def training_input(self, n: float, trial_index: int
                        ) -> Mapping[str, object]:
         """The (cached) training input for trial ``trial_index`` at ``n``.
 
         Inputs depend only on (n, trial_index) so that trials pair up
-        across candidates.
+        across candidates; regenerating an evicted entry therefore
+        reproduces it exactly.
         """
         key = (float(n), trial_index)
-        if key not in self._input_cache:
-            rng = generator_for(self.base_seed, "input", float(n),
-                                trial_index)
-            self._input_cache[key] = self.input_generator(int(n), rng)
-        return self._input_cache[key]
+        cached = self._input_cache.get(key)
+        if cached is not None:
+            self._input_cache.move_to_end(key)
+            return cached
+        rng = generator_for(self.base_seed, "input", float(n), trial_index)
+        inputs = self.input_generator(int(n), rng)
+        self._input_cache[key] = inputs
+        if self.input_cache_size is not None:
+            while len(self._input_cache) > self.input_cache_size:
+                self._input_cache.popitem(last=False)
+        return inputs
 
-    def run_trial(self, candidate: Candidate, n: float) -> Trial:
-        """Run one more trial of ``candidate`` at input size ``n``."""
-        trial_index = candidate.results.count(n)
-        inputs = self.training_input(n, trial_index)
-        seed = derive_seed(self.base_seed, "exec", float(n), trial_index)
-        try:
-            result = self.program.execute(inputs, n, candidate.config,
-                                          seed=seed,
-                                          cost_limit=self.cost_limit)
-            accuracy = self.program.accuracy_of(result.outputs, inputs)
-            objective = result.metrics.objective(self.objective)
-            if self.noise > 0.0:
-                noise_rng = generator_for(
-                    self.base_seed, "noise", float(n), trial_index,
-                    candidate.candidate_id)
-                objective *= max(1e-9,
-                                 1.0 + self.noise * noise_rng.normal())
-            trial = Trial(objective=float(objective),
-                          accuracy=float(accuracy))
-        except (ReproError, CostLimitExceeded, FloatingPointError,
-                ZeroDivisionError, np.linalg.LinAlgError, ValueError,
-                OverflowError):
-            trial = Trial(objective=float("inf"),
-                          accuracy=self.metric.worst_value(), failed=True)
-        candidate.results.add(n, trial)
+    def _digest(self, candidate: Candidate) -> str:
+        digest = self._digests.get(candidate.candidate_id)
+        if digest is None:
+            digest = config_digest(candidate.config)
+            self._digests[candidate.candidate_id] = digest
+        return digest
+
+    # ------------------------------------------------------------------
+    # The batch pipeline
+    # ------------------------------------------------------------------
+    def build_request(self, candidate: Candidate, n: float,
+                      trial_index: int) -> TrialRequest:
+        return TrialRequest(
+            digest=self._digest(candidate),
+            n=float(n),
+            trial_index=trial_index,
+            seed=derive_seed(self.base_seed, "exec", float(n), trial_index),
+            config=candidate.config,
+            inputs=self.training_input(n, trial_index))
+
+    def run_requests(self, requests: Sequence[TrialRequest]
+                     ) -> list[TrialOutcome]:
+        """Resolve requests through the cache, dispatch misses as one
+        batch, and return outcomes aligned with ``requests``.
+
+        The cache only serves the deterministic cost objective:
+        wall-clock measurements are not determined by the request, so
+        replaying them across runs (and machines) would be wrong.
+        """
+        outcomes: list[TrialOutcome | None] = [None] * len(requests)
+        cache = self.cache if self.objective == "cost" else None
+        if cache is None:
+            fresh = self.backend.run_batch(
+                self.program, requests,
+                objective=self.objective, cost_limit=self.cost_limit)
+            self.trials_executed += len(fresh)
+            return fresh
+        keys = [TrialCache.key_for(request, self.base_seed,
+                                   program=self._cache_namespace,
+                                   objective=self.objective,
+                                   cost_limit=self.cost_limit)
+                for request in requests]
+        # Identical keys within one batch (equal-config candidates at
+        # the same trial index) execute once and fan out to every
+        # position.
+        unique_missing: dict[str, int] = {}
+        for position, key in enumerate(keys):
+            hit = cache.get(key)
+            if hit is None:
+                unique_missing.setdefault(key, position)
+            else:
+                outcomes[position] = hit
+        if unique_missing:
+            dispatch = list(unique_missing.values())
+            fresh = self.backend.run_batch(
+                self.program, [requests[i] for i in dispatch],
+                objective=self.objective, cost_limit=self.cost_limit)
+            self.trials_executed += len(fresh)
+            fresh_by_key = {}
+            for position, outcome in zip(dispatch, fresh):
+                cache.put(keys[position], outcome)
+                fresh_by_key[keys[position]] = outcome
+            for position, key in enumerate(keys):
+                if outcomes[position] is None:
+                    outcomes[position] = fresh_by_key[key]
+        return outcomes  # type: ignore[return-value]
+
+    def _record(self, candidate: Candidate, request: TrialRequest,
+                outcome: TrialOutcome) -> Trial:
+        objective = outcome.objective
+        if not outcome.failed and self.noise > 0.0:
+            # Keyed by config digest (not candidate identity), so the
+            # injected measurement noise is itself reproducible across
+            # runs, processes and cache replays.
+            noise_rng = generator_for(
+                self.base_seed, "noise", request.n, request.trial_index,
+                request.digest)
+            objective *= max(1e-9, 1.0 + self.noise * noise_rng.normal())
+        trial = Trial(objective=float(objective),
+                      accuracy=float(outcome.accuracy),
+                      failed=outcome.failed)
+        candidate.results.add(request.n, trial)
         self.trials_run += 1
         return trial
+
+    def run_trials(self, batch: Sequence[tuple[Candidate, float]]
+                   ) -> list[Trial]:
+        """Run one new trial per ``(candidate, n)`` entry, as one batch.
+
+        Trial indices continue each candidate's pairing sequence: a
+        candidate listed twice at the same ``n`` gets its next two
+        paired trials.  Outcomes are recorded in batch order, so the
+        result is independent of backend scheduling.
+        """
+        counts: dict[tuple[int, float], int] = {}
+        requests: list[TrialRequest] = []
+        for candidate, n in batch:
+            n = float(n)
+            key = (candidate.candidate_id, n)
+            if key not in counts:
+                counts[key] = candidate.results.count(n)
+            requests.append(self.build_request(candidate, n, counts[key]))
+            counts[key] += 1
+        outcomes = self.run_requests(requests)
+        return [self._record(candidate, request, outcome)
+                for (candidate, _), request, outcome
+                in zip(batch, requests, outcomes)]
+
+    # ------------------------------------------------------------------
+    # Convenience entry points (the pre-batching API, now thin shims)
+    # ------------------------------------------------------------------
+    def run_trial(self, candidate: Candidate, n: float) -> Trial:
+        """Run one more trial of ``candidate`` at input size ``n``."""
+        return self.run_trials([(candidate, n)])[0]
 
     def ensure_trials(self, candidate: Candidate, n: float,
                       count: int) -> None:
         """Run trials until ``candidate`` has at least ``count`` at ``n``."""
-        while candidate.results.count(n) < count:
-            self.run_trial(candidate, n)
+        self.ensure_trials_batch([(candidate, n, count)])
+
+    def ensure_trials_batch(self, specs: Sequence[tuple[Candidate, float,
+                                                        int]]) -> None:
+        """Top up many candidates in one backend batch.
+
+        ``specs`` is a sequence of ``(candidate, n, count)``; every
+        missing trial across all specs is submitted together, which is
+        what lets parallel backends see population-sized batches.
+        """
+        batch: list[tuple[Candidate, float]] = []
+        scheduled: dict[tuple[int, float], int] = {}
+        for candidate, n, count in specs:
+            key = (candidate.candidate_id, float(n))
+            have = candidate.results.count(n) + scheduled.get(key, 0)
+            need = max(0, count - have)
+            scheduled[key] = scheduled.get(key, 0) + need
+            batch.extend((candidate, n) for _ in range(need))
+        if batch:
+            self.run_trials(batch)
+
+    def close(self) -> None:
+        """Release backend resources (worker pools)."""
+        self.backend.close()

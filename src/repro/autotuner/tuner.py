@@ -150,6 +150,17 @@ class Autotuner:
         self.program = program
         self.harness = harness
         self.settings = settings or TunerSettings()
+        if self.settings.objective not in ("cost", "time"):
+            raise TrainingError(
+                f"unknown objective {self.settings.objective!r} "
+                f"(expected 'cost' or 'time')")
+        if self.settings.objective != harness.objective:
+            raise TrainingError(
+                f"TunerSettings.objective={self.settings.objective!r} but "
+                f"the harness measures {harness.objective!r}; construct "
+                f"ProgramTestHarness(..., objective="
+                f"{self.settings.objective!r}) so trials optimise the "
+                f"objective the tuner was asked for")
         self.metric = harness.metric
         self.bins = program.root_transform.accuracy_bins
         if not self.bins:
@@ -195,12 +206,18 @@ class Autotuner:
     # ------------------------------------------------------------------
     def _test_population(self, population: Sequence[Candidate], n: float
                          ) -> None:
-        for candidate in population:
-            self.harness.ensure_trials(candidate, n,
-                                       self.settings.min_trials)
+        # One batch for the whole population: parallel backends see
+        # every missing trial at once.
+        self.harness.ensure_trials_batch(
+            [(candidate, n, self.settings.min_trials)
+             for candidate in population])
 
     def _random_mutation(self, population: list[Candidate], n: float,
                          rng: np.random.Generator) -> None:
+        # Phase 1: generate all children for this round.  Parents are
+        # drawn from the population as of round start; accepted
+        # children join it only after the compare-and-keep pass.
+        children: list[tuple[Candidate, Candidate]] = []
         for _ in range(self.settings.mutation_attempts):
             parent = population[int(rng.integers(0, len(population)))]
             mutator = self.pool.random(parent, n, rng)
@@ -215,7 +232,14 @@ class Autotuner:
                     record.preserved_below is not None:
                 child.results.copy_from(parent.results,
                                         below_size=record.preserved_below)
-            self.harness.ensure_trials(child, n, self.settings.min_trials)
+            children.append((child, parent))
+        # Phase 2: every child's initial trials in one backend batch.
+        self.harness.ensure_trials_batch(
+            [(child, n, self.settings.min_trials)
+             for child, _ in children])
+        # Phase 3: compare-and-keep (adaptive top-up trials flow
+        # through the same batch interface, one at a time).
+        for child, parent in children:
             better_time = self.comparator.compare(child, parent, n,
                                                   "objective") > 0
             better_accuracy = self.comparator.compare(child, parent, n,

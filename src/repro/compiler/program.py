@@ -76,6 +76,16 @@ class ExecutionResult:
         return self.metrics.wall_time
 
 
+def _rebuild_from_provenance(provenance: tuple[str, str]
+                             ) -> "CompiledProgram":
+    """Reconstruct a pickled-by-provenance program (see ``__reduce__``)."""
+    kind, name = provenance
+    if kind == "benchmark":
+        from repro.suite.registry import compiled_benchmark
+        return compiled_benchmark(name)[0]
+    raise CompileError(f"unknown program provenance {provenance!r}")
+
+
 class CompiledProgram:
     """An executable program: instances + parameter space."""
 
@@ -85,8 +95,21 @@ class CompiledProgram:
         self._transforms = dict(transforms)
         self._instances = dict(instances)
         self.space = space
+        #: How to rebuild this program in another process, e.g.
+        #: ``("benchmark", "poisson")``.  Set by
+        #: :meth:`repro.suite.registry.BenchmarkSpec.compile`; when
+        #: present, pickling serialises this marker instead of the
+        #: transform graph, whose rule closures are not picklable.
+        self.provenance: tuple[str, str] | None = None
         if f"{root}@main" not in self._instances:
             raise CompileError(f"missing root instance {root}@main")
+
+    def __reduce__(self):
+        if self.provenance is not None:
+            return (_rebuild_from_provenance, (self.provenance,))
+        # Fall back to default pickling: works whenever every rule
+        # function is a picklable module-level callable.
+        return super().__reduce__()
 
     # ------------------------------------------------------------------
     # Introspection

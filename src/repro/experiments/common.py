@@ -53,15 +53,23 @@ class ExperimentSettings:
         return sizes
 
 
-def tune_benchmark(name: str, settings: ExperimentSettings
+def tune_benchmark(name: str, settings: ExperimentSettings, *,
+                   backend=None, cache=None
                    ) -> tuple[BenchmarkSpec, CompiledProgram, TuningResult]:
-    """Compile and autotune one suite benchmark."""
+    """Compile and autotune one suite benchmark.
+
+    ``backend`` (an :class:`~repro.runtime.backends.ExecutionBackend`)
+    and ``cache`` (a :class:`~repro.runtime.backends.TrialCache`) are
+    forwarded to the test harness, so experiment sweeps can run trials
+    in parallel and reuse measurements across repeated tunings.
+    """
     spec = get_benchmark(name)
     program, _ = spec.compile()
     sizes = settings.sizes_for(spec)
     harness = ProgramTestHarness(program, spec.generate,
                                  base_seed=settings.seed,
-                                 cost_limit=spec.cost_limit)
+                                 cost_limit=spec.cost_limit,
+                                 backend=backend, cache=cache)
     tuner = Autotuner(program, harness,
                       settings.tuner_settings(sizes))
     return spec, program, tuner.tune()

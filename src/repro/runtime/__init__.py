@@ -1,5 +1,16 @@
-"""Runtime support: timing/cost accounting, traces, tuned-program execution."""
+"""Runtime support: timing/cost accounting, traces, tuned-program
+execution, and the pluggable trial-execution backends."""
 
+from repro.runtime.backends import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    TrialCache,
+    TrialOutcome,
+    TrialRequest,
+    backend_from_name,
+)
 from repro.runtime.timing import CostAccumulator, Metrics, WallTimer
 from repro.runtime.trace import ExecutionTrace, TraceEvent
 
@@ -9,4 +20,12 @@ __all__ = [
     "WallTimer",
     "ExecutionTrace",
     "TraceEvent",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadPoolBackend",
+    "ProcessPoolBackend",
+    "TrialCache",
+    "TrialRequest",
+    "TrialOutcome",
+    "backend_from_name",
 ]

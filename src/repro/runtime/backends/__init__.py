@@ -1,0 +1,68 @@
+"""Pluggable trial-execution backends.
+
+The autotuner's hot loop is trial execution (Section 5.5.1).  This
+package defines the batch protocol (:class:`TrialRequest` /
+:class:`TrialOutcome` / :class:`ExecutionBackend`), three
+interchangeable backends, and a content-addressed result cache:
+
+* :class:`SerialBackend` — the default; runs trials in submission
+  order on the calling thread (the reference semantics);
+* :class:`ThreadPoolBackend` — overlaps trials on a thread pool
+  (numpy kernels release the GIL);
+* :class:`ProcessPoolBackend` — chunked map over worker processes for
+  true parallelism;
+* :class:`TrialCache` — reuses measurements across candidates,
+  processes and tuning runs (the Section 5.4 result-reuse
+  optimisation, generalised).
+
+Under the deterministic cost objective all three backends produce
+bit-identical tuning results for a fixed seed; pick by hardware, not
+by semantics.
+"""
+
+from repro.runtime.backends.base import (
+    ExecutionBackend,
+    TrialOutcome,
+    TrialRequest,
+    config_digest,
+    execute_trial,
+)
+from repro.runtime.backends.cache import TrialCache
+from repro.runtime.backends.process import ProcessPoolBackend
+from repro.runtime.backends.serial import SerialBackend
+from repro.runtime.backends.threads import ThreadPoolBackend
+
+__all__ = [
+    "ExecutionBackend",
+    "TrialRequest",
+    "TrialOutcome",
+    "TrialCache",
+    "SerialBackend",
+    "ThreadPoolBackend",
+    "ProcessPoolBackend",
+    "config_digest",
+    "execute_trial",
+    "backend_from_name",
+]
+
+_BACKENDS = {
+    "serial": SerialBackend,
+    "thread": ThreadPoolBackend,
+    "threads": ThreadPoolBackend,
+    "process": ProcessPoolBackend,
+    "processes": ProcessPoolBackend,
+}
+
+
+def backend_from_name(name: str, **kwargs) -> ExecutionBackend:
+    """Build a backend from a short name (``serial``/``thread``/``process``).
+
+    Convenience for CLI flags and benchmark sweeps; keyword arguments
+    are forwarded to the backend constructor.
+    """
+    try:
+        factory = _BACKENDS[name.lower()]
+    except KeyError:
+        raise ValueError(f"unknown execution backend {name!r}; "
+                         f"choose from {sorted(set(_BACKENDS))}") from None
+    return factory(**kwargs)

@@ -1,0 +1,150 @@
+"""The batch trial-execution protocol.
+
+"The dominant time requirement of our autotuner is testing candidate
+algorithms by running them on training inputs" (Section 5.5.1).  The
+seed reproduction executed every trial serially, one at a time, deep
+inside the genetic loop.  This module separates *what* to run from
+*how* to run it:
+
+* a :class:`TrialRequest` names one measurement — a candidate
+  configuration (plus its content digest), an input size, a paired
+  trial index, the derived execution seed, and the training inputs;
+* a :class:`TrialOutcome` carries back the measurement — objective,
+  accuracy, failure flag and wall time;
+* an :class:`ExecutionBackend` maps a batch of requests to outcomes.
+
+Backends MUST return outcomes positionally aligned with the request
+batch, and every outcome must depend only on its request (never on
+batch order or concurrency), so that serial and parallel backends are
+interchangeable bit-for-bit under the deterministic cost objective.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.config.configuration import Configuration
+from repro.errors import ReproError
+from repro.runtime.timing import CostLimitExceeded, WallTimer
+
+if TYPE_CHECKING:
+    from repro.compiler.program import CompiledProgram
+
+__all__ = ["TrialRequest", "TrialOutcome", "ExecutionBackend",
+           "config_digest", "execute_trial"]
+
+#: Exceptions that mark a trial as *failed* rather than aborting the
+#: tuning run (runaway recursion, cost budget, numerical blow-ups).
+TRIAL_FAILURES = (ReproError, CostLimitExceeded, FloatingPointError,
+                  ZeroDivisionError, np.linalg.LinAlgError, ValueError,
+                  OverflowError)
+
+
+def config_digest(config: Configuration) -> str:
+    """Stable content digest of a configuration.
+
+    Built from the sorted-key JSON serialisation, so structurally equal
+    configurations digest identically across processes and runs — the
+    key property the :class:`~repro.runtime.backends.cache.TrialCache`
+    relies on.
+    """
+    return hashlib.sha256(config.dumps().encode()).hexdigest()[:32]
+
+
+@dataclass(frozen=True)
+class TrialRequest:
+    """One trial to run: a work unit a backend can execute anywhere.
+
+    ``digest`` is :func:`config_digest` of ``config`` (precomputed by
+    the harness so cache lookups never re-serialise); ``seed`` is the
+    fully derived execution seed, so a worker needs no access to the
+    harness's base seed.  ``inputs`` are the paired training inputs for
+    ``(n, trial_index)``.  Everything here is picklable provided the
+    program's inputs are (numpy arrays and scalars are).
+    """
+
+    digest: str
+    n: float
+    trial_index: int
+    seed: int
+    config: Configuration
+    inputs: Mapping[str, Any]
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """The measurement a backend hands back for one request."""
+
+    objective: float
+    accuracy: float
+    failed: bool = False
+    wall_time: float = 0.0
+
+    def to_json(self) -> dict:
+        return {"objective": self.objective, "accuracy": self.accuracy,
+                "failed": self.failed, "wall_time": self.wall_time}
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "TrialOutcome":
+        return cls(objective=float(data["objective"]),
+                   accuracy=float(data["accuracy"]),
+                   failed=bool(data.get("failed", False)),
+                   wall_time=float(data.get("wall_time", 0.0)))
+
+
+def execute_trial(program: "CompiledProgram", request: TrialRequest, *,
+                  objective: str = "cost",
+                  cost_limit: float | None = None) -> TrialOutcome:
+    """Run one trial.  The single execution kernel shared by every
+    backend (and, in the process backend, by every worker)."""
+    with WallTimer() as timer:
+        try:
+            result = program.execute(request.inputs, request.n,
+                                     request.config, seed=request.seed,
+                                     cost_limit=cost_limit)
+            accuracy = program.accuracy_of(result.outputs, request.inputs)
+            value = result.metrics.objective(objective)
+            failed = False
+        except TRIAL_FAILURES:
+            metric = program.root_transform.accuracy_metric
+            value = float("inf")
+            accuracy = metric.worst_value()
+            failed = True
+    return TrialOutcome(objective=float(value), accuracy=float(accuracy),
+                        failed=failed, wall_time=timer.elapsed)
+
+
+class ExecutionBackend(ABC):
+    """Maps batches of trial requests to outcomes.
+
+    Implementations may run the batch serially, across threads, or
+    across processes; the contract is positional alignment and
+    per-request determinism (see module docstring).
+    """
+
+    #: Short identifier used by :func:`backend_from_name` and logs.
+    name: str = "abstract"
+
+    @abstractmethod
+    def run_batch(self, program: "CompiledProgram",
+                  requests: Sequence[TrialRequest], *,
+                  objective: str = "cost",
+                  cost_limit: float | None = None) -> list[TrialOutcome]:
+        """Execute ``requests`` and return aligned outcomes."""
+
+    def close(self) -> None:
+        """Release worker resources (pools).  Idempotent."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

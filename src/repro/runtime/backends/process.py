@@ -1,0 +1,137 @@
+"""Process-pool backend.
+
+Chunks the request batch and maps it over a persistent
+``concurrent.futures.ProcessPoolExecutor``.  The compiled program is
+pickled once per pool (workers receive it through the initializer, not
+with every chunk); suite programs pickle by *provenance* — workers
+recompile the named benchmark — so closures inside ``build()``
+functions never travel over the wire (see
+:meth:`repro.compiler.program.CompiledProgram.__reduce__`).
+
+Work units are the picklable ``(config, inputs, n, seed)`` payload of
+each :class:`TrialRequest`; outcomes come back aligned with the batch.
+Under the deterministic cost objective this backend is bit-identical
+to :class:`~repro.runtime.backends.serial.SerialBackend`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Sequence
+
+from repro.runtime.backends.base import (
+    ExecutionBackend,
+    TrialOutcome,
+    TrialRequest,
+    execute_trial,
+)
+from repro.runtime.backends.threads import default_workers
+
+if TYPE_CHECKING:
+    from repro.compiler.program import CompiledProgram
+
+__all__ = ["ProcessPoolBackend"]
+
+#: Worker-process global installed by :func:`_init_worker`.
+_WORKER_PROGRAM: "CompiledProgram" | None = None
+
+
+def _init_worker(program_bytes: bytes) -> None:
+    global _WORKER_PROGRAM
+    _WORKER_PROGRAM = pickle.loads(program_bytes)
+
+
+def _run_chunk(requests: Sequence[TrialRequest], objective: str,
+               cost_limit: float | None) -> list[TrialOutcome]:
+    assert _WORKER_PROGRAM is not None, "worker initializer did not run"
+    return [execute_trial(_WORKER_PROGRAM, request, objective=objective,
+                          cost_limit=cost_limit)
+            for request in requests]
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Runs trial batches across worker processes.
+
+    ``start_method`` defaults to the platform's multiprocessing default
+    (``fork`` on Linux); ``chunk_size`` bounds pickling overhead by
+    shipping several requests per task (``None`` sizes chunks to give
+    each worker a few tasks per batch).
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: int | None = None, *,
+                 chunk_size: int | None = None,
+                 start_method: str | None = None):
+        self.max_workers = max_workers or default_workers()
+        self.chunk_size = chunk_size
+        self.start_method = start_method
+        self._pool: ProcessPoolExecutor | None = None
+        # Strong reference to the program the workers were initialized
+        # with; identity-compared on each batch.  (An id() would be
+        # unsafe: a recycled address after garbage collection would
+        # silently reuse workers holding a different program.)
+        self._pool_program: "CompiledProgram | None" = None
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self, program: "CompiledProgram") -> ProcessPoolExecutor:
+        if self._pool is not None and self._pool_program is not program:
+            self.close()  # a different program: rebuild worker state
+        if self._pool is None:
+            try:
+                program_bytes = pickle.dumps(program)
+            except Exception as exc:
+                raise TypeError(
+                    f"ProcessPoolBackend requires a picklable program; "
+                    f"pickling {program.root!r} failed ({exc!r}).  Suite "
+                    f"programs compiled via BenchmarkSpec.compile() pickle "
+                    f"by provenance; ad-hoc programs need module-level "
+                    f"rule functions, or use ThreadPoolBackend.") from exc
+            context = (multiprocessing.get_context(self.start_method)
+                       if self.start_method else None)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.max_workers, mp_context=context,
+                initializer=_init_worker, initargs=(program_bytes,))
+            self._pool_program = program
+        return self._pool
+
+    def _chunks(self, requests: Sequence[TrialRequest]
+                ) -> list[list[TrialRequest]]:
+        size = self.chunk_size
+        if size is None:
+            # A few chunks per worker balances load without drowning
+            # the queue in pickling round-trips.
+            size = max(1, len(requests) // (self.max_workers * 4))
+        return [list(requests[i:i + size])
+                for i in range(0, len(requests), size)]
+
+    # ------------------------------------------------------------------
+    def run_batch(self, program: "CompiledProgram",
+                  requests: Sequence[TrialRequest], *,
+                  objective: str = "cost",
+                  cost_limit: float | None = None) -> list[TrialOutcome]:
+        if len(requests) <= 1:
+            # Adaptive-comparison top-ups arrive one at a time; process
+            # dispatch would be pure overhead and changes no outcome.
+            return [execute_trial(program, request, objective=objective,
+                                  cost_limit=cost_limit)
+                    for request in requests]
+        pool = self._ensure_pool(program)
+        futures = [pool.submit(_run_chunk, chunk, objective, cost_limit)
+                   for chunk in self._chunks(requests)]
+        outcomes: list[TrialOutcome] = []
+        for future in futures:  # submission order => request order
+            outcomes.extend(future.result())
+        return outcomes
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_program = None
+
+    def __repr__(self) -> str:
+        return (f"ProcessPoolBackend(max_workers={self.max_workers}, "
+                f"chunk_size={self.chunk_size})")

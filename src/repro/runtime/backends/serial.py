@@ -1,0 +1,35 @@
+"""The serial backend: today's behaviour, one trial at a time."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.runtime.backends.base import (
+    ExecutionBackend,
+    TrialOutcome,
+    TrialRequest,
+    execute_trial,
+)
+
+if TYPE_CHECKING:
+    from repro.compiler.program import CompiledProgram
+
+__all__ = ["SerialBackend"]
+
+
+class SerialBackend(ExecutionBackend):
+    """Runs each request in submission order on the calling thread.
+
+    The default backend; the reference semantics every parallel backend
+    must reproduce bit-for-bit under the cost objective.
+    """
+
+    name = "serial"
+
+    def run_batch(self, program: "CompiledProgram",
+                  requests: Sequence[TrialRequest], *,
+                  objective: str = "cost",
+                  cost_limit: float | None = None) -> list[TrialOutcome]:
+        return [execute_trial(program, request, objective=objective,
+                              cost_limit=cost_limit)
+                for request in requests]

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Callable, Mapping
 
@@ -12,7 +13,8 @@ from repro.compiler.program import CompiledProgram
 from repro.compiler.training_info import TrainingInfo
 from repro.lang.transform import Transform
 
-__all__ = ["BenchmarkSpec", "get_benchmark", "all_benchmarks"]
+__all__ = ["BenchmarkSpec", "get_benchmark", "all_benchmarks",
+           "compiled_benchmark"]
 
 
 @dataclass(frozen=True)
@@ -33,7 +35,12 @@ class BenchmarkSpec:
 
     def compile(self) -> tuple[CompiledProgram, TrainingInfo]:
         root, extras = self.build()
-        return compile_program(root, extras)
+        program, info = compile_program(root, extras)
+        # Benchmarks rebuild deterministically from their name, which
+        # lets CompiledProgram pickle by provenance (ProcessPoolBackend
+        # workers recompile instead of unpickling rule closures).
+        program.provenance = ("benchmark", self.name)
+        return program, info
 
 
 def _load_specs() -> dict[str, BenchmarkSpec]:
@@ -54,6 +61,17 @@ def _load_specs() -> dict[str, BenchmarkSpec]:
         _preconditioner.SPEC,
     ]
     return {spec.name: spec for spec in specs}
+
+
+@functools.lru_cache(maxsize=None)
+def compiled_benchmark(name: str) -> tuple[CompiledProgram, TrainingInfo]:
+    """Compile benchmark ``name`` once per process.
+
+    Used when unpickling provenance-tagged programs in worker
+    processes, so each worker compiles each benchmark at most once no
+    matter how many chunks it executes.
+    """
+    return get_benchmark(name).compile()
 
 
 def get_benchmark(name: str) -> BenchmarkSpec:

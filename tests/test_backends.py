@@ -1,0 +1,455 @@
+"""Execution backends: equivalence, determinism, caching, picklability.
+
+The backend contract (repro.runtime.backends.base) promises that
+serial, thread-pool and process-pool execution produce bit-identical
+tuning results under the deterministic cost objective.  These tests
+hold every backend to it, and cover the TrialCache and the harness's
+bounded input cache.
+
+The module-level transform below is what lets ProcessPoolBackend
+pickle the ad-hoc program: its rule and metric functions resolve by
+qualified name.  Suite programs instead pickle by provenance, covered
+in TestProgramPickling.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.autotuner import Autotuner, ProgramTestHarness, TunerSettings
+from repro.autotuner.candidate import Candidate
+from repro.compiler.compile import compile_program
+from repro.errors import TrainingError
+from repro.lang.transform import Transform
+from repro.lang.tunables import accuracy_variable
+from repro.runtime.backends import (
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    TrialCache,
+    TrialOutcome,
+    backend_from_name,
+    config_digest,
+)
+from repro.suite import get_benchmark
+
+# ----------------------------------------------------------------------
+# A picklable variable-accuracy transform (module-level functions only).
+# ----------------------------------------------------------------------
+
+
+def _pickmean_metric(outputs, inputs):
+    estimate = float(outputs["est"])
+    truth = float(np.mean(inputs["xs"]))
+    return max(0.0, 1.0 - abs(estimate - truth) / (abs(truth) + 1e-9))
+
+
+def make_pickmean_transform() -> Transform:
+    transform = Transform(
+        "pickmean",
+        inputs=("xs",),
+        outputs=("est",),
+        accuracy_metric=_pickmean_metric,
+        accuracy_bins=(0.5, 0.9, 0.99),
+        tunables=[accuracy_variable("m", lo=1, hi=100000, default=4,
+                                    direction=+1)],
+    )
+    transform.rule(outputs=("est",), inputs=("xs",),
+                   name="sample_mean")(_sample_mean)
+    transform.rule(outputs=("est",), inputs=("xs",),
+                   name="exact_mean")(_exact_mean)
+    return transform
+
+
+def _sample_mean(ctx, xs):
+    m = min(len(xs), int(ctx.param("m")))
+    indices = ctx.rng.integers(0, len(xs), size=m)
+    ctx.add_cost(m)
+    return float(np.mean(xs[indices]))
+
+
+def _exact_mean(ctx, xs):
+    ctx.add_cost(2 * len(xs))
+    return float(np.mean(xs))
+
+
+def pickmean_inputs(n, rng):
+    return {"xs": rng.normal(10.0, 1.0, size=max(2, int(n)))}
+
+
+def quick_settings(**overrides) -> TunerSettings:
+    defaults = dict(input_sizes=(16.0, 64.0), rounds_per_size=2,
+                    mutation_attempts=6, min_trials=2, max_trials=5,
+                    seed=7, initial_random=1, guided_max_evaluations=12,
+                    accuracy_confidence=None)
+    defaults.update(overrides)
+    return TunerSettings(**defaults)
+
+
+def tune_pickmean(backend=None, cache=None, **overrides):
+    program, _ = compile_program(make_pickmean_transform())
+    harness = ProgramTestHarness(program, pickmean_inputs, base_seed=3,
+                                 backend=backend, cache=cache)
+    try:
+        result = Autotuner(program, harness,
+                           quick_settings(**overrides)).tune()
+    finally:
+        harness.close()
+    return harness, result
+
+
+BACKENDS = {
+    "serial": lambda: SerialBackend(),
+    "thread": lambda: ThreadPoolBackend(max_workers=3),
+    "process": lambda: ProcessPoolBackend(max_workers=2),
+}
+
+
+# ----------------------------------------------------------------------
+# Backend equivalence & determinism
+# ----------------------------------------------------------------------
+class TestBackendEquivalence:
+    @pytest.fixture(scope="class")
+    def serial_reference(self):
+        harness, result = tune_pickmean(SerialBackend())
+        return harness.trials_run, result
+
+    @pytest.mark.parametrize("name", list(BACKENDS))
+    def test_identical_tuning_results(self, name, serial_reference):
+        """Every backend reproduces the serial frontier bit-for-bit."""
+        serial_trials, serial_result = serial_reference
+        harness, result = tune_pickmean(BACKENDS[name]())
+        assert harness.trials_run == serial_trials
+        assert result.trials_run == serial_trials
+        assert result.frontier() == serial_result.frontier()
+        assert result.unmet_bins == serial_result.unmet_bins
+        assert {t: c.config for t, c in result.best_per_bin.items()} == \
+            {t: c.config for t, c in serial_result.best_per_bin.items()}
+
+    def test_batch_outcomes_align_with_requests(self):
+        """run_batch returns outcomes positionally, whatever the order
+        of completion."""
+        program, _ = compile_program(make_pickmean_transform())
+        harness = ProgramTestHarness(program, pickmean_inputs, base_seed=3)
+        candidate = Candidate(program.default_config())
+        requests = [harness.build_request(candidate, 32.0, i)
+                    for i in range(8)]
+        serial = SerialBackend().run_batch(program, requests)
+        with ThreadPoolBackend(max_workers=4) as threaded:
+            parallel = threaded.run_batch(program, requests)
+        assert [(o.objective, o.accuracy, o.failed) for o in serial] == \
+            [(o.objective, o.accuracy, o.failed) for o in parallel]
+
+    def test_process_pool_rebuilds_for_new_program(self):
+        """Reusing one backend across programs must re-initialise the
+        workers, not serve stale state from the previous program."""
+        backend = ProcessPoolBackend(max_workers=2, chunk_size=2)
+        try:
+            for _ in range(2):  # two distinct program objects
+                program, _ = compile_program(make_pickmean_transform())
+                harness = ProgramTestHarness(program, pickmean_inputs,
+                                             base_seed=3)
+                candidate = Candidate(program.default_config())
+                requests = [harness.build_request(candidate, 16.0, i)
+                            for i in range(4)]
+                parallel = backend.run_batch(program, requests)
+                serial = SerialBackend().run_batch(program, requests)
+                assert [(o.objective, o.accuracy) for o in parallel] == \
+                    [(o.objective, o.accuracy) for o in serial]
+                assert backend._pool_program is program
+        finally:
+            backend.close()
+
+    def test_backend_from_name(self):
+        assert isinstance(backend_from_name("serial"), SerialBackend)
+        assert isinstance(backend_from_name("thread"), ThreadPoolBackend)
+        backend = backend_from_name("process", max_workers=2)
+        assert isinstance(backend, ProcessPoolBackend)
+        assert backend.max_workers == 2
+        with pytest.raises(ValueError):
+            backend_from_name("quantum")
+
+
+# ----------------------------------------------------------------------
+# TrialCache
+# ----------------------------------------------------------------------
+class TestTrialCache:
+    def test_hit_miss_counters(self):
+        cache = TrialCache()
+        key = TrialCache.key("abc", 16.0, 0, 3)
+        assert cache.get(key) is None
+        assert (cache.hits, cache.misses) == (0, 1)
+        cache.put(key, TrialOutcome(objective=1.5, accuracy=0.9))
+        assert cache.get(key) == TrialOutcome(objective=1.5, accuracy=0.9)
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert len(cache) == 1
+
+    def test_objective_and_cost_limit_namespace_keys(self):
+        assert TrialCache.key("d", 8.0, 1, 0, objective="cost") != \
+            TrialCache.key("d", 8.0, 1, 0, objective="time")
+        # A trial's pass/fail status depends on the cost budget, so
+        # outcomes measured under different limits must never alias.
+        assert TrialCache.key("d", 8.0, 1, 0, cost_limit=None) != \
+            TrialCache.key("d", 8.0, 1, 0, cost_limit=1e6)
+        assert TrialCache.key("d", 8.0, 1, 0, cost_limit=1e6) != \
+            TrialCache.key("d", 8.0, 1, 0, cost_limit=2e6)
+
+    def test_large_sizes_never_collide(self):
+        # '%g' formatting would fold 1048576 and 1048580 together.
+        assert TrialCache.key("d", 1048576.0, 0, 0) != \
+            TrialCache.key("d", 1048580.0, 0, 0)
+
+    def test_program_namespaces_keys(self):
+        # Different programs with identically-serialising configs must
+        # not share measurements.
+        assert TrialCache.key("d", 8.0, 1, 0, program="poisson") != \
+            TrialCache.key("d", 8.0, 1, 0, program="helmholtz")
+
+    def test_malformed_entries_skipped_on_load(self, tmp_path):
+        path = tmp_path / "mixed.json"
+        good = TrialCache.key("aa", 4.0, 0, 0)
+        path.write_text(json.dumps({"version": 1, "entries": {
+            "bad1": {"accuracy": 0.5},             # missing objective
+            "bad2": None,                          # not a mapping
+            "bad3": {"objective": None, "accuracy": 0.1},
+            good: {"objective": 2.0, "accuracy": 0.9}}}))
+        cache = TrialCache(path)  # must not raise
+        assert len(cache) == 1
+        assert cache.get(good) == TrialOutcome(objective=2.0, accuracy=0.9)
+
+    def test_time_objective_bypasses_cache(self):
+        """Wall-clock measurements are not content-determined; the
+        harness must re-execute them even with a cache attached."""
+        program, _ = compile_program(make_pickmean_transform())
+        cache = TrialCache()
+        harness = ProgramTestHarness(program, pickmean_inputs,
+                                     objective="time", base_seed=3,
+                                     cache=cache)
+        candidate = Candidate(program.default_config())
+        harness.ensure_trials(candidate, 16.0, 2)
+        assert harness.trials_executed == 2
+        assert len(cache) == 0
+        other = Candidate(program.default_config())
+        harness.ensure_trials(other, 16.0, 2)
+        assert harness.trials_executed == 4  # no reuse under "time"
+
+    def test_persistence_round_trip(self, tmp_path):
+        path = tmp_path / "trials.json"
+        cache = TrialCache(path)
+        key = TrialCache.key("deadbeef", 64.0, 2, 11)
+        outcome = TrialOutcome(objective=3.25, accuracy=0.875,
+                               failed=False, wall_time=0.125)
+        cache.put(key, outcome)
+        saved = cache.save()
+        assert saved == str(path)
+        reloaded = TrialCache(path)
+        assert reloaded.get(key) == outcome
+        assert len(reloaded) == 1
+
+    def test_corrupt_store_ignored_at_construction(self, tmp_path):
+        path = tmp_path / "corrupt.json"
+        path.write_text("{not json at all")
+        cache = TrialCache(path)  # must not raise: it's only a hint
+        assert len(cache) == 0
+        with pytest.raises(ValueError):
+            cache.load(path)  # explicit loads still surface the damage
+
+    def test_incompatible_version_ignored(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text('{"version": 999, "entries": {"k": {}}}')
+        cache = TrialCache(path)
+        assert len(cache) == 0
+
+    def test_cache_eliminates_reexecution_across_runs(self, tmp_path):
+        """A second tuning run against a warm cache executes nothing
+        new, yet reports the identical result."""
+        path = tmp_path / "cache.json"
+        cache = TrialCache(path)
+        first_harness, first = tune_pickmean(cache=cache)
+        # Even the first run deduplicates: mutations that land on a
+        # previously-seen configuration reuse its measurements.
+        assert 0 < first_harness.trials_executed <= first_harness.trials_run
+        cache.save()
+
+        warm = TrialCache(path)
+        second_harness, second = tune_pickmean(cache=warm)
+        assert second_harness.trials_executed == 0
+        assert warm.hits == second_harness.trials_run
+        assert second.trials_run == first.trials_run
+        assert second.frontier() == first.frontier()
+
+    def test_cache_shared_between_identical_configs(self):
+        """Two candidates with equal configs share measurements: the
+        content address ignores candidate identity."""
+        program, _ = compile_program(make_pickmean_transform())
+        cache = TrialCache()
+        harness = ProgramTestHarness(program, pickmean_inputs,
+                                     base_seed=3, cache=cache)
+        first = Candidate(program.default_config())
+        second = Candidate(program.default_config())
+        assert first.candidate_id != second.candidate_id
+        harness.ensure_trials(first, 16.0, 3)
+        assert harness.trials_executed == 3
+        harness.ensure_trials(second, 16.0, 3)
+        assert harness.trials_executed == 3  # all three were cache hits
+        assert first.results.objectives(16.0) == \
+            second.results.objectives(16.0)
+
+
+# ----------------------------------------------------------------------
+# Harness internals
+# ----------------------------------------------------------------------
+class TestHarness:
+    def test_input_cache_lru_bound(self):
+        program, _ = compile_program(make_pickmean_transform())
+        harness = ProgramTestHarness(program, pickmean_inputs,
+                                     base_seed=3, input_cache_size=4)
+        for trial_index in range(10):
+            harness.training_input(16.0, trial_index)
+        assert len(harness._input_cache) == 4
+        # Most recent entries survive; evicted ones regenerate equal.
+        assert (16.0, 9) in harness._input_cache
+        early = harness.training_input(16.0, 0)
+        again = harness.training_input(16.0, 0)
+        assert np.array_equal(early["xs"], again["xs"])
+
+    def test_input_cache_size_validated(self):
+        program, _ = compile_program(make_pickmean_transform())
+        with pytest.raises(ValueError):
+            ProgramTestHarness(program, pickmean_inputs,
+                               input_cache_size=0)
+
+    def test_evicted_inputs_keep_trials_paired(self):
+        """Eviction must not change measurements: regenerated inputs
+        are identical, so a tiny cache tunes identically."""
+        _, unbounded = tune_pickmean()
+        program, _ = compile_program(make_pickmean_transform())
+        harness = ProgramTestHarness(program, pickmean_inputs,
+                                     base_seed=3, input_cache_size=1)
+        result = Autotuner(program, harness, quick_settings()).tune()
+        assert result.frontier() == unbounded.frontier()
+        assert result.trials_run == unbounded.trials_run
+
+    def test_objective_mismatch_raises(self):
+        program, _ = compile_program(make_pickmean_transform())
+        harness = ProgramTestHarness(program, pickmean_inputs,
+                                     objective="cost")
+        with pytest.raises(TrainingError, match="objective"):
+            Autotuner(program, harness,
+                      quick_settings(objective="time"))
+
+    def test_unknown_settings_objective_raises(self):
+        program, _ = compile_program(make_pickmean_transform())
+        harness = ProgramTestHarness(program, pickmean_inputs)
+        with pytest.raises(TrainingError):
+            Autotuner(program, harness,
+                      quick_settings(objective="energy"))
+
+    def test_time_objective_rejects_parallel_backends(self):
+        program, _ = compile_program(make_pickmean_transform())
+        with pytest.raises(ValueError, match="serial"):
+            ProgramTestHarness(program, pickmean_inputs,
+                               objective="time",
+                               backend=ThreadPoolBackend(max_workers=2))
+        # Serial (explicit or default) stays allowed.
+        ProgramTestHarness(program, pickmean_inputs, objective="time",
+                           backend=SerialBackend())
+
+    def test_batch_dedups_identical_configs(self):
+        """Equal-config candidates in one batch execute each paired
+        trial once; the outcome fans out to every requester."""
+        program, _ = compile_program(make_pickmean_transform())
+        harness = ProgramTestHarness(program, pickmean_inputs,
+                                     base_seed=3, cache=TrialCache())
+        a = Candidate(program.default_config())
+        b = Candidate(program.default_config())
+        harness.run_trials([(a, 16.0), (b, 16.0)])
+        assert harness.trials_executed == 1
+        assert harness.trials_run == 2
+        assert a.results.objectives(16.0) == b.results.objectives(16.0)
+
+    def test_generator_namespaces_cache(self):
+        """The same program tuned with a different input generator
+        must not reuse the first generator's measurements."""
+        program, _ = compile_program(make_pickmean_transform())
+        cache = TrialCache()
+
+        def shifted_inputs(n, rng):
+            return {"xs": rng.normal(50.0, 1.0, size=max(2, int(n)))}
+
+        first = ProgramTestHarness(program, pickmean_inputs,
+                                   base_seed=3, cache=cache)
+        first.ensure_trials(Candidate(program.default_config()), 16.0, 2)
+        second = ProgramTestHarness(program, shifted_inputs,
+                                    base_seed=3, cache=cache)
+        second.ensure_trials(Candidate(program.default_config()), 16.0, 2)
+        assert second.trials_executed == 2  # no cross-generator hits
+
+    def test_run_trials_interleaves_candidates(self):
+        """A batch mixing candidates assigns per-candidate paired
+        trial indices, continuing each candidate's sequence."""
+        program, _ = compile_program(make_pickmean_transform())
+        harness = ProgramTestHarness(program, pickmean_inputs, base_seed=3)
+        a = Candidate(program.default_config())
+        b = Candidate(program.default_config())
+        harness.run_trials([(a, 16.0), (b, 16.0), (a, 16.0)])
+        assert a.results.count(16.0) == 2
+        assert b.results.count(16.0) == 1
+        # Paired trials: trial 0 of both candidates saw the same input
+        # and seed, so equal configs measure identically.
+        assert a.results.objectives(16.0)[0] == \
+            b.results.objectives(16.0)[0]
+
+
+# ----------------------------------------------------------------------
+# Program picklability (process-backend transport)
+# ----------------------------------------------------------------------
+class TestProgramPickling:
+    def test_suite_program_pickles_by_provenance(self):
+        spec = get_benchmark("poisson")
+        program, _ = spec.compile()
+        assert program.provenance == ("benchmark", "poisson")
+        clone = pickle.loads(pickle.dumps(program))
+        assert clone.root == program.root
+        assert sorted(clone.instances) == sorted(program.instances)
+        rng = np.random.default_rng(0)
+        inputs = spec.generate(7, rng)
+        result = clone.execute(inputs, 7.0, clone.default_config(), seed=1)
+        reference = program.execute(inputs, 7.0,
+                                    program.default_config(), seed=1)
+        assert result.cost == reference.cost
+
+    def test_module_level_program_pickles_directly(self):
+        program, _ = compile_program(make_pickmean_transform())
+        assert program.provenance is None
+        clone = pickle.loads(pickle.dumps(program))
+        assert clone.root == "pickmean"
+
+    def test_process_backend_runs_suite_program(self):
+        """End-to-end: provenance-pickled program, worker recompiles,
+        outcomes match serial execution exactly."""
+        spec = get_benchmark("poisson")
+        program, _ = spec.compile()
+        harness = ProgramTestHarness(program, spec.generate, base_seed=5,
+                                     cost_limit=spec.cost_limit)
+        candidate = Candidate(program.default_config())
+        requests = [harness.build_request(candidate, 7.0, i)
+                    for i in range(4)]
+        serial = SerialBackend().run_batch(
+            program, requests, cost_limit=spec.cost_limit)
+        with ProcessPoolBackend(max_workers=2, chunk_size=2) as backend:
+            parallel = backend.run_batch(
+                program, requests, cost_limit=spec.cost_limit)
+        assert [(o.objective, o.accuracy, o.failed) for o in serial] == \
+            [(o.objective, o.accuracy, o.failed) for o in parallel]
+
+    def test_config_digest_is_content_addressed(self):
+        program, _ = compile_program(make_pickmean_transform())
+        one = program.default_config()
+        two = program.default_config()
+        assert one is not two
+        assert config_digest(one) == config_digest(two)

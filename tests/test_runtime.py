@@ -92,7 +92,7 @@ class TestWallClockObjective:
         settings = TunerSettings(input_sizes=(64.0, 512.0),
                                  rounds_per_size=1, mutation_attempts=4,
                                  min_trials=2, max_trials=4, seed=7,
-                                 initial_random=1,
+                                 initial_random=1, objective="time",
                                  accuracy_confidence=None)
         result = Autotuner(program, harness, settings).tune()
         assert result.trials_run > 0
