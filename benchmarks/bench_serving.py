@@ -1,0 +1,133 @@
+"""Serving-engine throughput across backends and batch sizes.
+
+Tune the Poisson benchmark once (scaled down), package it as a tuned
+artifact, and serve the same mixed-accuracy request batch through a
+``ServingEngine`` on every execution backend at several batch sizes.
+For each (backend, batch size) cell the benchmark prints one
+machine-readable line::
+
+    BENCH_JSON {"bench": "serving", "backend": "thread", ...}
+
+so CI logs double as a throughput time series.  Correctness rides
+along: every cell must return bin choices and outputs identical to the
+serial reference, so a serving-path regression (wrong bin, wrong
+output, dropped response) fails the smoke run immediately.
+
+Smoke-sized by default; set ``REPRO_BENCH_FULL=1`` for the full sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from conftest import FULL, run_once
+
+from repro.autotuner import Autotuner, ProgramTestHarness, TunerSettings
+from repro.runtime.backends import (
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+)
+from repro.serving import ServeRequest, ServingEngine, TunedArtifact
+from repro.suite import get_benchmark
+
+WORKERS = max(2, min(4, os.cpu_count() or 1))
+REQUEST_COUNT = 120 if FULL else 36
+BATCH_SIZES = (8, 32, 128) if FULL else (8, 32)
+SERVE_N = 7.0
+TUNE_SETTINGS = TunerSettings(input_sizes=(7.0,), rounds_per_size=1,
+                              mutation_attempts=4, min_trials=2,
+                              max_trials=4, seed=13, initial_random=1,
+                              guided_max_evaluations=6,
+                              accuracy_confidence=None)
+
+BACKENDS = {
+    "serial": lambda: SerialBackend(),
+    "thread": lambda: ThreadPoolBackend(max_workers=WORKERS),
+    "process": lambda: ProcessPoolBackend(max_workers=WORKERS),
+}
+
+
+def _tuned_via_artifact():
+    """Tune once, then round-trip through the artifact format — the
+    serving benchmark measures what deployments actually load."""
+    spec = get_benchmark("poisson")
+    program, _ = spec.compile()
+    harness = ProgramTestHarness(program, spec.generate, base_seed=5,
+                                 cost_limit=spec.cost_limit)
+    result = Autotuner(program, harness, TUNE_SETTINGS).tune()
+    harness.close()
+    artifact = TunedArtifact.from_json(result.to_artifact().to_json())
+    return artifact.resolve()
+
+
+def _mixed_requests():
+    spec = get_benchmark("poisson")
+    accuracies = [1.0, 3.0, 5.0, None, 2.0, 9.99]
+    requests = []
+    for i in range(REQUEST_COUNT):
+        rng = np.random.default_rng(2000 + i)
+        requests.append(ServeRequest(
+            program="poisson",
+            inputs=spec.generate(int(SERVE_N), rng), n=SERVE_N,
+            accuracy=accuracies[i % len(accuracies)],
+            verify=(i % 4 == 0), seed=i % 3))
+    return requests
+
+
+def test_serving_throughput(benchmark):
+    tuned = _tuned_via_artifact()
+    requests = _mixed_requests()
+
+    def run():
+        rows = []
+        reference = None
+        for backend_name, factory in BACKENDS.items():
+            for batch_size in BATCH_SIZES:
+                with ServingEngine(backend=factory(),
+                                   batch_size=batch_size) as engine:
+                    engine.register("poisson", tuned)
+                    engine.serve(requests[:2])  # warm worker pools
+                    engine.reset_stats()
+                    start = time.perf_counter()
+                    responses = engine.serve(requests)
+                    elapsed = time.perf_counter() - start
+                    stats = engine.stats()
+                key = [(r.ok, r.bin_target, r.escalations,
+                        repr(r.outputs) if r.ok else None)
+                       for r in responses]
+                if reference is None:
+                    reference = key
+                assert key == reference, \
+                    f"{backend_name}/batch={batch_size} diverged " \
+                    f"from the serial reference"
+                assert stats.requests == len(requests)
+                assert stats.fallbacks > 0  # the 9.99 requests
+                rows.append({
+                    "bench": "serving",
+                    "program": "poisson",
+                    "backend": backend_name,
+                    "batch_size": batch_size,
+                    "requests": len(requests),
+                    "throughput_rps": round(len(requests) / elapsed, 2),
+                    "escalations": stats.escalations,
+                    "fallbacks": stats.fallbacks,
+                    "errors": stats.errors,
+                    "p50_latency_ms": round(stats.p50_latency * 1e3, 3),
+                    "p95_latency_ms": round(stats.p95_latency * 1e3, 3),
+                })
+        return rows
+
+    rows = run_once(benchmark, run)
+    print(f"\nServing {REQUEST_COUNT} mixed-accuracy Poisson requests "
+          f"at n={SERVE_N:g} ({os.cpu_count()} cpus):")
+    for row in rows:
+        print(f"  {row['backend']:>8}/batch={row['batch_size']:<4} "
+              f"{row['throughput_rps']:8.1f} req/s  "
+              f"p95 {row['p95_latency_ms']:.2f}ms")
+        print("BENCH_JSON " + json.dumps(row, sort_keys=True))
+    assert all(row["throughput_rps"] > 0 for row in rows)

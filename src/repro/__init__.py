@@ -18,6 +18,8 @@ Public API highlights
 - :class:`repro.autotuner.Autotuner` — the accuracy-aware genetic tuner.
 - :class:`repro.runtime.executor.TunedProgram` — run tuned programs,
   with optional ``verify_accuracy`` runtime checks.
+- :mod:`repro.serving` — versioned tuned artifacts, the on-disk
+  artifact store, and the batched accuracy-aware serving engine.
 - :mod:`repro.suite` — the paper's six benchmarks.
 - :mod:`repro.experiments` — regenerate Figures 6-8 and Table 1.
 """

@@ -18,8 +18,10 @@ substructure inherent to most programs".
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Sequence
+import hashlib
+import json
+from dataclasses import dataclass, field, fields
+from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -94,6 +96,19 @@ class TunerSettings:
             return tuple(float(n) for n in self.input_sizes)
         return _exponential_sizes(self.max_input_size, self.min_input_size)
 
+    def digest(self) -> str:
+        """Stable content digest of the tuning settings.
+
+        Recorded in tuned-artifact metadata so a deployed artifact can
+        be traced back to the exact knob values that produced it.  The
+        (unpicklable, behaviour-irrelevant) ``log`` callback is
+        excluded.
+        """
+        payload = {f.name: getattr(self, f.name) for f in fields(self)
+                   if f.name != "log"}
+        text = json.dumps(payload, sort_keys=True, default=repr)
+        return hashlib.sha256(text.encode()).hexdigest()[:16]
+
     def comparison_settings(self) -> ComparisonSettings:
         return ComparisonSettings(min_trials=self.min_trials,
                                   max_trials=self.max_trials)
@@ -110,6 +125,7 @@ class TuningResult:
     sizes: tuple[float, ...]
     unmet_bins: tuple[float, ...]
     trials_run: int
+    settings: TunerSettings | None = field(default=None, repr=False)
 
     def config_for(self, target: float) -> Configuration:
         try:
@@ -132,12 +148,67 @@ class TuningResult:
                          candidate.results.mean_objective(n)))
         return rows
 
-    def tuned_program(self):
-        """Package the per-bin best configurations for deployment."""
+    def bin_guarantees(self, confidence: float = 0.95,
+                       n: float | None = None) -> dict:
+        """Per-bin statistical guarantees from the training trials.
+
+        For each tuned bin, the off-line guarantee of Section 3.3: a
+        one-sided confidence bound on the winning candidate's mean
+        accuracy at size ``n`` (the largest training size by default),
+        tested against the bin's target.
+        """
+        from repro.runtime.guarantees import statistical_guarantee
+        metric = self.program.root_transform.accuracy_metric
+        n = float(n) if n is not None else self.sizes[-1]
+        guarantees = {}
+        for target, candidate in self.best_per_bin.items():
+            accuracies = candidate.results.accuracies(n)
+            if accuracies:
+                guarantees[target] = statistical_guarantee(
+                    accuracies, target, metric, confidence)
+        return guarantees
+
+    def tuned_program(self, confidence: float = 0.95):
+        """Package the per-bin best configurations for deployment.
+
+        The returned :class:`~repro.runtime.executor.TunedProgram`
+        carries each bin's training-time statistical guarantee, so
+        saving it (or serving it) preserves what tuning promised.
+        """
         from repro.runtime.executor import TunedProgram
         configs = {target: candidate.config
                    for target, candidate in self.best_per_bin.items()}
-        return TunedProgram(self.program, configs)
+        return TunedProgram(self.program, configs,
+                            guarantees=self.bin_guarantees(confidence))
+
+    def to_artifact(self, *, created_at: str | None = None,
+                    confidence: float = 0.95,
+                    metadata: Mapping[str, Any] | None = None):
+        """Package this tuning run as a deployable
+        :class:`~repro.serving.artifact.TunedArtifact`.
+
+        The artifact bundles the per-bin configurations, each bin's
+        statistical guarantee, and tuning metadata — seed and settings
+        digest (when the result still knows its settings), trial
+        count, training sizes, unmet bins, and ``created_at``, a
+        timestamp string supplied by the caller.
+        """
+        from repro.serving.artifact import TunedArtifact
+        info: dict[str, Any] = {
+            "trials_run": self.trials_run,
+            "training_sizes": [float(n) for n in self.sizes],
+            "unmet_bins": [float(t) for t in self.unmet_bins],
+            "guarantee_confidence": float(confidence),
+        }
+        if self.settings is not None:
+            info["seed"] = self.settings.seed
+            info["settings_digest"] = self.settings.digest()
+        if created_at is not None:
+            info["created_at"] = str(created_at)
+        if metadata:
+            info.update(metadata)
+        return TunedArtifact.from_tuned(self.tuned_program(confidence),
+                                        metadata=info)
 
 
 class Autotuner:
@@ -312,4 +383,5 @@ class Autotuner:
             program=self.program, bins=self.bins,
             best_per_bin=best_per_bin, population=population,
             sizes=sizes, unmet_bins=unmet,
-            trials_run=self.harness.trials_run)
+            trials_run=self.harness.trials_run,
+            settings=settings)

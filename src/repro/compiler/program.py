@@ -61,11 +61,22 @@ class Instance:
 
 @dataclass
 class ExecutionResult:
-    """Outputs and measurements from one program execution."""
+    """Outputs and measurements from one program execution.
+
+    The last three fields are populated only on the tuned-program path
+    (:meth:`repro.runtime.executor.TunedProgram.run`): which accuracy
+    bin actually ran, whether dynamic bin lookup *fell back* to the
+    most accurate bin because no bin satisfied the requested accuracy
+    (the target is unmet by construction), and how many
+    ``verify_accuracy`` escalations preceded this result.
+    """
 
     outputs: dict[str, Any]
     metrics: Metrics
     trace: ExecutionTrace
+    bin_target: float | None = None
+    fallback: bool = False
+    escalations: int = 0
 
     @property
     def cost(self) -> float:

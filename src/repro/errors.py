@@ -48,6 +48,15 @@ class TrainingError(ReproError):
     """
 
 
+class ArtifactError(ReproError):
+    """A tuned artifact could not be read, written, or matched.
+
+    Raised for schema-version mismatches, malformed artifact JSON, and
+    program/bin mismatches between an artifact and the compiled program
+    it is being attached to.
+    """
+
+
 class AccuracyError(ReproError):
     """A runtime ``verify_accuracy`` check failed with no retry left."""
 

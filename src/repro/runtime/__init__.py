@@ -1,5 +1,6 @@
 """Runtime support: timing/cost accounting, traces, tuned-program
-execution, and the pluggable trial-execution backends."""
+execution, the bin-selection/escalation policy, and the pluggable
+trial-execution backends."""
 
 from repro.runtime.backends import (
     ExecutionBackend,
@@ -11,10 +12,20 @@ from repro.runtime.backends import (
     TrialRequest,
     backend_from_name,
 )
+from repro.runtime.policy import (
+    BinDecision,
+    escalation_ladder,
+    most_accurate_bin,
+    select_bin,
+)
 from repro.runtime.timing import CostAccumulator, Metrics, WallTimer
 from repro.runtime.trace import ExecutionTrace, TraceEvent
 
 __all__ = [
+    "BinDecision",
+    "select_bin",
+    "most_accurate_bin",
+    "escalation_ladder",
     "CostAccumulator",
     "Metrics",
     "WallTimer",

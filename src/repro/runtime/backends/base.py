@@ -78,30 +78,56 @@ class TrialRequest:
 
 @dataclass(frozen=True)
 class TrialOutcome:
-    """The measurement a backend hands back for one request."""
+    """The measurement a backend hands back for one request.
+
+    ``outputs`` is populated only when the batch was run with
+    ``collect_outputs=True`` (the serving path, which must return the
+    program's actual results, not just measurements).  It is never
+    serialised: cached outcomes replay measurements, not payloads.
+
+    ``error`` names the exception behind ``failed=True`` (type and
+    message), so callers can tell a broken program from a genuine
+    accuracy miss.
+    """
 
     objective: float
     accuracy: float
     failed: bool = False
     wall_time: float = 0.0
+    outputs: Mapping[str, Any] | None = None
+    error: str | None = None
 
     def to_json(self) -> dict:
-        return {"objective": self.objective, "accuracy": self.accuracy,
-                "failed": self.failed, "wall_time": self.wall_time}
+        payload = {"objective": self.objective,
+                   "accuracy": self.accuracy,
+                   "failed": self.failed, "wall_time": self.wall_time}
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
 
     @classmethod
     def from_json(cls, data: Mapping[str, Any]) -> "TrialOutcome":
-        return cls(objective=float(data["objective"]),
+        objective = float(data["objective"])  # non-mappings raise here
+        error = data.get("error")
+        return cls(objective=objective,
                    accuracy=float(data["accuracy"]),
                    failed=bool(data.get("failed", False)),
-                   wall_time=float(data.get("wall_time", 0.0)))
+                   wall_time=float(data.get("wall_time", 0.0)),
+                   error=str(error) if error is not None else None)
 
 
 def execute_trial(program: "CompiledProgram", request: TrialRequest, *,
                   objective: str = "cost",
-                  cost_limit: float | None = None) -> TrialOutcome:
+                  cost_limit: float | None = None,
+                  collect_outputs: bool = False) -> TrialOutcome:
     """Run one trial.  The single execution kernel shared by every
-    backend (and, in the process backend, by every worker)."""
+    backend (and, in the process backend, by every worker).
+
+    With ``collect_outputs=True`` the program's outputs ride back on
+    the outcome — the serving path needs them; the tuner never does.
+    """
+    outputs = None
+    error = None
     with WallTimer() as timer:
         try:
             result = program.execute(request.inputs, request.n,
@@ -110,13 +136,17 @@ def execute_trial(program: "CompiledProgram", request: TrialRequest, *,
             accuracy = program.accuracy_of(result.outputs, request.inputs)
             value = result.metrics.objective(objective)
             failed = False
-        except TRIAL_FAILURES:
+            if collect_outputs:
+                outputs = result.outputs
+        except TRIAL_FAILURES as exc:
             metric = program.root_transform.accuracy_metric
             value = float("inf")
             accuracy = metric.worst_value()
             failed = True
+            error = f"{type(exc).__name__}: {exc}"
     return TrialOutcome(objective=float(value), accuracy=float(accuracy),
-                        failed=failed, wall_time=timer.elapsed)
+                        failed=failed, wall_time=timer.elapsed,
+                        outputs=outputs, error=error)
 
 
 class ExecutionBackend(ABC):
@@ -134,8 +164,13 @@ class ExecutionBackend(ABC):
     def run_batch(self, program: "CompiledProgram",
                   requests: Sequence[TrialRequest], *,
                   objective: str = "cost",
-                  cost_limit: float | None = None) -> list[TrialOutcome]:
-        """Execute ``requests`` and return aligned outcomes."""
+                  cost_limit: float | None = None,
+                  collect_outputs: bool = False) -> list[TrialOutcome]:
+        """Execute ``requests`` and return aligned outcomes.
+
+        ``collect_outputs=True`` additionally ships each execution's
+        outputs back on its outcome (the serving path).
+        """
 
     def close(self) -> None:
         """Release worker resources (pools).  Idempotent."""

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import json
 import os
+from collections import OrderedDict
 from typing import Mapping
 
 from repro.runtime.backends.base import TrialOutcome, TrialRequest
@@ -34,13 +35,24 @@ class TrialCache:
     ``path`` (optional) names a JSON file loaded at construction when
     present and written by :meth:`save`.  ``hits`` / ``misses`` count
     :meth:`get` lookups for instrumentation and benchmarks.
+
+    ``max_entries`` (optional) bounds the in-memory store with
+    least-recently-used eviction — long-lived serving or tuning
+    processes must not grow the cache without bound.  ``evictions``
+    counts entries dropped by the bound; evicting is always safe
+    because the cache is only ever a performance hint.
     """
 
-    def __init__(self, path: str | os.PathLike | None = None):
+    def __init__(self, path: str | os.PathLike | None = None, *,
+                 max_entries: int | None = None):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 or None")
         self.path = os.fspath(path) if path is not None else None
-        self._entries: dict[str, TrialOutcome] = {}
+        self.max_entries = max_entries
+        self._entries: OrderedDict[str, TrialOutcome] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         if self.path is not None and os.path.exists(self.path):
             # The cache is only ever a performance hint: a truncated or
             # corrupt store must never abort tuning.  (An explicit
@@ -97,10 +109,21 @@ class TrialCache:
             self.misses += 1
         else:
             self.hits += 1
+            self._entries.move_to_end(key)  # recently used stays longest
         return outcome
 
     def put(self, key: str, outcome: TrialOutcome) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
         self._entries[key] = outcome
+        self._evict_over_bound()
+
+    def _evict_over_bound(self) -> None:
+        if self.max_entries is None:
+            return
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -112,6 +135,7 @@ class TrialCache:
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     # ------------------------------------------------------------------
     # Persistence
@@ -134,6 +158,7 @@ class TrialCache:
             except (KeyError, TypeError, ValueError):
                 continue  # skip malformed entries; the store is a hint
             self._entries.setdefault(key, outcome)
+        self._evict_over_bound()
 
     def save(self, path: str | os.PathLike | None = None) -> str:
         target = os.fspath(path) if path is not None else self.path

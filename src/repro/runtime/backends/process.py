@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import multiprocessing
 import pickle
+import threading
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from typing import TYPE_CHECKING, Sequence
 
@@ -44,10 +46,12 @@ def _init_worker(program_bytes: bytes) -> None:
 
 
 def _run_chunk(requests: Sequence[TrialRequest], objective: str,
-               cost_limit: float | None) -> list[TrialOutcome]:
+               cost_limit: float | None,
+               collect_outputs: bool = False) -> list[TrialOutcome]:
     assert _WORKER_PROGRAM is not None, "worker initializer did not run"
     return [execute_trial(_WORKER_PROGRAM, request, objective=objective,
-                          cost_limit=cost_limit)
+                          cost_limit=cost_limit,
+                          collect_outputs=collect_outputs)
             for request in requests]
 
 
@@ -58,28 +62,42 @@ class ProcessPoolBackend(ExecutionBackend):
     (``fork`` on Linux); ``chunk_size`` bounds pickling overhead by
     shipping several requests per task (``None`` sizes chunks to give
     each worker a few tasks per batch).
+
+    The backend keeps one persistent pool *per compiled program* (at
+    most ``max_pools``; least-recently-used pools are closed beyond
+    that), so callers that alternate programs — a serving engine with
+    mixed traffic, a benchmark sweep — do not tear down and respawn
+    warm workers on every switch.
     """
 
     name = "process"
 
     def __init__(self, max_workers: int | None = None, *,
                  chunk_size: int | None = None,
-                 start_method: str | None = None):
+                 start_method: str | None = None,
+                 max_pools: int = 4):
+        if max_pools < 1:
+            raise ValueError("max_pools must be >= 1")
         self.max_workers = max_workers or default_workers()
         self.chunk_size = chunk_size
         self.start_method = start_method
-        self._pool: ProcessPoolExecutor | None = None
-        # Strong reference to the program the workers were initialized
-        # with; identity-compared on each batch.  (An id() would be
-        # unsafe: a recycled address after garbage collection would
-        # silently reuse workers holding a different program.)
-        self._pool_program: "CompiledProgram | None" = None
+        self.max_pools = max_pools
+        self._lock = threading.Lock()
+        # Pools keyed by id(program).  Each entry holds a strong
+        # reference to its program, so an id cannot be recycled by
+        # garbage collection while its pool is alive.
+        self._pools: OrderedDict[
+            int, tuple["CompiledProgram", ProcessPoolExecutor]] = \
+            OrderedDict()
 
     # ------------------------------------------------------------------
     def _ensure_pool(self, program: "CompiledProgram") -> ProcessPoolExecutor:
-        if self._pool is not None and self._pool_program is not program:
-            self.close()  # a different program: rebuild worker state
-        if self._pool is None:
+        doomed: list[ProcessPoolExecutor] = []
+        with self._lock:
+            entry = self._pools.get(id(program))
+            if entry is not None:
+                self._pools.move_to_end(id(program))
+                return entry[1]
             try:
                 program_bytes = pickle.dumps(program)
             except Exception as exc:
@@ -91,11 +109,16 @@ class ProcessPoolBackend(ExecutionBackend):
                     f"rule functions, or use ThreadPoolBackend.") from exc
             context = (multiprocessing.get_context(self.start_method)
                        if self.start_method else None)
-            self._pool = ProcessPoolExecutor(
+            pool = ProcessPoolExecutor(
                 max_workers=self.max_workers, mp_context=context,
                 initializer=_init_worker, initargs=(program_bytes,))
-            self._pool_program = program
-        return self._pool
+            self._pools[id(program)] = (program, pool)
+            while len(self._pools) > self.max_pools:
+                _, (_, old_pool) = self._pools.popitem(last=False)
+                doomed.append(old_pool)
+        for old_pool in doomed:  # shut down outside the lock
+            old_pool.shutdown(wait=True)
+        return pool
 
     def _chunks(self, requests: Sequence[TrialRequest]
                 ) -> list[list[TrialRequest]]:
@@ -111,26 +134,46 @@ class ProcessPoolBackend(ExecutionBackend):
     def run_batch(self, program: "CompiledProgram",
                   requests: Sequence[TrialRequest], *,
                   objective: str = "cost",
-                  cost_limit: float | None = None) -> list[TrialOutcome]:
+                  cost_limit: float | None = None,
+                  collect_outputs: bool = False) -> list[TrialOutcome]:
         if len(requests) <= 1:
             # Adaptive-comparison top-ups arrive one at a time; process
             # dispatch would be pure overhead and changes no outcome.
             return [execute_trial(program, request, objective=objective,
-                                  cost_limit=cost_limit)
+                                  cost_limit=cost_limit,
+                                  collect_outputs=collect_outputs)
                     for request in requests]
-        pool = self._ensure_pool(program)
-        futures = [pool.submit(_run_chunk, chunk, objective, cost_limit)
-                   for chunk in self._chunks(requests)]
-        outcomes: list[TrialOutcome] = []
-        for future in futures:  # submission order => request order
-            outcomes.extend(future.result())
-        return outcomes
+        chunks = self._chunks(requests)
+        for attempt in range(2):
+            pool = self._ensure_pool(program)
+            try:
+                futures = [pool.submit(_run_chunk, chunk, objective,
+                                       cost_limit, collect_outputs)
+                           for chunk in chunks]
+            except RuntimeError:
+                # A concurrent _ensure_pool LRU-evicted (shut down)
+                # this pool between our lookup and submit.  Drop the
+                # stale entry and retry once on a fresh pool; trials
+                # are deterministic, so re-running chunks is safe.
+                if attempt:
+                    raise
+                with self._lock:
+                    entry = self._pools.get(id(program))
+                    if entry is not None and entry[1] is pool:
+                        del self._pools[id(program)]
+                continue
+            outcomes: list[TrialOutcome] = []
+            for future in futures:  # submission order => request order
+                outcomes.extend(future.result())
+            return outcomes
+        raise AssertionError("unreachable")  # the loop returns or raises
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
-            self._pool_program = None
+        with self._lock:
+            pools = [pool for _, pool in self._pools.values()]
+            self._pools.clear()
+        for pool in pools:
+            pool.shutdown(wait=True)
 
     def __repr__(self) -> str:
         return (f"ProcessPoolBackend(max_workers={self.max_workers}, "

@@ -29,7 +29,9 @@ class SerialBackend(ExecutionBackend):
     def run_batch(self, program: "CompiledProgram",
                   requests: Sequence[TrialRequest], *,
                   objective: str = "cost",
-                  cost_limit: float | None = None) -> list[TrialOutcome]:
+                  cost_limit: float | None = None,
+                  collect_outputs: bool = False) -> list[TrialOutcome]:
         return [execute_trial(program, request, objective=objective,
-                              cost_limit=cost_limit)
+                              cost_limit=cost_limit,
+                              collect_outputs=collect_outputs)
                 for request in requests]

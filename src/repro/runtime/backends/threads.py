@@ -11,6 +11,7 @@ objective.
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Sequence
 
@@ -38,33 +39,39 @@ class ThreadPoolBackend(ExecutionBackend):
 
     def __init__(self, max_workers: int | None = None):
         self.max_workers = max_workers or default_workers()
+        self._lock = threading.Lock()  # lazy pool creation is racy
         self._pool: ThreadPoolExecutor | None = None
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.max_workers,
-                thread_name_prefix="trial-backend")
-        return self._pool
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="trial-backend")
+            return self._pool
 
     def run_batch(self, program: "CompiledProgram",
                   requests: Sequence[TrialRequest], *,
                   objective: str = "cost",
-                  cost_limit: float | None = None) -> list[TrialOutcome]:
+                  cost_limit: float | None = None,
+                  collect_outputs: bool = False) -> list[TrialOutcome]:
         if len(requests) <= 1:  # skip pool overhead for singletons
             return [execute_trial(program, request, objective=objective,
-                                  cost_limit=cost_limit)
+                                  cost_limit=cost_limit,
+                                  collect_outputs=collect_outputs)
                     for request in requests]
         pool = self._ensure_pool()
         futures = [pool.submit(execute_trial, program, request,
-                               objective=objective, cost_limit=cost_limit)
+                               objective=objective, cost_limit=cost_limit,
+                               collect_outputs=collect_outputs)
                    for request in requests]
         return [future.result() for future in futures]
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def __repr__(self) -> str:
         return f"ThreadPoolBackend(max_workers={self.max_workers})"

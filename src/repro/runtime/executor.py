@@ -2,8 +2,11 @@
 
 A :class:`TunedProgram` is the deployable artifact of autotuning: the
 compiled program plus one configuration per accuracy bin (the
-discretized optimal frontier of Section 5.5.4).  Users request a target
-accuracy; the dynamic bin lookup of Section 4.2 selects the cheapest
+discretized optimal frontier of Section 5.5.4), optionally annotated
+with the :class:`~repro.runtime.guarantees.StatisticalGuarantee`
+computed for each bin from training trials.  Users request a target
+accuracy; the dynamic bin lookup of Section 4.2 (shared with the
+serving engine via :mod:`repro.runtime.policy`) selects the cheapest
 bin that satisfies it.
 
 The ``verify_accuracy`` keyword (Section 3.2) maps to
@@ -11,6 +14,12 @@ The ``verify_accuracy`` keyword (Section 3.2) maps to
 program's metric and, on failure, "the algorithm can be retried with
 the next higher level of accuracy"; an :class:`~repro.errors.
 AccuracyError` is raised when the most accurate bin still fails.
+
+Persistence goes through the versioned
+:class:`~repro.serving.artifact.TunedArtifact` format, so guarantees
+and provenance travel with the deployable; :meth:`TunedProgram.save`
+and :meth:`TunedProgram.load` are thin wrappers over it (``load`` also
+accepts the legacy flat ``{bin: config}`` JSON).
 """
 
 from __future__ import annotations
@@ -21,6 +30,8 @@ from typing import Any, Mapping
 from repro.compiler.program import CompiledProgram, ExecutionResult
 from repro.config.configuration import Configuration
 from repro.errors import AccuracyError, TrainingError
+from repro.runtime.guarantees import StatisticalGuarantee
+from repro.runtime.policy import BinDecision, plan_request, select_bin
 
 __all__ = ["TunedProgram"]
 
@@ -29,32 +40,59 @@ class TunedProgram:
     """A compiled program with tuned per-bin configurations."""
 
     def __init__(self, program: CompiledProgram,
-                 bin_configs: Mapping[float, Configuration]):
+                 bin_configs: Mapping[float, Configuration],
+                 guarantees: Mapping[float, StatisticalGuarantee] | None
+                 = None):
         self.program = program
         self.metric = program.root_transform.accuracy_metric
         # Bins sorted least -> most accurate, as in the transform.
         declared = program.root_transform.accuracy_bins
+        unknown = sorted(set(float(t) for t in bin_configs)
+                         - set(declared))
+        if unknown:
+            raise TrainingError(
+                f"configurations for accuracy bins "
+                f"{[f'{t:g}' for t in unknown]} that {program.root!r} "
+                f"never declared (declared bins: "
+                f"{[f'{t:g}' for t in declared]})")
         self.bin_configs = {target: bin_configs[target]
                             for target in declared if target in bin_configs}
         if not self.bin_configs:
             raise TrainingError(
                 f"tuned program for {program.root!r} has no bins")
+        self.guarantees: dict[float, StatisticalGuarantee] = {
+            float(target): guarantee
+            for target, guarantee in (guarantees or {}).items()
+            if float(target) in self.bin_configs}
 
     # ------------------------------------------------------------------
     @property
     def bins(self) -> tuple[float, ...]:
         return tuple(self.bin_configs)
 
+    def select(self, requested: float) -> BinDecision:
+        """Dynamic bin lookup with an explicit fallback signal.
+
+        ``decision.fallback`` is True when no tuned bin satisfies
+        ``requested`` and the most accurate bin was chosen instead —
+        the request's target is unmet by construction.
+        """
+        return select_bin(self.bins, self.metric, requested)
+
     def config_for_accuracy(self, requested: float
                             ) -> tuple[float, Configuration]:
-        """Dynamic bin lookup: cheapest bin satisfying ``requested``."""
-        for target, config in self.bin_configs.items():
-            if self.metric.meets(target, requested):
-                return target, config
-        # Nothing satisfies the request; fall back to the most
-        # accurate available bin.
-        target = list(self.bin_configs)[-1]
-        return target, self.bin_configs[target]
+        """Dynamic bin lookup: cheapest bin satisfying ``requested``.
+
+        Falls back to the most accurate bin when nothing satisfies;
+        use :meth:`select` to observe the fallback explicitly, or
+        ``run(...)`` whose result records it.
+        """
+        decision = self.select(requested)
+        return decision.target, self.bin_configs[decision.target]
+
+    def guarantee_for(self, target: float) -> StatisticalGuarantee | None:
+        """The training-time statistical guarantee for a bin, if any."""
+        return self.guarantees.get(float(target))
 
     # ------------------------------------------------------------------
     def run(self, inputs: Mapping[str, Any], n: float, *,
@@ -70,29 +108,24 @@ class TunedProgram:
         bin) may be given; with neither, the most accurate bin runs.
         With ``verify=True`` the accuracy metric is evaluated on the
         result and failing bins escalate to more accurate ones.
-        """
-        if accuracy is not None and bin_target is not None:
-            raise ValueError("pass either accuracy or bin_target, not both")
-        if bin_target is not None:
-            if bin_target not in self.bin_configs:
-                raise TrainingError(
-                    f"no tuned configuration for bin {bin_target:g}")
-            start = bin_target
-            required = bin_target
-        elif accuracy is not None:
-            start, _ = self.config_for_accuracy(accuracy)
-            required = accuracy
-        else:
-            start = list(self.bin_configs)[-1]
-            required = start
 
-        ladder = [t for t in self.bin_configs if t == start or
-                  self.metric.better(t, start)]
+        The result records the chosen ``bin_target``, whether the
+        lookup fell back to the most accurate bin because no bin
+        satisfied ``accuracy`` (``result.fallback``), and how many
+        verify escalations ran (``result.escalations``).
+        """
+        plan = plan_request(self.bins, self.metric, accuracy=accuracy,
+                            bin_target=bin_target)
+        fallback = plan.fallback
+        required = plan.required
         last_accuracy: float | None = None
-        for target in ladder:
+        for escalations, target in enumerate(plan.ladder):
             config = self.bin_configs[target]
             result = self.program.execute(inputs, n, config, seed=seed,
                                           collect_trace=collect_trace)
+            result.bin_target = target
+            result.fallback = fallback
+            result.escalations = escalations
             if not verify:
                 return result
             achieved = self.program.accuracy_of(result.outputs, inputs)
@@ -102,26 +135,43 @@ class TunedProgram:
                 return result
         raise AccuracyError(
             f"verify_accuracy failed: required {required:g}, best achieved "
-            f"{last_accuracy!r} after trying bins {ladder}",
+            f"{last_accuracy!r} after trying bins {list(plan.ladder)}",
             achieved=last_accuracy, required=float(required))
 
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def to_json(self) -> dict:
-        return {f"{target:g}": config.to_json()
-                for target, config in self.bin_configs.items()}
+    def to_artifact(self, metadata: Mapping[str, Any] | None = None):
+        """Package this program as a versioned, guarantee-carrying
+        :class:`~repro.serving.artifact.TunedArtifact`."""
+        from repro.serving.artifact import TunedArtifact
+        return TunedArtifact.from_tuned(self, metadata=metadata)
 
     def save(self, path) -> None:
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.to_json(), handle, indent=2, sort_keys=True)
+        self.to_artifact().save(path)
 
     @classmethod
     def load(cls, program: CompiledProgram, path) -> "TunedProgram":
         with open(path, "r", encoding="utf-8") as handle:
             data = json.load(handle)
-        configs = {float(target): Configuration.from_json(payload)
-                   for target, payload in data.items()}
+        if isinstance(data, dict) and "schema_version" in data:
+            from repro.serving.artifact import TunedArtifact
+            return TunedArtifact.from_json(data).to_tuned(program)
+        # Legacy flat format: {"<bin>": <config json>}.
+        if not isinstance(data, dict):
+            raise TrainingError(
+                f"{path}: expected a tuned-artifact or bin/config "
+                f"mapping, got {type(data).__name__}")
+        configs: dict[float, Configuration] = {}
+        for key, payload in data.items():
+            try:
+                target = float(key)
+            except (TypeError, ValueError):
+                raise TrainingError(
+                    f"{path}: key {key!r} is not an accuracy bin") from None
+            configs[target] = Configuration.from_json(payload)
+        # The constructor rejects bins the program never declared,
+        # naming them — nothing is silently dropped.
         return cls(program, configs)
 
     def __repr__(self) -> str:

@@ -44,6 +44,24 @@ class StatisticalGuarantee:
                 f"confidence {verdict} (bound {self.bound:.6g}, mean "
                 f"{self.mean:.6g}, n={self.samples})")
 
+    # ------------------------------------------------------------------
+    # Serialisation (guarantees travel inside tuned artifacts)
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        return {"target": self.target, "confidence": self.confidence,
+                "bound": self.bound, "mean": self.mean, "std": self.std,
+                "samples": self.samples, "holds": self.holds}
+
+    @classmethod
+    def from_json(cls, data) -> "StatisticalGuarantee":
+        return cls(target=float(data["target"]),
+                   confidence=float(data["confidence"]),
+                   bound=float(data["bound"]),
+                   mean=float(data["mean"]),
+                   std=float(data["std"]),
+                   samples=int(data["samples"]),
+                   holds=bool(data["holds"]))
+
 
 def statistical_guarantee(accuracies: Sequence[float], target: float,
                           metric: AccuracyMetric,

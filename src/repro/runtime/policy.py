@@ -1,0 +1,129 @@
+"""Bin-selection and verify-escalation policy (Sections 3.2 and 4.2).
+
+The paper's deployed programs answer two questions at request time:
+
+* **Which bin runs first?**  Dynamic bin lookup picks the *cheapest*
+  tuned bin that satisfies the requested accuracy; when no bin does,
+  the request falls back to the most accurate bin available — an event
+  callers must be able to observe rather than a silent degradation.
+* **What happens when ``verify_accuracy`` fails?**  "The algorithm can
+  be retried with the next higher level of accuracy": the escalation
+  ladder is the suffix of bins at least as accurate as the starting
+  bin.
+
+Both questions are pure functions over ``(bins, metric)``.  They used
+to live inline in :class:`~repro.runtime.executor.TunedProgram`; this
+module extracts them so the single-call path and the batched
+:class:`~repro.serving.ServingEngine` make *identical* decisions by
+construction.
+
+Throughout, ``bins`` is a sequence sorted least- to most-accurate (the
+declaration order of ``accuracy_bins`` on the transform, which every
+:class:`~repro.runtime.executor.TunedProgram` preserves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import TrainingError
+from repro.lang.metrics import AccuracyMetric
+
+__all__ = ["BinDecision", "RequestPlan", "select_bin",
+           "most_accurate_bin", "escalation_ladder", "plan_request"]
+
+
+@dataclass(frozen=True)
+class BinDecision:
+    """The outcome of one dynamic bin lookup.
+
+    ``fallback`` is True when no tuned bin satisfies the requested
+    accuracy and the most accurate bin was chosen instead — the target
+    is *not met by construction* and callers should surface that.
+    """
+
+    target: float
+    fallback: bool = False
+    requested: float | None = None
+
+
+def most_accurate_bin(bins: Sequence[float]) -> float:
+    """The most accurate tuned bin (the fallback and default choice)."""
+    if not bins:
+        raise ValueError("no tuned accuracy bins to select from")
+    return bins[-1]
+
+
+def select_bin(bins: Sequence[float], metric: AccuracyMetric,
+               requested: float) -> BinDecision:
+    """Dynamic bin lookup: cheapest bin whose target meets ``requested``.
+
+    Bins are scanned least- to most-accurate, so the first satisfying
+    bin is the cheapest.  When none satisfies, the most accurate bin is
+    returned with ``fallback=True``.
+    """
+    requested = float(requested)
+    for target in bins:
+        if metric.meets(target, requested):
+            return BinDecision(target=target, requested=requested)
+    return BinDecision(target=most_accurate_bin(bins), fallback=True,
+                       requested=requested)
+
+
+def escalation_ladder(bins: Sequence[float], metric: AccuracyMetric,
+                      start: float) -> tuple[float, ...]:
+    """Bins to try, in order, starting at ``start``.
+
+    The ladder is ``start`` followed by every strictly more accurate
+    bin — the retry sequence of a failed ``verify_accuracy`` check.
+    """
+    return tuple(t for t in bins
+                 if t == start or metric.better(t, start))
+
+
+@dataclass(frozen=True)
+class RequestPlan:
+    """Everything decided *before* a tuned request executes: which
+    bins to try (in order), the accuracy a verify check must meet,
+    and whether dynamic lookup fell back to the most accurate bin."""
+
+    ladder: tuple[float, ...]
+    required: float
+    fallback: bool = False
+
+    @property
+    def start(self) -> float:
+        return self.ladder[0]
+
+
+def plan_request(bins: Sequence[float], metric: AccuracyMetric,
+                 accuracy: float | None = None,
+                 bin_target: float | None = None) -> RequestPlan:
+    """Plan one tuned-program request.
+
+    Exactly one of ``accuracy`` (resolved by dynamic bin lookup) or
+    ``bin_target`` (an exact bin) may be given; with neither, the most
+    accurate bin is planned.  This single prologue is shared by
+    ``TunedProgram.run`` and the serving engine, so both paths decide
+    identically by construction.
+    """
+    if accuracy is not None and bin_target is not None:
+        raise ValueError("pass either accuracy or bin_target, not both")
+    fallback = False
+    if bin_target is not None:
+        if bin_target not in bins:
+            raise TrainingError(
+                f"no tuned configuration for bin {bin_target:g}")
+        start = bin_target
+        required = float(bin_target)
+    elif accuracy is not None:
+        decision = select_bin(bins, metric, accuracy)
+        start = decision.target
+        fallback = decision.fallback
+        required = float(accuracy)
+    else:
+        start = most_accurate_bin(bins)
+        required = float(start)
+    return RequestPlan(ladder=escalation_ladder(bins, metric, start),
+                       required=required, fallback=fallback)

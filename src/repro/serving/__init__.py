@@ -1,0 +1,39 @@
+"""Tuned-artifact persistence and the accuracy-aware serving runtime.
+
+Tune once, serve many: :class:`TunedArtifact` is the versioned,
+guarantee-carrying JSON bundle a tuning run produces
+(:meth:`repro.autotuner.TuningResult.to_artifact`);
+:class:`ArtifactStore` keeps artifacts on disk by program name; and
+:class:`ServingEngine` serves batches of :class:`ServeRequest` traffic
+over any :class:`~repro.runtime.backends.ExecutionBackend`, making the
+same bin-selection and verify-escalation decisions as single-call
+:meth:`~repro.runtime.executor.TunedProgram.run`
+(:mod:`repro.runtime.policy` is shared by both).
+"""
+
+from repro.serving.artifact import (
+    ARTIFACT_KIND,
+    SCHEMA_VERSION,
+    ArtifactBin,
+    TunedArtifact,
+)
+from repro.serving.engine import (
+    ServeRequest,
+    ServeResponse,
+    ServingEngine,
+    ServingStats,
+)
+from repro.serving.store import DEFAULT_TAG, ArtifactStore
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ARTIFACT_KIND",
+    "ArtifactBin",
+    "TunedArtifact",
+    "ArtifactStore",
+    "DEFAULT_TAG",
+    "ServeRequest",
+    "ServeResponse",
+    "ServingStats",
+    "ServingEngine",
+]

@@ -1,0 +1,402 @@
+"""The accuracy-aware serving engine.
+
+The paper's end product is the *deployed* variable-accuracy program:
+requests name an accuracy target, dynamic bin lookup picks the
+cheapest satisfying configuration, and ``verify_accuracy`` escalates
+through more accurate bins when a check fails (Sections 3.2-3.3, 4.2).
+:class:`~repro.runtime.executor.TunedProgram` does that for one
+synchronous call; this module does it for *traffic*:
+
+* a :class:`ServeRequest` names a program, its inputs, and optionally
+  a requested accuracy and a verify flag;
+* the :class:`ServingEngine` groups requests into batches per program
+  and dispatches them on any
+  :class:`~repro.runtime.backends.ExecutionBackend` — serial, thread
+  pool, or process pool — so one engine saturates whatever hardware
+  the backend exposes;
+* verify failures escalate in *waves*: every request still climbing
+  its ladder is re-batched with the next bin, so escalations stay
+  batched too;
+* each :class:`ServeResponse` carries the outputs, the chosen bin, the
+  achieved accuracy, the bin's training-time statistical guarantee,
+  an explicit ``fallback`` flag when no bin satisfied the request
+  (never a silent degradation), the escalation count, and latency.
+
+Bin decisions are made by :mod:`repro.runtime.policy` — the same pure
+functions the single-call path uses — so a served response chooses the
+exact bin ``TunedProgram.run`` would.
+
+The engine keeps counters (requests, escalations, fallbacks, errors,
+executions) and a bounded latency reservoir; :meth:`ServingEngine.
+stats` snapshots them with p50/p95 latency for dashboards and the
+serving benchmark.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.errors import ArtifactError, ReproError
+from repro.runtime.backends import (
+    ExecutionBackend,
+    SerialBackend,
+    TrialRequest,
+    config_digest,
+)
+from repro.runtime.executor import TunedProgram
+from repro.runtime.guarantees import StatisticalGuarantee
+from repro.runtime.policy import plan_request
+from repro.serving.store import DEFAULT_TAG, ArtifactStore
+
+__all__ = ["ServeRequest", "ServeResponse", "ServingStats",
+           "ServingEngine"]
+
+#: Default number of requests dispatched per backend batch.
+DEFAULT_BATCH_SIZE = 64
+
+#: Default bound on the latency reservoir behind p50/p95.
+DEFAULT_LATENCY_WINDOW = 4096
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One unit of serving traffic.
+
+    ``accuracy`` is resolved by dynamic bin lookup; ``None`` requests
+    the most accurate bin.  ``verify`` enables the runtime accuracy
+    check with escalation.  ``seed`` feeds the program's execution RNG
+    exactly as ``TunedProgram.run(seed=...)`` does, so a served
+    request reproduces the single-call result bit for bit.
+    """
+
+    program: str
+    inputs: Mapping[str, Any]
+    n: float
+    accuracy: float | None = None
+    verify: bool = False
+    seed: int = 0
+
+
+@dataclass
+class ServeResponse:
+    """What the engine returns for one request."""
+
+    program: str
+    ok: bool
+    outputs: Mapping[str, Any] | None
+    bin_target: float | None
+    requested_accuracy: float | None
+    achieved_accuracy: float | None
+    guarantee: StatisticalGuarantee | None
+    fallback: bool = False
+    escalations: int = 0
+    latency: float = 0.0
+    error: str | None = None
+
+
+@dataclass(frozen=True)
+class ServingStats:
+    """Point-in-time snapshot of one engine's counters."""
+
+    requests: int
+    served: int
+    errors: int
+    escalations: int
+    fallbacks: int
+    executions: int
+    p50_latency: float
+    p95_latency: float
+    backend: str
+
+    def __str__(self) -> str:
+        return (f"{self.requests} requests ({self.served} ok, "
+                f"{self.errors} errors) via {self.backend}: "
+                f"{self.escalations} escalations, "
+                f"{self.fallbacks} fallbacks, "
+                f"{self.executions} executions, "
+                f"p50 {self.p50_latency * 1e3:.2f}ms, "
+                f"p95 {self.p95_latency * 1e3:.2f}ms")
+
+
+@dataclass
+class _Pending:
+    """One request mid-flight: where it is on its escalation ladder."""
+
+    index: int
+    request: ServeRequest
+    tuned: TunedProgram
+    ladder: tuple[float, ...]
+    required: float
+    fallback: bool
+    pos: int = 0
+    latency: float = 0.0
+    last_accuracy: float | None = None
+
+    @property
+    def target(self) -> float:
+        return self.ladder[self.pos]
+
+
+def _percentile(values: Sequence[float], fraction: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1,
+               max(0, int(round(fraction * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+class ServingEngine:
+    """Batches :class:`ServeRequest` traffic onto an execution backend.
+
+    Programs come from explicit :meth:`register` calls, from an
+    :class:`~repro.serving.store.ArtifactStore` (loaded lazily by
+    name, provenance-resolved, and cached), or both.  ``batch_size``
+    bounds how many requests one ``run_batch`` call carries; process
+    backends amortise their per-batch dispatch over it.
+    """
+
+    def __init__(self, *,
+                 store: ArtifactStore | None = None,
+                 backend: ExecutionBackend | None = None,
+                 batch_size: int = DEFAULT_BATCH_SIZE,
+                 latency_window: int = DEFAULT_LATENCY_WINDOW):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.store = store
+        self.backend = backend if backend is not None else SerialBackend()
+        self.batch_size = batch_size
+        self._programs: dict[str, TunedProgram] = {}
+        self._digests: dict[tuple[str, float], str] = {}
+        self._lock = threading.Lock()
+        self._counters = {"requests": 0, "served": 0, "errors": 0,
+                          "escalations": 0, "fallbacks": 0,
+                          "executions": 0}
+        self._latencies: deque[float] = deque(maxlen=latency_window)
+
+    # ------------------------------------------------------------------
+    # Program registry
+    # ------------------------------------------------------------------
+    def register(self, name: str, tuned: TunedProgram) -> None:
+        """Serve ``tuned`` under ``name`` (usually its root name)."""
+        with self._lock:
+            self._programs[name] = tuned
+            for target in tuned.bins:  # invalidate stale digests
+                self._digests.pop((name, target), None)
+
+    def program_for(self, name: str, tag: str = DEFAULT_TAG
+                    ) -> TunedProgram:
+        """The tuned program serving ``name``; store-backed and cached."""
+        with self._lock:
+            tuned = self._programs.get(name)
+            if tuned is not None:
+                return tuned
+            store = self.store
+        if store is None:
+            raise ArtifactError(
+                f"no tuned program registered as {name!r} and the "
+                f"engine has no artifact store to load it from")
+        # Load outside the lock: disk I/O plus program recompilation
+        # must not stall threads serving already-registered programs.
+        tuned = store.load_tuned(name, tag)
+        with self._lock:
+            # A concurrent loader may have won; first one in wins so
+            # every request serves the same TunedProgram object.
+            return self._programs.setdefault(name, tuned)
+
+    @property
+    def programs(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(self._programs)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def serve_one(self, request: ServeRequest) -> ServeResponse:
+        return self.serve([request])[0]
+
+    def serve(self, requests: Sequence[ServeRequest]
+              ) -> list[ServeResponse]:
+        """Serve a batch; responses align positionally with requests."""
+        responses: list[ServeResponse | None] = [None] * len(requests)
+        pending: list[_Pending] = []
+        with self._lock:
+            self._counters["requests"] += len(requests)
+        for index, request in enumerate(requests):
+            try:
+                tuned = self.program_for(request.program)
+            except ReproError as exc:
+                responses[index] = self._finish_error(
+                    request, None, 0, 0.0, None, str(exc))
+                continue
+            plan = plan_request(tuned.bins, tuned.metric,
+                                accuracy=request.accuracy)
+            pending.append(_Pending(
+                index=index, request=request, tuned=tuned,
+                ladder=plan.ladder, required=plan.required,
+                fallback=plan.fallback))
+
+        while pending:
+            pending = self._run_wave(pending, responses)
+        return responses  # type: ignore[return-value]
+
+    def _run_wave(self, pending: list[_Pending],
+                  responses: list[ServeResponse | None]
+                  ) -> list[_Pending]:
+        """Execute every pending request's current bin, one batched
+        backend dispatch per (program, batch_size) chunk; return the
+        entries that must escalate to their next bin."""
+        groups: dict[int, list[_Pending]] = {}
+        for entry in pending:
+            groups.setdefault(id(entry.tuned), []).append(entry)
+        escalating: list[_Pending] = []
+        for group in groups.values():
+            program = group[0].tuned.program
+            for offset in range(0, len(group), self.batch_size):
+                chunk = group[offset:offset + self.batch_size]
+                batch = [self._trial_request(entry) for entry in chunk]
+                outcomes = self.backend.run_batch(
+                    program, batch, objective="cost",
+                    collect_outputs=True)
+                with self._lock:
+                    self._counters["executions"] += len(outcomes)
+                for entry, outcome in zip(chunk, outcomes):
+                    entry.latency += outcome.wall_time
+                    entry.last_accuracy = (None if outcome.failed
+                                           else outcome.accuracy)
+                    if self._settle(entry, outcome, responses):
+                        continue
+                    entry.pos += 1
+                    escalating.append(entry)
+        return escalating
+
+    def _trial_request(self, entry: _Pending) -> TrialRequest:
+        request = entry.request
+        tuned = entry.tuned
+        target = entry.target
+        key = (request.program, target)
+        with self._lock:
+            digest = self._digests.get(key)
+        if digest is None:
+            digest = config_digest(tuned.bin_configs[target])
+            with self._lock:
+                self._digests[key] = digest
+        return TrialRequest(digest=digest, n=float(request.n),
+                            trial_index=0, seed=request.seed,
+                            config=tuned.bin_configs[target],
+                            inputs=request.inputs)
+
+    def _settle(self, entry: _Pending, outcome, responses) -> bool:
+        """Record a response for ``entry`` if it is done; True when
+        settled, False when it should escalate to the next bin."""
+        request = entry.request
+        if outcome.failed:
+            # A crashed execution is a broken deployment, not an
+            # accuracy miss: report it (with its cause) instead of
+            # escalating — the single-call path propagates the same
+            # exception rather than retrying.
+            cause = (f" ({outcome.error})"
+                     if outcome.error is not None else "")
+            responses[entry.index] = self._finish_error(
+                request, entry.target, entry.pos, entry.latency,
+                entry.tuned,
+                f"execution failed at bin {entry.target:g}{cause}",
+                fallback=entry.fallback)
+            return True
+        if not request.verify:
+            responses[entry.index] = self._finish_ok(entry, outcome)
+            return True
+        metric = entry.tuned.metric
+        if metric.meets(outcome.accuracy, entry.required):
+            responses[entry.index] = self._finish_ok(entry, outcome)
+            return True
+        if entry.pos + 1 < len(entry.ladder):
+            return False  # climb to the next, more accurate bin
+        responses[entry.index] = self._finish_error(
+            request, entry.target, entry.pos, entry.latency, entry.tuned,
+            f"verify_accuracy failed: required {entry.required:g}, best "
+            f"achieved {entry.last_accuracy!r} after trying bins "
+            f"{list(entry.ladder)}",
+            achieved=entry.last_accuracy, fallback=entry.fallback)
+        return True
+
+    def _finish_ok(self, entry: _Pending, outcome) -> ServeResponse:
+        request = entry.request
+        with self._lock:
+            self._counters["served"] += 1
+            self._counters["escalations"] += entry.pos
+            if entry.fallback:
+                self._counters["fallbacks"] += 1
+            self._latencies.append(entry.latency)
+        return ServeResponse(
+            program=request.program, ok=True, outputs=outcome.outputs,
+            bin_target=entry.target,
+            requested_accuracy=request.accuracy,
+            achieved_accuracy=outcome.accuracy,
+            guarantee=entry.tuned.guarantee_for(entry.target),
+            fallback=entry.fallback, escalations=entry.pos,
+            latency=entry.latency)
+
+    def _finish_error(self, request: ServeRequest,
+                      bin_target: float | None, escalations: int,
+                      latency: float, tuned: TunedProgram | None,
+                      message: str,
+                      achieved: float | None = None,
+                      fallback: bool = False) -> ServeResponse:
+        with self._lock:
+            self._counters["errors"] += 1
+            self._counters["escalations"] += escalations
+            if fallback:
+                self._counters["fallbacks"] += 1
+            if latency:
+                self._latencies.append(latency)
+        guarantee = (tuned.guarantee_for(bin_target)
+                     if tuned is not None and bin_target is not None
+                     else None)
+        return ServeResponse(
+            program=request.program, ok=False, outputs=None,
+            bin_target=bin_target,
+            requested_accuracy=request.accuracy,
+            achieved_accuracy=achieved, guarantee=guarantee,
+            fallback=fallback, escalations=escalations,
+            latency=latency, error=message)
+
+    # ------------------------------------------------------------------
+    # Stats & lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> ServingStats:
+        with self._lock:
+            counters = dict(self._counters)
+            latencies = list(self._latencies)
+        return ServingStats(
+            requests=counters["requests"], served=counters["served"],
+            errors=counters["errors"],
+            escalations=counters["escalations"],
+            fallbacks=counters["fallbacks"],
+            executions=counters["executions"],
+            p50_latency=_percentile(latencies, 0.50),
+            p95_latency=_percentile(latencies, 0.95),
+            backend=self.backend.name)
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            for key in self._counters:
+                self._counters[key] = 0
+            self._latencies.clear()
+
+    def close(self) -> None:
+        self.backend.close()
+
+    def __enter__(self) -> "ServingEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"ServingEngine(programs={list(self._programs)}, "
+                f"backend={self.backend!r}, "
+                f"batch_size={self.batch_size})")

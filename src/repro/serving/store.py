@@ -1,0 +1,125 @@
+"""Filesystem store of tuned artifacts.
+
+Layout — one directory per program, one JSON file per tagged artifact:
+
+::
+
+    <root>/
+      poisson/
+        default.json
+        2026-07-nightly.json
+      binpacking/
+        default.json
+
+Tags let several artifacts of the same program coexist (a nightly
+retune next to the deployed one).  ``save``/``load``/``list`` address
+artifacts by program name; loading validates that the stored artifact
+really is for the requested program, so a file moved between program
+directories is rejected instead of served.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import TYPE_CHECKING
+
+from repro.errors import ArtifactError
+from repro.serving.artifact import TunedArtifact
+
+if TYPE_CHECKING:
+    from repro.compiler.program import CompiledProgram
+    from repro.runtime.executor import TunedProgram
+
+__all__ = ["ArtifactStore", "DEFAULT_TAG"]
+
+DEFAULT_TAG = "default"
+
+
+def _checked_name(kind: str, name: str) -> str:
+    """Program names and tags become path components; keep them tame."""
+    if not name or name != os.path.basename(name) or \
+            name.startswith(".") or "/" in name or "\\" in name:
+        raise ArtifactError(f"invalid artifact {kind} {name!r}")
+    return name
+
+
+class ArtifactStore:
+    """Saves, loads and lists tuned artifacts under one root directory."""
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = os.fspath(root)
+
+    # ------------------------------------------------------------------
+    def path_for(self, program: str, tag: str = DEFAULT_TAG) -> str:
+        return os.path.join(self.root, _checked_name("program", program),
+                            _checked_name("tag", tag) + ".json")
+
+    def save(self, artifact: TunedArtifact, tag: str = DEFAULT_TAG) -> str:
+        """Write ``artifact`` under its program name; returns the path.
+
+        The write is atomic via a *uniquely named* temp file in the
+        same directory, so concurrent savers of the same program/tag
+        (a nightly retune racing a deploy) cannot interleave writes;
+        last replace wins with a complete artifact either way.
+        """
+        path = self.path_for(artifact.program, tag)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        handle, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        os.close(handle)
+        try:
+            artifact.save(tmp)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return path
+
+    def load(self, program: str, tag: str = DEFAULT_TAG) -> TunedArtifact:
+        """Load an artifact, verifying it matches ``program``."""
+        path = self.path_for(program, tag)
+        if not os.path.exists(path):
+            raise ArtifactError(
+                f"no artifact for program {program!r} tag {tag!r} "
+                f"under {self.root} (have: {self.list()})")
+        artifact = TunedArtifact.load(path)
+        if artifact.program != program:
+            raise ArtifactError(
+                f"{path} claims program {artifact.program!r}, not "
+                f"{program!r}; refusing to serve a mismatched artifact")
+        return artifact
+
+    def load_tuned(self, program: str, tag: str = DEFAULT_TAG, *,
+                   compiled: "CompiledProgram | None" = None
+                   ) -> "TunedProgram":
+        """Load and attach in one step.
+
+        With ``compiled`` given, the artifact attaches to it (bin and
+        program mismatches rejected); otherwise the program is rebuilt
+        from the artifact's recorded provenance.
+        """
+        artifact = self.load(program, tag)
+        if compiled is not None:
+            return artifact.to_tuned(compiled)
+        return artifact.resolve()
+
+    def list(self) -> dict[str, list[str]]:
+        """Mapping of program name to sorted list of stored tags."""
+        catalog: dict[str, list[str]] = {}
+        if not os.path.isdir(self.root):
+            return catalog
+        for program in sorted(os.listdir(self.root)):
+            directory = os.path.join(self.root, program)
+            if not os.path.isdir(directory):
+                continue
+            tags = sorted(entry[:-len(".json")]
+                          for entry in os.listdir(directory)
+                          if entry.endswith(".json"))
+            if tags:
+                catalog[program] = tags
+        return catalog
+
+    def __repr__(self) -> str:
+        return f"ArtifactStore({self.root!r})"

@@ -34,6 +34,7 @@ from repro.runtime.backends import (
     TrialOutcome,
     backend_from_name,
     config_digest,
+    execute_trial,
 )
 from repro.suite import get_benchmark
 
@@ -144,13 +145,18 @@ class TestBackendEquivalence:
         assert [(o.objective, o.accuracy, o.failed) for o in serial] == \
             [(o.objective, o.accuracy, o.failed) for o in parallel]
 
-    def test_process_pool_rebuilds_for_new_program(self):
-        """Reusing one backend across programs must re-initialise the
-        workers, not serve stale state from the previous program."""
-        backend = ProcessPoolBackend(max_workers=2, chunk_size=2)
+    def test_process_pool_per_program_pools(self):
+        """Alternating programs keeps one warm pool per program (no
+        teardown/respawn per switch), never serves another program's
+        worker state, and evicts least-recently-used pools beyond the
+        bound."""
+        backend = ProcessPoolBackend(max_workers=2, chunk_size=2,
+                                     max_pools=2)
         try:
+            programs = []
             for _ in range(2):  # two distinct program objects
                 program, _ = compile_program(make_pickmean_transform())
+                programs.append(program)
                 harness = ProgramTestHarness(program, pickmean_inputs,
                                              base_seed=3)
                 candidate = Candidate(program.default_config())
@@ -160,9 +166,42 @@ class TestBackendEquivalence:
                 serial = SerialBackend().run_batch(program, requests)
                 assert [(o.objective, o.accuracy) for o in parallel] == \
                     [(o.objective, o.accuracy) for o in serial]
-                assert backend._pool_program is program
+                assert id(program) in backend._pools
+            assert len(backend._pools) == 2  # both still warm
+            # A third program exceeds max_pools: the least recently
+            # used pool (program 0's) is closed.
+            third, _ = compile_program(make_pickmean_transform())
+            harness = ProgramTestHarness(third, pickmean_inputs,
+                                         base_seed=3)
+            candidate = Candidate(third.default_config())
+            requests = [harness.build_request(candidate, 16.0, i)
+                        for i in range(4)]
+            backend.run_batch(third, requests)
+            assert len(backend._pools) == 2
+            assert id(programs[0]) not in backend._pools
+            assert id(third) in backend._pools
         finally:
             backend.close()
+        assert len(backend._pools) == 0
+
+    def test_process_pool_max_pools_validated(self):
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(max_pools=0)
+
+    def test_trial_failure_carries_error(self):
+        """A failed trial names the exception behind it, so callers
+        can tell a broken program from an accuracy miss."""
+        program, _ = compile_program(make_pickmean_transform())
+        harness = ProgramTestHarness(program, pickmean_inputs,
+                                     base_seed=3, cost_limit=0.5)
+        candidate = Candidate(program.default_config())
+        request = harness.build_request(candidate, 16.0, 0)
+        outcome = execute_trial(program, request, cost_limit=0.5)
+        assert outcome.failed
+        assert "CostLimitExceeded" in outcome.error
+        # The error survives the cache's JSON round trip.
+        assert TrialOutcome.from_json(outcome.to_json()).error == \
+            outcome.error
 
     def test_backend_from_name(self):
         assert isinstance(backend_from_name("serial"), SerialBackend)
@@ -220,6 +259,45 @@ class TestTrialCache:
         cache = TrialCache(path)  # must not raise
         assert len(cache) == 1
         assert cache.get(good) == TrialOutcome(objective=2.0, accuracy=0.9)
+
+    def test_max_entries_lru_eviction(self):
+        """The bound evicts least-recently-*used* entries, so a
+        long-lived serving/tuning process cannot grow without bound."""
+        cache = TrialCache(max_entries=2)
+        keys = [TrialCache.key(f"d{i}", 1.0, 0, 0) for i in range(3)]
+        cache.put(keys[0], TrialOutcome(objective=1.0, accuracy=0.1))
+        cache.put(keys[1], TrialOutcome(objective=2.0, accuracy=0.2))
+        assert cache.get(keys[0]) is not None  # refresh key 0
+        cache.put(keys[2], TrialOutcome(objective=3.0, accuracy=0.3))
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.get(keys[1]) is None      # LRU victim
+        assert cache.get(keys[0]) is not None  # refreshed, survived
+        assert cache.get(keys[2]) is not None
+
+    def test_max_entries_applies_to_loads(self, tmp_path):
+        path = tmp_path / "big.json"
+        entries = {TrialCache.key(f"d{i}", 1.0, 0, 0):
+                   {"objective": float(i), "accuracy": 0.5}
+                   for i in range(10)}
+        path.write_text(json.dumps({"version": 1, "entries": entries}))
+        cache = TrialCache(path, max_entries=4)
+        assert len(cache) == 4
+        assert cache.evictions == 6
+
+    def test_max_entries_validated(self):
+        with pytest.raises(ValueError):
+            TrialCache(max_entries=0)
+        TrialCache(max_entries=None)  # unbounded stays allowed
+
+    def test_rewriting_a_key_does_not_evict(self):
+        cache = TrialCache(max_entries=2)
+        key = TrialCache.key("dd", 1.0, 0, 0)
+        cache.put(key, TrialOutcome(objective=1.0, accuracy=0.1))
+        cache.put(key, TrialOutcome(objective=2.0, accuracy=0.2))
+        assert len(cache) == 1
+        assert cache.evictions == 0
+        assert cache.get(key).objective == 2.0
 
     def test_time_objective_bypasses_cache(self):
         """Wall-clock measurements are not content-determined; the

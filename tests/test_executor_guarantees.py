@@ -46,6 +46,26 @@ class TestTunedProgram:
         target, _ = tuned_program.config_for_accuracy(0.99999)
         assert target == 0.99
 
+    def test_select_exposes_fallback(self, tuned):
+        _, tuned_program = tuned
+        assert not tuned_program.select(0.7).fallback
+        decision = tuned_program.select(0.99999)
+        assert decision.target == 0.99
+        assert decision.fallback
+
+    def test_run_records_bin_and_fallback(self, tuned, rng):
+        """An unsatisfiable accuracy request is served by the most
+        accurate bin, but the degradation is recorded, not silent."""
+        _, tuned_program = tuned
+        inputs = approxmean_inputs(64, rng)
+        result = tuned_program.run(inputs, 64, accuracy=0.7)
+        assert result.bin_target == 0.9
+        assert not result.fallback
+        assert result.escalations == 0
+        degraded = tuned_program.run(inputs, 64, accuracy=0.99999)
+        assert degraded.bin_target == 0.99
+        assert degraded.fallback
+
     def test_run_default_uses_most_accurate(self, tuned, rng):
         _, tuned_program = tuned
         inputs = approxmean_inputs(256, rng)
@@ -96,10 +116,66 @@ class TestTunedProgram:
         b = loaded.run(inputs, 64, seed=5)
         assert a.outputs["est"] == b.outputs["est"]
 
+    def test_save_writes_versioned_artifact_with_guarantees(
+            self, tuned, tmp_path):
+        """save() persists the schema-versioned artifact format, and
+        the per-bin guarantees survive the round trip."""
+        import json as _json
+        program, tuned_program = tuned
+        path = tmp_path / "artifact.json"
+        tuned_program.save(path)
+        payload = _json.loads(path.read_text())
+        assert payload["schema_version"] == 1
+        assert payload["program"] == "approxmean"
+        loaded = TunedProgram.load(program, path)
+        assert loaded.guarantees == tuned_program.guarantees
+        assert loaded.guarantees  # tuning attached real guarantees
+
+    def test_load_legacy_flat_format(self, tuned, tmp_path, rng):
+        """The pre-artifact flat {bin: config} JSON still loads."""
+        import json as _json
+        program, tuned_program = tuned
+        path = tmp_path / "legacy.json"
+        path.write_text(_json.dumps(
+            {f"{target:g}": config.to_json()
+             for target, config in tuned_program.bin_configs.items()}))
+        loaded = TunedProgram.load(program, path)
+        assert loaded.bins == tuned_program.bins
+        inputs = approxmean_inputs(32, rng)
+        assert loaded.run(inputs, 32, seed=2).outputs["est"] == \
+            tuned_program.run(inputs, 32, seed=2).outputs["est"]
+
+    def test_load_rejects_undeclared_bins(self, tuned, tmp_path):
+        """Keys that parse as floats but name bins the program never
+        declared must raise, naming the stray bins."""
+        import json as _json
+        program, tuned_program = tuned
+        path = tmp_path / "stray.json"
+        config = next(iter(tuned_program.bin_configs.values()))
+        path.write_text(_json.dumps({"0.75": config.to_json(),
+                                     "0.9": config.to_json()}))
+        with pytest.raises(TrainingError, match="0.75"):
+            TunedProgram.load(program, path)
+
+    def test_load_rejects_non_bin_keys(self, tuned, tmp_path):
+        import json as _json
+        program, tuned_program = tuned
+        path = tmp_path / "bad.json"
+        config = next(iter(tuned_program.bin_configs.values()))
+        path.write_text(_json.dumps({"not-a-bin": config.to_json()}))
+        with pytest.raises(TrainingError, match="not-a-bin"):
+            TunedProgram.load(program, path)
+
     def test_empty_bin_configs_rejected(self, tuned):
         program, _ = tuned
         with pytest.raises(TrainingError):
             TunedProgram(program, {})
+
+    def test_undeclared_bins_rejected_at_construction(self, tuned):
+        program, tuned_program = tuned
+        config = next(iter(tuned_program.bin_configs.values()))
+        with pytest.raises(TrainingError, match="0.123"):
+            TunedProgram(program, {0.123: config})
 
 
 class TestStatisticalGuarantee:

@@ -1,0 +1,488 @@
+"""The serving subsystem: artifacts, the store, and the engine.
+
+Three contracts are enforced here:
+
+* **Artifact round-trips** — for *every* suite program, serialize →
+  deserialize → attach produces identical configurations and identical
+  dynamic-bin-lookup decisions for any requested accuracy; schema or
+  program mismatches are rejected loudly.
+* **Serve/run equivalence** — a large batch of mixed-accuracy
+  ``ServeRequest``s through the engine (on thread and process
+  backends) returns bin choices and outputs identical to serial
+  single-call ``TunedProgram.run``, with guarantees, escalation
+  counts, and latency populated.
+* **Observability** — fallbacks and escalations are counted, never
+  silent.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.autotuner import Autotuner, ProgramTestHarness, TunerSettings
+from repro.compiler.compile import compile_program
+from repro.errors import AccuracyError, ArtifactError
+from repro.runtime.backends import (
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+)
+from repro.runtime.executor import TunedProgram
+from repro.runtime.policy import (
+    BinDecision,
+    escalation_ladder,
+    most_accurate_bin,
+    select_bin,
+)
+from repro.serving import (
+    SCHEMA_VERSION,
+    ArtifactStore,
+    ServeRequest,
+    ServingEngine,
+    TunedArtifact,
+)
+from repro.suite import all_benchmarks
+
+from tests.test_backends import (
+    make_pickmean_transform,
+    pickmean_inputs,
+    quick_settings,
+)
+
+SUITE_NAMES = sorted(all_benchmarks())
+
+
+# ----------------------------------------------------------------------
+# Fixtures
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def tuned_pickmean():
+    """(program, TuningResult) for the picklable mean transform."""
+    program, _ = compile_program(make_pickmean_transform())
+    harness = ProgramTestHarness(program, pickmean_inputs, base_seed=3)
+    result = Autotuner(program, harness, quick_settings()).tune()
+    return program, result
+
+
+@pytest.fixture(scope="module")
+def pickmean_artifact(tuned_pickmean):
+    _, result = tuned_pickmean
+    return result.to_artifact(created_at="2026-07-29T00:00:00Z")
+
+
+def suite_tuned_program(name: str) -> TunedProgram:
+    """A TunedProgram for a suite benchmark without tuning: per-bin
+    configurations sampled deterministically from the program's space
+    (distinct per bin, so round-trip tests can tell bins apart)."""
+    from repro.suite import get_benchmark
+    program, _ = get_benchmark(name).compile()
+    configs = {}
+    for index, target in enumerate(
+            program.root_transform.accuracy_bins):
+        rng = np.random.default_rng(100 + index)
+        configs[target] = program.random_config(rng)
+    return TunedProgram(program, configs)
+
+
+# ----------------------------------------------------------------------
+# Bin-selection policy (pure functions)
+# ----------------------------------------------------------------------
+class TestPolicy:
+    from repro.lang.metrics import AccuracyMetric
+    higher = AccuracyMetric(lambda o, i: 0.0, higher_is_better=True)
+    lower = AccuracyMetric(lambda o, i: 0.0, higher_is_better=False)
+
+    def test_cheapest_satisfying_bin(self):
+        decision = select_bin((0.5, 0.9, 0.99), self.higher, 0.7)
+        assert decision == BinDecision(target=0.9, fallback=False,
+                                       requested=0.7)
+
+    def test_fallback_is_explicit(self):
+        decision = select_bin((0.5, 0.9, 0.99), self.higher, 0.999)
+        assert decision.target == 0.99
+        assert decision.fallback
+
+    def test_lower_is_better_direction(self):
+        # Bin Packing style: bins sorted least -> most accurate means
+        # descending targets for a lower-is-better metric.
+        decision = select_bin((1.5, 1.1, 1.01), self.lower, 1.2)
+        assert decision.target == 1.1  # cheapest bin with target <= 1.2
+        assert not decision.fallback
+        assert select_bin((1.5, 1.1, 1.01), self.lower, 1.001).fallback
+
+    def test_escalation_ladder_is_suffix(self):
+        assert escalation_ladder((0.5, 0.9, 0.99), self.higher, 0.9) == \
+            (0.9, 0.99)
+        assert escalation_ladder((1.5, 1.1, 1.01), self.lower, 1.1) == \
+            (1.1, 1.01)
+
+    def test_most_accurate_requires_bins(self):
+        assert most_accurate_bin((0.5, 0.9)) == 0.9
+        with pytest.raises(ValueError):
+            most_accurate_bin(())
+
+
+# ----------------------------------------------------------------------
+# Artifact round-trips across the whole suite
+# ----------------------------------------------------------------------
+class TestArtifactRoundTrip:
+    @pytest.mark.parametrize("name", SUITE_NAMES)
+    def test_round_trip_preserves_configs_and_choices(self, name):
+        tuned = suite_tuned_program(name)
+        artifact = TunedArtifact.from_tuned(tuned)
+        assert artifact.provenance == ("benchmark", name)
+        # serialize -> JSON text -> deserialize -> attach
+        clone = TunedArtifact.from_json(
+            json.loads(json.dumps(artifact.to_json())))
+        reloaded = clone.to_tuned(tuned.program)
+        assert reloaded.bins == tuned.bins
+        assert reloaded.bin_configs == tuned.bin_configs
+        # Dynamic bin lookup decides identically for any request:
+        # probe every bin target, midpoints, and beyond-best requests.
+        targets = list(tuned.bins)
+        probes = targets + \
+            [(a + b) / 2 for a, b in zip(targets, targets[1:])] + \
+            [targets[-1] * 1.5, targets[0] * 0.5]
+        for requested in probes:
+            assert reloaded.select(requested) == tuned.select(requested)
+
+    @pytest.mark.parametrize("name", SUITE_NAMES)
+    def test_provenance_resolves_fresh_program(self, name):
+        tuned = suite_tuned_program(name)
+        artifact = TunedArtifact.from_tuned(tuned)
+        resolved = artifact.resolve()  # rebuilds program by provenance
+        assert resolved.program.root == tuned.program.root
+        assert resolved.bin_configs == tuned.bin_configs
+
+    def test_schema_version_mismatch_rejected(self, pickmean_artifact):
+        payload = pickmean_artifact.to_json()
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ArtifactError, match="schema version"):
+            TunedArtifact.from_json(payload)
+
+    def test_wrong_kind_rejected(self, pickmean_artifact):
+        payload = pickmean_artifact.to_json()
+        payload["kind"] = "something-else"
+        with pytest.raises(ArtifactError, match="not a tuned artifact"):
+            TunedArtifact.from_json(payload)
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ArtifactError):
+            TunedArtifact.from_json({"schema_version": SCHEMA_VERSION,
+                                     "kind": "repro.tuned-artifact"})
+
+    def test_program_mismatch_rejected(self, pickmean_artifact):
+        other = suite_tuned_program("poisson")
+        with pytest.raises(ArtifactError, match="tuned for"):
+            pickmean_artifact.to_tuned(other.program)
+
+    def test_guarantees_travel_with_the_artifact(self, tuned_pickmean,
+                                                 pickmean_artifact):
+        program, result = tuned_pickmean
+        reloaded = pickmean_artifact.to_tuned(program)
+        expected = result.bin_guarantees()
+        assert set(reloaded.guarantees) == set(expected)
+        for target, guarantee in expected.items():
+            assert reloaded.guarantee_for(target) == guarantee
+
+    def test_metadata_records_tuning_provenance(self, pickmean_artifact,
+                                                tuned_pickmean):
+        _, result = tuned_pickmean
+        metadata = pickmean_artifact.metadata
+        assert metadata["seed"] == result.settings.seed
+        assert metadata["settings_digest"] == result.settings.digest()
+        assert metadata["created_at"] == "2026-07-29T00:00:00Z"
+        assert metadata["trials_run"] == result.trials_run
+
+
+# ----------------------------------------------------------------------
+# The artifact store
+# ----------------------------------------------------------------------
+class TestArtifactStore:
+    def test_save_load_list(self, tmp_path, pickmean_artifact):
+        store = ArtifactStore(tmp_path / "artifacts")
+        store.save(pickmean_artifact)
+        store.save(pickmean_artifact, tag="nightly")
+        assert store.list() == {"pickmean": ["default", "nightly"]}
+        loaded = store.load("pickmean")
+        assert loaded.bin_targets == pickmean_artifact.bin_targets
+        assert loaded.metadata == dict(pickmean_artifact.metadata)
+
+    def test_missing_artifact_rejected(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with pytest.raises(ArtifactError, match="no artifact"):
+            store.load("pickmean")
+
+    def test_moved_file_rejected(self, tmp_path, pickmean_artifact):
+        """A file smuggled into another program's directory must not
+        be served under that program's name."""
+        store = ArtifactStore(tmp_path)
+        path = store.save(pickmean_artifact)
+        other = store.path_for("poisson")
+        import os
+        import shutil
+        os.makedirs(os.path.dirname(other), exist_ok=True)
+        shutil.copy(path, other)
+        with pytest.raises(ArtifactError, match="mismatched"):
+            store.load("poisson")
+
+    def test_path_traversal_rejected(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        for bad in ("../escape", "a/b", "", ".hidden"):
+            with pytest.raises(ArtifactError):
+                store.path_for(bad)
+
+    def test_load_tuned_by_provenance(self, tmp_path):
+        tuned = suite_tuned_program("poisson")
+        store = ArtifactStore(tmp_path)
+        store.save(TunedArtifact.from_tuned(tuned))
+        fresh = store.load_tuned("poisson")  # no compiled program given
+        assert fresh.bin_configs == tuned.bin_configs
+
+
+# ----------------------------------------------------------------------
+# Serving equivalence: the acceptance criterion
+# ----------------------------------------------------------------------
+def mixed_requests(count: int) -> list[ServeRequest]:
+    """``count`` mixed-accuracy requests over varying inputs/seeds,
+    including exact bins, midpoints, beyond-best (fallback), and
+    verify-escalation traffic."""
+    accuracies = [0.5, 0.9, 0.99, 0.7, None, 1.5, 0.95, 0.2]
+    requests = []
+    for i in range(count):
+        rng = np.random.default_rng(1000 + i)
+        requests.append(ServeRequest(
+            program="pickmean",
+            inputs=pickmean_inputs(48 + (i % 7), rng),
+            n=48 + (i % 7),
+            accuracy=accuracies[i % len(accuracies)],
+            verify=(i % 3 == 0),
+            seed=i % 5))
+    return requests
+
+
+class TestServingEquivalence:
+    @pytest.fixture(scope="class")
+    def served_setup(self, tuned_pickmean, tmp_path_factory):
+        """Artifact saved, then loaded into a *fresh* TunedProgram —
+        the tune-once/serve-many path."""
+        program, result = tuned_pickmean
+        store = ArtifactStore(tmp_path_factory.mktemp("artifacts"))
+        store.save(result.to_artifact())
+        fresh_program, _ = compile_program(make_pickmean_transform())
+        tuned = store.load_tuned("pickmean", compiled=fresh_program)
+        reference = result.tuned_program()
+        return tuned, reference
+
+    @pytest.mark.parametrize("backend_factory", [
+        pytest.param(lambda: ThreadPoolBackend(max_workers=4),
+                     id="thread"),
+        pytest.param(lambda: ProcessPoolBackend(max_workers=2,
+                                                chunk_size=8),
+                     id="process"),
+    ])
+    def test_batch_matches_serial_single_calls(self, served_setup,
+                                               backend_factory):
+        tuned, reference = served_setup
+        requests = mixed_requests(104)
+        with ServingEngine(backend=backend_factory(),
+                           batch_size=32) as engine:
+            engine.register("pickmean", tuned)
+            responses = engine.serve(requests)
+            stats = engine.stats()
+
+        assert len(responses) == len(requests)
+        checked_ok = checked_failed = 0
+        for request, response in zip(requests, responses):
+            kwargs = dict(accuracy=request.accuracy,
+                          verify=request.verify, seed=request.seed)
+            if response.ok:
+                expected = reference.run(request.inputs, request.n,
+                                         **kwargs)
+                assert response.outputs["est"] == \
+                    expected.outputs["est"]
+                assert response.bin_target == expected.bin_target
+                assert response.fallback == expected.fallback
+                assert response.escalations == expected.escalations
+                if request.accuracy is not None:
+                    assert response.requested_accuracy == \
+                        request.accuracy
+                assert response.achieved_accuracy is not None
+                assert response.latency >= 0.0
+                checked_ok += 1
+            else:
+                # The single-call path fails identically.
+                with pytest.raises(AccuracyError):
+                    reference.run(request.inputs, request.n, **kwargs)
+                assert response.achieved_accuracy is not None
+                checked_failed += 1
+        assert checked_ok >= 90  # the batch is overwhelmingly servable
+
+        # Guarantees ride on responses for bins that have them.
+        guaranteed = [r for r in responses
+                      if r.ok and r.guarantee is not None]
+        assert guaranteed, "no response carried a guarantee"
+        for response in guaranteed:
+            assert response.guarantee.target == response.bin_target
+
+        # Stats snapshot is fully populated.
+        assert stats.requests == len(requests)
+        assert stats.served == checked_ok
+        assert stats.errors == checked_failed
+        assert stats.fallbacks > 0  # the 1.5-accuracy requests
+        assert stats.executions >= stats.requests - stats.errors
+        assert stats.p95_latency >= stats.p50_latency >= 0.0
+
+    def test_thread_and_process_identical(self, served_setup):
+        tuned, _ = served_setup
+        requests = mixed_requests(24)
+        outputs = {}
+        for name, factory in (
+                ("serial", lambda: SerialBackend()),
+                ("thread", lambda: ThreadPoolBackend(max_workers=4))):
+            with ServingEngine(backend=factory()) as engine:
+                engine.register("pickmean", tuned)
+                responses = engine.serve(requests)
+            outputs[name] = [
+                (r.ok, r.bin_target, r.escalations,
+                 r.outputs["est"] if r.ok else None)
+                for r in responses]
+        assert outputs["thread"] == outputs["serial"]
+
+
+# ----------------------------------------------------------------------
+# Engine behaviour
+# ----------------------------------------------------------------------
+class TestServingEngine:
+    def test_unknown_program_is_an_error_response(self):
+        engine = ServingEngine()
+        response = engine.serve_one(ServeRequest(
+            program="nonesuch", inputs={}, n=4.0))
+        assert not response.ok
+        assert "nonesuch" in response.error
+        assert engine.stats().errors == 1
+
+    def test_store_backed_lazy_load(self, tmp_path):
+        tuned = suite_tuned_program("poisson")
+        store = ArtifactStore(tmp_path)
+        store.save(TunedArtifact.from_tuned(tuned))
+        engine = ServingEngine(store=store)
+        assert engine.programs == ()
+        rng = np.random.default_rng(5)
+        from repro.suite import get_benchmark
+        inputs = get_benchmark("poisson").generate(7, rng)
+        response = engine.serve_one(ServeRequest(
+            program="poisson", inputs=inputs, n=7.0))
+        assert response.ok
+        assert engine.programs == ("poisson",)
+
+    def test_fallback_counted_not_silent(self, tuned_pickmean):
+        program, result = tuned_pickmean
+        engine = ServingEngine()
+        engine.register("pickmean", result.tuned_program())
+        rng = np.random.default_rng(9)
+        response = engine.serve_one(ServeRequest(
+            program="pickmean", inputs=pickmean_inputs(32, rng), n=32.0,
+            accuracy=5.0))  # beyond every bin
+        assert response.ok
+        assert response.fallback
+        assert response.bin_target == most_accurate_bin(
+            result.tuned_program().bins)
+        assert engine.stats().fallbacks == 1
+
+    def test_escalations_are_batched_and_counted(self, tuned_pickmean):
+        """Verify traffic that must climb the ladder reports its
+        escalation count and the engine aggregates them."""
+        program, result = tuned_pickmean
+        tuned = result.tuned_program()
+        engine = ServingEngine()
+        engine.register("pickmean", tuned)
+        rng = np.random.default_rng(11)
+        # Request the least accurate bin exactly, but demand (via
+        # verify) an accuracy only higher bins reach; unless bin one
+        # already meets it, the engine must escalate.
+        requests = [ServeRequest(
+            program="pickmean", inputs=pickmean_inputs(64, rng), n=64.0,
+            accuracy=0.5, verify=True, seed=s) for s in range(8)]
+        responses = engine.serve(requests)
+        stats = engine.stats()
+        assert stats.requests == 8
+        assert stats.escalations == sum(r.escalations for r in responses)
+        assert stats.executions == \
+            sum(r.escalations + 1 for r in responses)
+
+    def test_crashed_execution_is_terminal_not_escalated(self):
+        """A program that raises is a broken deployment: the response
+        names the exception and the engine does not silently climb the
+        ladder (the single-call path propagates the same exception)."""
+        from repro.lang.transform import Transform
+        transform = Transform(
+            "fragile", inputs=("x",), outputs=("y",),
+            accuracy_metric=lambda o, i: 1.0,
+            accuracy_bins=(0.5, 0.9))
+        transform.rule(outputs=("y",), inputs=("x",), name="boom")(
+            lambda ctx, x: 1.0 / 0.0)
+        program, _ = compile_program(transform)
+        tuned = TunedProgram(program, {
+            0.5: program.default_config(),
+            0.9: program.default_config()})
+        engine = ServingEngine()
+        engine.register("fragile", tuned)
+        response = engine.serve_one(ServeRequest(
+            program="fragile", inputs={"x": 1.0}, n=4.0,
+            accuracy=0.5, verify=True))
+        assert not response.ok
+        assert "ZeroDivisionError" in response.error
+        assert response.bin_target == 0.5
+        assert response.escalations == 0  # crash did not escalate
+        assert engine.stats().errors == 1
+        with pytest.raises(ZeroDivisionError):
+            tuned.run({"x": 1.0}, 4.0, accuracy=0.5, verify=True)
+
+    def test_batch_size_validated(self):
+        with pytest.raises(ValueError):
+            ServingEngine(batch_size=0)
+
+    def test_concurrent_serve_calls(self, tuned_pickmean):
+        """serve() may be driven from several threads: counters stay
+        consistent and every response is well-formed."""
+        import threading
+        _, result = tuned_pickmean
+        engine = ServingEngine(batch_size=4)
+        engine.register("pickmean", result.tuned_program())
+        per_thread = 10
+        collected: list[list] = [[], []]
+
+        def worker(slot):
+            rng = np.random.default_rng(slot)
+            requests = [ServeRequest(
+                program="pickmean", inputs=pickmean_inputs(32, rng),
+                n=32.0, accuracy=0.9, seed=i) for i in range(per_thread)]
+            collected[slot] = engine.serve(requests)
+
+        threads = [threading.Thread(target=worker, args=(slot,))
+                   for slot in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(len(responses) == per_thread
+                   for responses in collected)
+        assert all(r.ok for responses in collected for r in responses)
+        stats = engine.stats()
+        assert stats.requests == 2 * per_thread
+        assert stats.served == 2 * per_thread
+
+    def test_reset_stats(self, tuned_pickmean):
+        _, result = tuned_pickmean
+        engine = ServingEngine()
+        engine.register("pickmean", result.tuned_program())
+        rng = np.random.default_rng(3)
+        engine.serve_one(ServeRequest(
+            program="pickmean", inputs=pickmean_inputs(16, rng), n=16.0))
+        assert engine.stats().requests == 1
+        engine.reset_stats()
+        assert engine.stats().requests == 0
