@@ -13,6 +13,7 @@ from repro.autotuner.candidate import Candidate
 from repro.autotuner.comparison import Comparator, ComparisonSettings
 from repro.autotuner.mutators import MutatorPool, MutationFailed
 from repro.autotuner.results import Trial, CandidateResults
+from repro.autotuner.session import SessionProgress, TuningSession
 from repro.autotuner.testing import ProgramTestHarness
 from repro.autotuner.tuner import Autotuner, TunerSettings, TuningResult
 
@@ -20,6 +21,8 @@ __all__ = [
     "Autotuner",
     "TunerSettings",
     "TuningResult",
+    "TuningSession",
+    "SessionProgress",
     "Candidate",
     "CandidateResults",
     "Trial",

@@ -1,0 +1,252 @@
+"""Resumable tuning sessions: the Figure-5 loop as explicit state.
+
+:meth:`Autotuner.tune` used to *be* the main loop — two nested ``for``
+statements that had to run to completion in one call.  This module
+reifies that loop into a :class:`TuningSession` whose position is
+explicit state (the population, the index of the current training
+input size, the round within that size, and the phase within that
+round) advanced by a small state machine.  Three things fall out:
+
+* **Bounded slices** — :meth:`TuningSession.step` runs phase units
+  until at least ``budget`` new trials have been recorded, then
+  returns.  A serving process can interleave tuning slices with
+  traffic instead of blocking on a monolithic run (see
+  :class:`~repro.serving.controller.RetuneController`).
+* **Incremental retuning** — ``seed_configs`` plants the per-bin
+  configurations of an existing artifact into the initial population,
+  so a retune refines what is already deployed rather than starting
+  from scratch.
+* **Unchanged semantics** — the state machine executes exactly the
+  phase sequence of the old loop, consuming the same RNG stream in the
+  same order; for a fixed seed, driving a session to completion is
+  bit-identical to the pre-refactor ``Autotuner.tune`` (asserted by
+  ``tests/test_session.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.autotuner.candidate import Candidate
+from repro.autotuner.pruning import k_fastest
+from repro.config.configuration import Configuration
+from repro.errors import TrainingError
+from repro.rng import generator_for
+
+if TYPE_CHECKING:
+    from repro.autotuner.tuner import Autotuner, TuningResult
+
+__all__ = ["SessionProgress", "TuningSession"]
+
+#: Phase order within one (size, round) cell of the Figure-5 loop.
+_PHASES = ("test", "mutate", "guided", "prune", "finalize", "done")
+
+
+@dataclass(frozen=True)
+class SessionProgress:
+    """What one :meth:`TuningSession.step` call accomplished."""
+
+    units: int            # phase units executed
+    trials: int           # trials recorded during the step
+    size: float | None    # training input size after the step
+    round: int            # round index after the step
+    phase: str            # phase after the step
+    done: bool
+
+    def __str__(self) -> str:
+        if self.done:
+            where = "finished"
+        elif self.size is None:   # paused at the finalize phase
+            where = self.phase
+        else:
+            where = f"n={self.size:g} round={self.round} {self.phase}"
+        return (f"SessionProgress({self.units} units, "
+                f"{self.trials} trials, {where})")
+
+
+class TuningSession:
+    """The autotuning main loop, steppable and resumable.
+
+    The session owns the loop state the old ``Autotuner.tune`` kept in
+    local variables: ``population``, ``size_index`` (into
+    ``settings.sizes()``), ``round_index`` and ``phase``.  Phases are
+    executed by the :class:`~repro.autotuner.tuner.Autotuner`'s own
+    phase methods, so a session and the classic driver cannot drift
+    apart.
+
+    ``seed_configs`` (e.g. the per-bin configurations of a deployed
+    artifact) join the initial population *after* the default and
+    random seeds, leaving the RNG stream of an unseeded session
+    untouched — an unseeded session replays the classic run exactly.
+    """
+
+    def __init__(self, tuner: "Autotuner", *,
+                 seed_configs: Sequence[Configuration] = ()):
+        self.tuner = tuner
+        self.settings = tuner.settings
+        self.sizes = self.settings.sizes()
+        self._rng = generator_for(self.settings.seed, "tuner",
+                                  tuner.program.root)
+        self.population: list[Candidate] = \
+            tuner._initial_population(self._rng)
+        self.population.extend(Candidate(config)
+                               for config in seed_configs)
+        self.seeded = bool(seed_configs)
+        self.size_index = 0
+        self.round_index = 0
+        self.phase = "test"
+        self._result: "TuningResult | None" = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def current_size(self) -> float | None:
+        if self.size_index < len(self.sizes):
+            return self.sizes[self.size_index]
+        return None
+
+    @property
+    def done(self) -> bool:
+        return self.phase == "done"
+
+    @property
+    def trials_run(self) -> int:
+        return self.tuner.harness.trials_run
+
+    def result(self) -> "TuningResult":
+        if self._result is None:
+            raise TrainingError(
+                "tuning session has not finished; call run() or step() "
+                "until done")
+        return self._result
+
+    # ------------------------------------------------------------------
+    # The state machine
+    # ------------------------------------------------------------------
+    def _advance(self) -> None:
+        """Execute one phase unit and move to the next state.
+
+        The sequence per size ``n`` is ``test`` then, for each round,
+        ``mutate`` → ``guided`` → ``prune``; after the last size comes
+        ``finalize``.  This is the old loop body, phase for phase.
+        """
+        tuner = self.tuner
+        n = self.current_size
+        if self.phase == "test":
+            tuner._test_population(self.population, n)
+            self.round_index = 0
+            if self.settings.rounds_per_size > 0:
+                self.phase = "mutate"
+            else:
+                # Zero rounds: test-only tuning, exactly as the
+                # legacy loop's empty inner `for` behaved.
+                self._finish_size(n)
+        elif self.phase == "mutate":
+            tuner._random_mutation(self.population, n, self._rng)
+            self.phase = "guided"
+        elif self.phase == "guided":
+            if self.settings.use_guided_mutation:
+                tuner._guided_mutation(self.population, n)
+            self.phase = "prune"
+        elif self.phase == "prune":
+            pruned = tuner._prune(self.population, n)
+            if pruned:
+                self.population = pruned
+            self.round_index += 1
+            if self.round_index < self.settings.rounds_per_size:
+                self.phase = "mutate"
+            else:
+                self._finish_size(n)
+        elif self.phase == "finalize":
+            self._result = self._finalize()
+            self.phase = "done"
+        else:
+            raise TrainingError("tuning session already finished")
+
+    def _finish_size(self, n: float) -> None:
+        """Log the size summary and move to the next size (or finalize)."""
+        self.tuner._log(f"n={n:g}: population={len(self.population)} "
+                        f"trials={self.tuner.harness.trials_run}")
+        self.size_index += 1
+        self.phase = ("test" if self.size_index < len(self.sizes)
+                      else "finalize")
+
+    def _finalize(self) -> "TuningResult":
+        from repro.autotuner.tuner import TuningResult
+        tuner = self.tuner
+        settings = self.settings
+        final_n = self.sizes[-1]
+        best_per_bin: dict[float, Candidate] = {}
+        for target in tuner.bins:
+            eligible = [c for c in self.population
+                        if c.meets_accuracy(final_n, target, tuner.metric,
+                                            settings.accuracy_confidence)]
+            fastest = k_fastest(eligible, 1, tuner.comparator, final_n)
+            if fastest:
+                best_per_bin[target] = fastest[0]
+        unmet = tuple(t for t in tuner.bins if t not in best_per_bin)
+        if unmet:
+            message = (f"accuracy targets not reached for bins {unmet} "
+                       f"of {tuner.program.root!r}")
+            if settings.require_targets == "error":
+                raise TrainingError(message)
+            if settings.require_targets == "warn":
+                tuner._log("WARNING: " + message)
+        return TuningResult(
+            program=tuner.program, bins=tuner.bins,
+            best_per_bin=best_per_bin, population=self.population,
+            sizes=self.sizes, unmet_bins=unmet,
+            trials_run=tuner.harness.trials_run,
+            settings=settings)
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def step(self, budget: int | None = None) -> SessionProgress:
+        """Advance the session by a bounded slice of work.
+
+        Executes phase units until at least ``budget`` new trials have
+        been recorded (or the session finishes); ``None`` means one
+        single unit.  At least one unit always runs, so a session makes
+        progress even under a zero budget.  Returns a
+        :class:`SessionProgress` snapshot.
+        """
+        if self.done:
+            return SessionProgress(units=0, trials=0,
+                                   size=None, round=self.round_index,
+                                   phase=self.phase, done=True)
+        start_trials = self.trials_run
+        units = 0
+        while True:
+            self._advance()
+            units += 1
+            if self.done:
+                break
+            if budget is None:
+                break
+            if self.trials_run - start_trials >= budget:
+                break
+        return SessionProgress(
+            units=units, trials=self.trials_run - start_trials,
+            size=self.current_size, round=self.round_index,
+            phase=self.phase, done=self.done)
+
+    def run(self) -> "TuningResult":
+        """Drive the session to completion and return its result."""
+        while not self.done:
+            self._advance()
+        return self.result()
+
+    def __repr__(self) -> str:
+        if self.done:
+            where = "done"
+        elif self.current_size is None:  # paused at finalize
+            where = f"phase={self.phase}"
+        else:
+            where = (f"n={self.current_size:g} round={self.round_index} "
+                     f"phase={self.phase}")
+        return (f"TuningSession({self.tuner.program.root!r}, {where}, "
+                f"population={len(self.population)}, "
+                f"seeded={self.seeded})")

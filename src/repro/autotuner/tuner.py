@@ -29,12 +29,11 @@ from repro.autotuner.candidate import Candidate
 from repro.autotuner.comparison import Comparator, ComparisonSettings
 from repro.autotuner.guided import guided_mutation
 from repro.autotuner.mutators import MutationFailed, MutatorPool
-from repro.autotuner.pruning import k_fastest, prune_population
+from repro.autotuner.pruning import prune_population
 from repro.autotuner.testing import ProgramTestHarness
 from repro.compiler.program import CompiledProgram
 from repro.config.configuration import Configuration
 from repro.errors import TrainingError
-from repro.rng import generator_for
 
 __all__ = ["TunerSettings", "TuningResult", "Autotuner"]
 
@@ -344,44 +343,25 @@ class Autotuner:
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
+    def session(self, *, seed_configs: Sequence[Configuration] = ()
+                ) -> "TuningSession":
+        """A fresh resumable :class:`~repro.autotuner.session.
+        TuningSession` over this tuner.
+
+        ``seed_configs`` plants existing configurations (e.g. a
+        deployed artifact's per-bin choices) into the initial
+        population for incremental retuning.
+        """
+        from repro.autotuner.session import TuningSession
+        return TuningSession(self, seed_configs=seed_configs)
+
     def tune(self) -> TuningResult:
-        settings = self.settings
-        rng = generator_for(settings.seed, "tuner", self.program.root)
-        population = self._initial_population(rng)
-        sizes = settings.sizes()
+        """Run the Figure-5 loop to completion.
 
-        for n in sizes:
-            self._test_population(population, n)
-            for _ in range(settings.rounds_per_size):
-                self._random_mutation(population, n, rng)
-                if settings.use_guided_mutation:
-                    self._guided_mutation(population, n)
-                pruned = self._prune(population, n)
-                if pruned:
-                    population = pruned
-            self._log(f"n={n:g}: population={len(population)} "
-                      f"trials={self.harness.trials_run}")
-
-        final_n = sizes[-1]
-        best_per_bin: dict[float, Candidate] = {}
-        for target in self.bins:
-            eligible = [c for c in population
-                        if c.meets_accuracy(final_n, target, self.metric,
-                                            settings.accuracy_confidence)]
-            fastest = k_fastest(eligible, 1, self.comparator, final_n)
-            if fastest:
-                best_per_bin[target] = fastest[0]
-        unmet = tuple(t for t in self.bins if t not in best_per_bin)
-        if unmet:
-            message = (f"accuracy targets not reached for bins {unmet} "
-                       f"of {self.program.root!r}")
-            if settings.require_targets == "error":
-                raise TrainingError(message)
-            if settings.require_targets == "warn":
-                self._log("WARNING: " + message)
-        return TuningResult(
-            program=self.program, bins=self.bins,
-            best_per_bin=best_per_bin, population=population,
-            sizes=sizes, unmet_bins=unmet,
-            trials_run=self.harness.trials_run,
-            settings=settings)
+        A thin driver over :meth:`session`: the loop itself lives in
+        :class:`~repro.autotuner.session.TuningSession`, which executes
+        the identical phase sequence (and consumes the identical RNG
+        stream) the monolithic loop did — for a fixed seed the result
+        is bit-identical.
+        """
+        return self.session().run()

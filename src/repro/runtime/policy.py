@@ -31,7 +31,8 @@ from repro.errors import TrainingError
 from repro.lang.metrics import AccuracyMetric
 
 __all__ = ["BinDecision", "RequestPlan", "select_bin",
-           "most_accurate_bin", "escalation_ladder", "plan_request"]
+           "most_accurate_bin", "escalation_ladder", "plan_request",
+           "PromotionDecision", "judge_shadow"]
 
 
 @dataclass(frozen=True)
@@ -127,3 +128,66 @@ def plan_request(bins: Sequence[float], metric: AccuracyMetric,
         required = float(start)
     return RequestPlan(ladder=escalation_ladder(bins, metric, start),
                        required=required, fallback=fallback)
+
+
+# ----------------------------------------------------------------------
+# Shadow-promotion policy
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PromotionDecision:
+    """Verdict on a shadow-deployed candidate artifact.
+
+    ``action`` is ``"wait"`` (not enough shadow samples yet),
+    ``"promote"`` (the candidate may replace the primary) or
+    ``"rollback"`` (the candidate regressed and must be discarded).
+    """
+
+    action: str
+    reason: str
+    samples: int = 0
+    primary_mean: float | None = None
+    candidate_mean: float | None = None
+
+    def __str__(self) -> str:
+        return f"{self.action}: {self.reason}"
+
+
+def judge_shadow(primary: Sequence[float], candidate: Sequence[float],
+                 metric: AccuracyMetric, target: float, *,
+                 min_samples: int = 8) -> PromotionDecision:
+    """Decide a shadow evaluation from paired accuracy observations.
+
+    ``primary``/``candidate`` are the achieved accuracies both
+    artifacts produced on the *same sampled traffic*.  The candidate is
+    promoted when its mean accuracy meets the drifted bin's ``target``
+    or at least improves on the primary; a candidate that does neither
+    is a regression and is rolled back.  Like the rest of this module
+    the function is pure, so the single-call tests and the live
+    controller decide identically by construction.
+    """
+    samples = min(len(primary), len(candidate))
+    if samples < min_samples:
+        return PromotionDecision(
+            action="wait",
+            reason=f"{samples}/{min_samples} shadow samples",
+            samples=samples)
+    primary_mean = sum(primary) / len(primary)
+    candidate_mean = sum(candidate) / len(candidate)
+    decided = dict(samples=samples, primary_mean=primary_mean,
+                   candidate_mean=candidate_mean)
+    if metric.meets(candidate_mean, target):
+        return PromotionDecision(
+            action="promote",
+            reason=f"candidate mean {candidate_mean:.6g} meets "
+                   f"target {target:g}", **decided)
+    if metric.better(candidate_mean, primary_mean):
+        return PromotionDecision(
+            action="promote",
+            reason=f"candidate mean {candidate_mean:.6g} improves on "
+                   f"primary {primary_mean:.6g} (target {target:g} "
+                   f"still unmet)", **decided)
+    return PromotionDecision(
+        action="rollback",
+        reason=f"candidate mean {candidate_mean:.6g} neither meets "
+               f"target {target:g} nor improves on primary "
+               f"{primary_mean:.6g}", **decided)

@@ -1,14 +1,22 @@
 """Tuned-artifact persistence and the accuracy-aware serving runtime.
 
-Tune once, serve many: :class:`TunedArtifact` is the versioned,
-guarantee-carrying JSON bundle a tuning run produces
+Tune once, serve many — then keep watching: :class:`TunedArtifact` is
+the versioned, guarantee-carrying JSON bundle a tuning run produces
 (:meth:`repro.autotuner.TuningResult.to_artifact`);
-:class:`ArtifactStore` keeps artifacts on disk by program name; and
-:class:`ServingEngine` serves batches of :class:`ServeRequest` traffic
-over any :class:`~repro.runtime.backends.ExecutionBackend`, making the
-same bin-selection and verify-escalation decisions as single-call
+:class:`ArtifactStore` keeps monotonically versioned artifacts on disk
+with a latest pointer, retention, and rollback; :class:`ServingEngine`
+serves batches of :class:`ServeRequest` traffic over any
+:class:`~repro.runtime.backends.ExecutionBackend`, making the same
+bin-selection and verify-escalation decisions as single-call
 :meth:`~repro.runtime.executor.TunedProgram.run`
-(:mod:`repro.runtime.policy` is shared by both).
+(:mod:`repro.runtime.policy` is shared by both), and supports atomic
+:meth:`~ServingEngine.hot_swap` plus shadow deployments.
+
+:class:`ServingTelemetry` + :class:`DriftDetector` observe served
+accuracy per bin against each artifact's stored statistical guarantee,
+and :class:`RetuneController` closes the loop: on drift it runs
+incremental background :class:`~repro.autotuner.TuningSession` slices,
+shadows the candidate on sampled traffic, and promotes or rolls back.
 """
 
 from repro.serving.artifact import (
@@ -17,13 +25,22 @@ from repro.serving.artifact import (
     ArtifactBin,
     TunedArtifact,
 )
+from repro.serving.controller import RetuneController, RetuneStatus
 from repro.serving.engine import (
     ServeRequest,
     ServeResponse,
     ServingEngine,
     ServingStats,
+    ShadowStatus,
 )
-from repro.serving.store import DEFAULT_TAG, ArtifactStore
+from repro.serving.store import DEFAULT_TAG, ArtifactStore, StoreStats
+from repro.serving.telemetry import (
+    BinSnapshot,
+    DriftDetector,
+    DriftEvent,
+    ServingTelemetry,
+    percentile,
+)
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -31,9 +48,18 @@ __all__ = [
     "ArtifactBin",
     "TunedArtifact",
     "ArtifactStore",
+    "StoreStats",
     "DEFAULT_TAG",
     "ServeRequest",
     "ServeResponse",
     "ServingStats",
+    "ShadowStatus",
     "ServingEngine",
+    "ServingTelemetry",
+    "BinSnapshot",
+    "DriftDetector",
+    "DriftEvent",
+    "RetuneController",
+    "RetuneStatus",
+    "percentile",
 ]

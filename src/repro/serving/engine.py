@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import threading
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
 from repro.errors import ArtifactError, ReproError
@@ -50,9 +50,10 @@ from repro.runtime.executor import TunedProgram
 from repro.runtime.guarantees import StatisticalGuarantee
 from repro.runtime.policy import plan_request
 from repro.serving.store import DEFAULT_TAG, ArtifactStore
+from repro.serving.telemetry import ServingTelemetry, percentile
 
 __all__ = ["ServeRequest", "ServeResponse", "ServingStats",
-           "ServingEngine"]
+           "ShadowStatus", "ServingEngine"]
 
 #: Default number of requests dispatched per backend batch.
 DEFAULT_BATCH_SIZE = 64
@@ -110,15 +111,67 @@ class ServingStats:
     p50_latency: float
     p95_latency: float
     backend: str
+    shadow_executions: int = 0
+    swaps: int = 0
 
     def __str__(self) -> str:
         return (f"{self.requests} requests ({self.served} ok, "
                 f"{self.errors} errors) via {self.backend}: "
                 f"{self.escalations} escalations, "
                 f"{self.fallbacks} fallbacks, "
-                f"{self.executions} executions, "
+                f"{self.executions} executions "
+                f"(+{self.shadow_executions} shadow), "
+                f"{self.swaps} swaps, "
                 f"p50 {self.p50_latency * 1e3:.2f}ms, "
                 f"p95 {self.p95_latency * 1e3:.2f}ms")
+
+
+@dataclass(frozen=True)
+class ShadowStatus:
+    """Progress of one shadow deployment.
+
+    ``primary_accuracies`` / ``candidate_accuracies`` are *paired*:
+    entry ``i`` of both came from the same sampled request, so they
+    feed :func:`repro.runtime.policy.judge_shadow` directly.
+    ``per_bin`` holds the same paired windows bucketed by the bin the
+    *primary* served each request from — a drifted bin must be judged
+    against its own traffic, not a pool diluted by cheaper requests.
+    ``failures`` counts candidate executions that crashed (a crashing
+    candidate must never be promoted).
+    """
+
+    program: str
+    fraction: float
+    samples: int
+    executions: int
+    failures: int
+    primary_accuracies: tuple[float, ...]
+    candidate_accuracies: tuple[float, ...]
+    per_bin: Mapping[float, tuple[tuple[float, ...],
+                                  tuple[float, ...]]] = \
+        field(default_factory=dict)
+
+
+class _ShadowState:
+    """Mutable engine-side state of one shadow deployment."""
+
+    __slots__ = ("candidate", "fraction", "stride", "counter",
+                 "executions", "failures", "primary", "shadow",
+                 "per_bin", "window", "digests")
+
+    def __init__(self, candidate: TunedProgram, fraction: float,
+                 window: int):
+        self.candidate = candidate
+        self.fraction = fraction
+        self.stride = max(1, int(round(1.0 / fraction)))
+        self.counter = 0
+        self.executions = 0
+        self.failures = 0
+        self.window = window
+        self.primary: deque[float] = deque(maxlen=window)
+        self.shadow: deque[float] = deque(maxlen=window)
+        self.per_bin: dict[float, tuple[deque, deque]] = {}
+        self.digests: dict[float, str] = {}
 
 
 @dataclass
@@ -140,15 +193,6 @@ class _Pending:
         return self.ladder[self.pos]
 
 
-def _percentile(values: Sequence[float], fraction: float) -> float:
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    rank = min(len(ordered) - 1,
-               max(0, int(round(fraction * (len(ordered) - 1)))))
-    return ordered[rank]
-
-
 class ServingEngine:
     """Batches :class:`ServeRequest` traffic onto an execution backend.
 
@@ -157,24 +201,36 @@ class ServingEngine:
     name, provenance-resolved, and cached), or both.  ``batch_size``
     bounds how many requests one ``run_batch`` call carries; process
     backends amortise their per-batch dispatch over it.
+
+    With ``telemetry`` attached, every settled response is folded into
+    per-bin rolling windows (achieved accuracy, escalations,
+    fallbacks, latency) — the observability layer drift detection and
+    background retuning build on.  :meth:`hot_swap` atomically
+    replaces a served program, and :meth:`start_shadow` runs a
+    candidate on a sampled fraction of live traffic without exposing
+    its outputs to callers.
     """
 
     def __init__(self, *,
                  store: ArtifactStore | None = None,
                  backend: ExecutionBackend | None = None,
                  batch_size: int = DEFAULT_BATCH_SIZE,
-                 latency_window: int = DEFAULT_LATENCY_WINDOW):
+                 latency_window: int = DEFAULT_LATENCY_WINDOW,
+                 telemetry: ServingTelemetry | None = None):
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         self.store = store
         self.backend = backend if backend is not None else SerialBackend()
         self.batch_size = batch_size
+        self.telemetry = telemetry
         self._programs: dict[str, TunedProgram] = {}
         self._digests: dict[tuple[str, float], str] = {}
+        self._shadows: dict[str, _ShadowState] = {}
         self._lock = threading.Lock()
         self._counters = {"requests": 0, "served": 0, "errors": 0,
                           "escalations": 0, "fallbacks": 0,
-                          "executions": 0}
+                          "executions": 0, "shadow_executions": 0,
+                          "swaps": 0}
         self._latencies: deque[float] = deque(maxlen=latency_window)
 
     # ------------------------------------------------------------------
@@ -184,8 +240,33 @@ class ServingEngine:
         """Serve ``tuned`` under ``name`` (usually its root name)."""
         with self._lock:
             self._programs[name] = tuned
-            for target in tuned.bins:  # invalidate stale digests
-                self._digests.pop((name, target), None)
+            self._invalidate_digests(name)
+
+    def _invalidate_digests(self, name: str) -> None:
+        """Drop every cached config digest of ``name`` (lock held)."""
+        for key in [key for key in self._digests if key[0] == name]:
+            del self._digests[key]
+
+    def hot_swap(self, name: str, tuned: TunedProgram
+                 ) -> TunedProgram | None:
+        """Atomically replace the program served under ``name``.
+
+        In-flight requests finish on the program they started with;
+        every request planned after the swap sees ``tuned``.  Any
+        active shadow of ``name`` ends (the usual promotion path swaps
+        in the shadow's own candidate), the name's telemetry windows
+        reset so the new artifact is judged on its own traffic, and
+        the previous program is returned for audit or rollback.
+        """
+        with self._lock:
+            previous = self._programs.get(name)
+            self._programs[name] = tuned
+            self._invalidate_digests(name)
+            self._shadows.pop(name, None)
+            self._counters["swaps"] += 1
+        if self.telemetry is not None:
+            self.telemetry.reset(name)
+        return previous
 
     def program_for(self, name: str, tag: str = DEFAULT_TAG
                     ) -> TunedProgram:
@@ -213,6 +294,126 @@ class ServingEngine:
             return tuple(self._programs)
 
     # ------------------------------------------------------------------
+    # Shadow deployments
+    # ------------------------------------------------------------------
+    def start_shadow(self, name: str, candidate: TunedProgram, *,
+                     fraction: float = 0.25,
+                     window: int = 256) -> None:
+        """Shadow ``candidate`` on a sampled fraction of ``name``'s
+        traffic.
+
+        Every ``1/fraction``-th successfully served request is re-run
+        on the candidate (batched on the same backend); only its
+        achieved accuracy is recorded — callers always receive the
+        primary's outputs.  Sampling is a deterministic stride, so a
+        fixed request sequence shadows a fixed subset.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("shadow fraction must be in (0, 1]")
+        self.program_for(name)  # primary must exist (or load) first
+        with self._lock:
+            self._shadows[name] = _ShadowState(candidate, fraction,
+                                               window)
+
+    def shadow_status(self, name: str) -> ShadowStatus | None:
+        """Progress of ``name``'s shadow, or ``None`` when inactive."""
+        with self._lock:
+            state = self._shadows.get(name)
+            if state is None:
+                return None
+            return ShadowStatus(
+                program=name, fraction=state.fraction,
+                samples=min(len(state.primary), len(state.shadow)),
+                executions=state.executions,
+                failures=state.failures,
+                primary_accuracies=tuple(state.primary),
+                candidate_accuracies=tuple(state.shadow),
+                per_bin={target: (tuple(primary), tuple(candidate))
+                         for target, (primary, candidate)
+                         in state.per_bin.items()})
+
+    def stop_shadow(self, name: str) -> ShadowStatus | None:
+        """End ``name``'s shadow; returns its final status."""
+        status = self.shadow_status(name)
+        with self._lock:
+            self._shadows.pop(name, None)
+        return status
+
+    def shadow_candidate(self, name: str) -> TunedProgram | None:
+        """The program currently shadowing ``name``, if any."""
+        with self._lock:
+            state = self._shadows.get(name)
+            return state.candidate if state is not None else None
+
+    def _run_shadows(self, requests: Sequence[ServeRequest],
+                     responses: Sequence["ServeResponse | None"]
+                     ) -> None:
+        """Re-run sampled, successfully served requests on their
+        shadow candidates and record paired accuracies."""
+        sampled: dict[str, list] = {}
+        # One lock acquisition for the whole sampling pass; only the
+        # candidate executions themselves run outside it.
+        with self._lock:
+            if not self._shadows:
+                return
+            shadows = dict(self._shadows)
+            for request, response in zip(requests, responses):
+                state = shadows.get(request.program)
+                if state is None or response is None \
+                        or not response.ok:
+                    continue
+                state.counter += 1
+                if state.counter % state.stride == 0:
+                    sampled.setdefault(request.program, []) \
+                        .append((request, response))
+        for name, pairs in sampled.items():
+            state = shadows[name]
+            candidate = state.candidate
+            batch = []
+            for request, _ in pairs:
+                plan = plan_request(candidate.bins, candidate.metric,
+                                    accuracy=request.accuracy)
+                target = plan.start
+                digest = state.digests.get(target)
+                if digest is None:
+                    digest = config_digest(
+                        candidate.bin_configs[target])
+                    state.digests[target] = digest
+                batch.append(TrialRequest(
+                    digest=digest, n=float(request.n), trial_index=0,
+                    seed=request.seed,
+                    config=candidate.bin_configs[target],
+                    inputs=request.inputs))
+            # Same batch-size bound as the primary path: a process
+            # backend sized for batch_size-request dispatch units must
+            # not receive one oversized shadow batch.
+            outcomes = []
+            for offset in range(0, len(batch), self.batch_size):
+                outcomes.extend(self.backend.run_batch(
+                    candidate.program,
+                    batch[offset:offset + self.batch_size],
+                    objective="cost"))
+            with self._lock:
+                self._counters["shadow_executions"] += len(outcomes)
+                state.executions += len(outcomes)
+                for (request, response), outcome in zip(pairs, outcomes):
+                    if outcome.failed:
+                        state.failures += 1
+                    elif response.achieved_accuracy is not None:
+                        # Paired appends: entry i of both windows came
+                        # from the same request — pooled, and bucketed
+                        # by the bin the primary served from.
+                        state.primary.append(response.achieved_accuracy)
+                        state.shadow.append(outcome.accuracy)
+                        bucket = state.per_bin.get(response.bin_target)
+                        if bucket is None:
+                            bucket = (deque(maxlen=state.window),
+                                      deque(maxlen=state.window))
+                            state.per_bin[response.bin_target] = bucket
+                        bucket[0].append(response.achieved_accuracy)
+                        bucket[1].append(outcome.accuracy)
+
+    # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
     def serve_one(self, request: ServeRequest) -> ServeResponse:
@@ -225,12 +426,14 @@ class ServingEngine:
         pending: list[_Pending] = []
         with self._lock:
             self._counters["requests"] += len(requests)
+        buffer: list | None = [] if self.telemetry is not None else None
         for index, request in enumerate(requests):
             try:
                 tuned = self.program_for(request.program)
             except ReproError as exc:
                 responses[index] = self._finish_error(
-                    request, None, 0, 0.0, None, str(exc))
+                    request, None, 0, 0.0, None, str(exc),
+                    buffer=buffer)
                 continue
             plan = plan_request(tuned.bins, tuned.metric,
                                 accuracy=request.accuracy)
@@ -240,12 +443,15 @@ class ServingEngine:
                 fallback=plan.fallback))
 
         while pending:
-            pending = self._run_wave(pending, responses)
+            pending = self._run_wave(pending, responses, buffer)
+        if buffer:
+            self.telemetry.record_batch(buffer)
+        self._run_shadows(requests, responses)
         return responses  # type: ignore[return-value]
 
     def _run_wave(self, pending: list[_Pending],
-                  responses: list[ServeResponse | None]
-                  ) -> list[_Pending]:
+                  responses: list[ServeResponse | None],
+                  buffer: list | None = None) -> list[_Pending]:
         """Execute every pending request's current bin, one batched
         backend dispatch per (program, batch_size) chunk; return the
         entries that must escalate to their next bin."""
@@ -267,7 +473,8 @@ class ServingEngine:
                     entry.latency += outcome.wall_time
                     entry.last_accuracy = (None if outcome.failed
                                            else outcome.accuracy)
-                    if self._settle(entry, outcome, responses):
+                    if self._settle(entry, outcome, responses,
+                                    buffer):
                         continue
                     entry.pos += 1
                     escalating.append(entry)
@@ -289,7 +496,8 @@ class ServingEngine:
                             config=tuned.bin_configs[target],
                             inputs=request.inputs)
 
-    def _settle(self, entry: _Pending, outcome, responses) -> bool:
+    def _settle(self, entry: _Pending, outcome, responses,
+                buffer: list | None = None) -> bool:
         """Record a response for ``entry`` if it is done; True when
         settled, False when it should escalate to the next bin."""
         request = entry.request
@@ -304,14 +512,16 @@ class ServingEngine:
                 request, entry.target, entry.pos, entry.latency,
                 entry.tuned,
                 f"execution failed at bin {entry.target:g}{cause}",
-                fallback=entry.fallback)
+                fallback=entry.fallback, buffer=buffer)
             return True
         if not request.verify:
-            responses[entry.index] = self._finish_ok(entry, outcome)
+            responses[entry.index] = self._finish_ok(entry, outcome,
+                                                     buffer)
             return True
         metric = entry.tuned.metric
         if metric.meets(outcome.accuracy, entry.required):
-            responses[entry.index] = self._finish_ok(entry, outcome)
+            responses[entry.index] = self._finish_ok(entry, outcome,
+                                                     buffer)
             return True
         if entry.pos + 1 < len(entry.ladder):
             return False  # climb to the next, more accurate bin
@@ -320,10 +530,12 @@ class ServingEngine:
             f"verify_accuracy failed: required {entry.required:g}, best "
             f"achieved {entry.last_accuracy!r} after trying bins "
             f"{list(entry.ladder)}",
-            achieved=entry.last_accuracy, fallback=entry.fallback)
+            achieved=entry.last_accuracy, fallback=entry.fallback,
+            buffer=buffer)
         return True
 
-    def _finish_ok(self, entry: _Pending, outcome) -> ServeResponse:
+    def _finish_ok(self, entry: _Pending, outcome,
+                   buffer: list | None = None) -> ServeResponse:
         request = entry.request
         with self._lock:
             self._counters["served"] += 1
@@ -331,6 +543,10 @@ class ServingEngine:
             if entry.fallback:
                 self._counters["fallbacks"] += 1
             self._latencies.append(entry.latency)
+        if buffer is not None:
+            buffer.append((request.program, entry.target, True,
+                           outcome.accuracy, entry.pos, entry.fallback,
+                           entry.latency))
         return ServeResponse(
             program=request.program, ok=True, outputs=outcome.outputs,
             bin_target=entry.target,
@@ -345,7 +561,8 @@ class ServingEngine:
                       latency: float, tuned: TunedProgram | None,
                       message: str,
                       achieved: float | None = None,
-                      fallback: bool = False) -> ServeResponse:
+                      fallback: bool = False,
+                      buffer: list | None = None) -> ServeResponse:
         with self._lock:
             self._counters["errors"] += 1
             self._counters["escalations"] += escalations
@@ -353,6 +570,9 @@ class ServingEngine:
                 self._counters["fallbacks"] += 1
             if latency:
                 self._latencies.append(latency)
+        if buffer is not None:
+            buffer.append((request.program, bin_target, False,
+                           achieved, escalations, fallback, latency))
         guarantee = (tuned.guarantee_for(bin_target)
                      if tuned is not None and bin_target is not None
                      else None)
@@ -377,9 +597,11 @@ class ServingEngine:
             escalations=counters["escalations"],
             fallbacks=counters["fallbacks"],
             executions=counters["executions"],
-            p50_latency=_percentile(latencies, 0.50),
-            p95_latency=_percentile(latencies, 0.95),
-            backend=self.backend.name)
+            p50_latency=percentile(latencies, 0.50),
+            p95_latency=percentile(latencies, 0.95),
+            backend=self.backend.name,
+            shadow_executions=counters["shadow_executions"],
+            swaps=counters["swaps"])
 
     def reset_stats(self) -> None:
         with self._lock:

@@ -1,27 +1,42 @@
-"""Filesystem store of tuned artifacts.
+"""Filesystem store of tuned artifacts, with monotonic versions.
 
-Layout — one directory per program, one JSON file per tagged artifact:
+Layout — one directory per program; per tag, a materialised *latest*
+file plus a version history:
 
 ::
 
     <root>/
       poisson/
-        default.json
-        2026-07-nightly.json
+        default.json                  <- the latest-pointed artifact
+        .history/
+          default/
+            LATEST                    <- current version number
+            v000001.json
+            v000002.json
       binpacking/
         default.json
 
-Tags let several artifacts of the same program coexist (a nightly
-retune next to the deployed one).  ``save``/``load``/``list`` address
-artifacts by program name; loading validates that the stored artifact
-really is for the requested program, so a file moved between program
-directories is rejected instead of served.
+``<tag>.json`` always holds the artifact the latest pointer names, so
+pre-versioning readers (and humans with ``cat``) keep working.  Every
+``save`` appends a new, monotonically numbered version file; the
+pointer only moves when the save (or an explicit :meth:`promote` /
+:meth:`rollback`) says so.  That split is what makes background
+retuning safe: a candidate artifact can be *stored* (versioned,
+durable, auditable) without being *served* until shadow evaluation
+promotes it — and a promotion that regresses is rolled back by
+repointing, not by deleting history.
+
+Loading validates that the stored artifact really is for the requested
+program, so a file moved between program directories is rejected
+instead of served.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import tempfile
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.errors import ArtifactError
@@ -31,9 +46,13 @@ if TYPE_CHECKING:
     from repro.compiler.program import CompiledProgram
     from repro.runtime.executor import TunedProgram
 
-__all__ = ["ArtifactStore", "DEFAULT_TAG"]
+__all__ = ["ArtifactStore", "StoreStats", "DEFAULT_TAG"]
 
 DEFAULT_TAG = "default"
+
+_HISTORY_DIR = ".history"
+_LATEST_FILE = "LATEST"
+_VERSION_WIDTH = 6
 
 
 def _checked_name(kind: str, name: str) -> str:
@@ -44,29 +63,94 @@ def _checked_name(kind: str, name: str) -> str:
     return name
 
 
+@dataclass(frozen=True)
+class StoreStats:
+    """Aggregate shape of a store, for operators and dashboards."""
+
+    programs: int
+    tags: int
+    versions: int
+    total_bytes: int
+
+    def __str__(self) -> str:
+        return (f"{self.programs} programs, {self.tags} tags, "
+                f"{self.versions} versions, "
+                f"{self.total_bytes / 1024:.1f} KiB")
+
+
 class ArtifactStore:
-    """Saves, loads and lists tuned artifacts under one root directory."""
+    """Saves, loads, versions and lists artifacts under one root.
 
-    def __init__(self, root: str | os.PathLike):
+    ``retain`` bounds the version history per tag: after each save the
+    oldest version files beyond the newest ``retain`` are pruned (the
+    latest-pointed version is always kept, whatever its age).  ``None``
+    keeps everything.
+    """
+
+    def __init__(self, root: str | os.PathLike, *,
+                 retain: int | None = None):
+        if retain is not None and retain < 1:
+            raise ArtifactError("retain must be >= 1 or None")
         self.root = os.fspath(root)
+        self.retain = retain
 
+    # ------------------------------------------------------------------
+    # Paths
     # ------------------------------------------------------------------
     def path_for(self, program: str, tag: str = DEFAULT_TAG) -> str:
         return os.path.join(self.root, _checked_name("program", program),
                             _checked_name("tag", tag) + ".json")
 
-    def save(self, artifact: TunedArtifact, tag: str = DEFAULT_TAG) -> str:
-        """Write ``artifact`` under its program name; returns the path.
+    def _history_dir(self, program: str, tag: str) -> str:
+        return os.path.join(self.root, _checked_name("program", program),
+                            _HISTORY_DIR, _checked_name("tag", tag))
 
-        The write is atomic via a *uniquely named* temp file in the
-        same directory, so concurrent savers of the same program/tag
-        (a nightly retune racing a deploy) cannot interleave writes;
-        last replace wins with a complete artifact either way.
+    def _version_path(self, program: str, tag: str, version: int) -> str:
+        return os.path.join(self._history_dir(program, tag),
+                            f"v{version:0{_VERSION_WIDTH}d}.json")
+
+    # ------------------------------------------------------------------
+    # Versions
+    # ------------------------------------------------------------------
+    def versions(self, program: str, tag: str = DEFAULT_TAG) -> list[int]:
+        """Stored version numbers for ``program``/``tag``, ascending."""
+        directory = self._history_dir(program, tag)
+        if not os.path.isdir(directory):
+            return []
+        found = []
+        for entry in os.listdir(directory):
+            if entry.startswith("v") and entry.endswith(".json"):
+                try:
+                    found.append(int(entry[1:-len(".json")]))
+                except ValueError:
+                    continue
+        return sorted(found)
+
+    def latest_version(self, program: str, tag: str = DEFAULT_TAG
+                       ) -> int | None:
+        """The version the latest pointer names (None pre-versioning)."""
+        path = os.path.join(self._history_dir(program, tag), _LATEST_FILE)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return int(handle.read().strip())
+        except (OSError, ValueError):
+            return None
+
+    def _write_latest(self, program: str, tag: str, version: int,
+                      artifact: TunedArtifact) -> str:
+        """Rematerialise ``<tag>.json``, then repoint the latest
+        pointer; returns the materialised path.
+
+        The served file is written *first*: a crash in between leaves
+        the new artifact serving with a stale pointer — a retried
+        promote converges — rather than a pointer naming content that
+        was never materialised.
         """
-        path = self.path_for(artifact.program, tag)
-        directory = os.path.dirname(path)
+        directory = self._history_dir(program, tag)
         os.makedirs(directory, exist_ok=True)
-        handle, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        path = self.path_for(program, tag)
+        handle, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                       suffix=".tmp")
         os.close(handle)
         try:
             artifact.save(tmp)
@@ -75,15 +159,106 @@ class ArtifactStore:
             if os.path.exists(tmp):
                 os.unlink(tmp)
             raise
+        pointer = os.path.join(directory, _LATEST_FILE)
+        self._atomic_write(pointer, f"{version}\n")
+        return path
+
+    @staticmethod
+    def _atomic_write(path: str, text: str) -> None:
+        handle, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                       suffix=".tmp")
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                stream.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def _append_version(self, artifact: TunedArtifact, tag: str) -> int:
+        """Write the next monotonic version file; exclusive creation
+        makes concurrent savers pick distinct numbers."""
+        directory = self._history_dir(artifact.program, tag)
+        os.makedirs(directory, exist_ok=True)
+        payload = json.dumps(artifact.to_json(), indent=2, sort_keys=True)
+        existing = self.versions(artifact.program, tag)
+        version = (existing[-1] if existing else 0) + 1
+        while True:
+            path = self._version_path(artifact.program, tag, version)
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                version += 1
+                continue
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            return version
+
+    def _apply_retention(self, program: str, tag: str) -> None:
+        if self.retain is None:
+            return
+        versions = self.versions(program, tag)
+        keep = set(versions[-self.retain:])
+        latest = self.latest_version(program, tag)
+        if latest is not None:
+            # Keep the served version, and every version newer than
+            # it: those are unpromoted candidates (saved with
+            # ``set_latest=False``) that a shadow evaluation may still
+            # promote — pruning one would break that promote().
+            keep.add(latest)
+            keep.update(v for v in versions if v > latest)
+        for version in versions:
+            if version not in keep:
+                try:
+                    os.unlink(self._version_path(program, tag, version))
+                except OSError:
+                    pass
+
+    # ------------------------------------------------------------------
+    # Save / load
+    # ------------------------------------------------------------------
+    def save(self, artifact: TunedArtifact, tag: str = DEFAULT_TAG, *,
+             set_latest: bool = True) -> str:
+        """Store ``artifact`` as the next version of ``program``/``tag``.
+
+        With ``set_latest=True`` (the default, and the pre-versioning
+        behaviour) the latest pointer advances to the new version and
+        ``<tag>.json`` is rematerialised; the returned path is the
+        materialised latest file.  With ``set_latest=False`` the
+        version is durable but *not served* — the candidate-artifact
+        path of background retuning — and the version file's path is
+        returned (see :meth:`promote`).
+        """
+        version = self._append_version(artifact, tag)
+        if set_latest:
+            path = self._write_latest(artifact.program, tag, version,
+                                      artifact)
+        else:
+            path = self._version_path(artifact.program, tag, version)
+        self._apply_retention(artifact.program, tag)
         return path
 
     def load(self, program: str, tag: str = DEFAULT_TAG) -> TunedArtifact:
-        """Load an artifact, verifying it matches ``program``."""
+        """Load the latest artifact, verifying it matches ``program``."""
         path = self.path_for(program, tag)
         if not os.path.exists(path):
             raise ArtifactError(
                 f"no artifact for program {program!r} tag {tag!r} "
                 f"under {self.root} (have: {self.list()})")
+        return self._checked_load(path, program)
+
+    def load_version(self, program: str, tag: str, version: int
+                     ) -> TunedArtifact:
+        """Load one specific stored version."""
+        path = self._version_path(program, tag, version)
+        if not os.path.exists(path):
+            raise ArtifactError(
+                f"no version {version} of {program!r} tag {tag!r} "
+                f"(have: {self.versions(program, tag)})")
+        return self._checked_load(path, program)
+
+    def _checked_load(self, path: str, program: str) -> TunedArtifact:
         artifact = TunedArtifact.load(path)
         if artifact.program != program:
             raise ArtifactError(
@@ -105,21 +280,95 @@ class ArtifactStore:
             return artifact.to_tuned(compiled)
         return artifact.resolve()
 
+    # ------------------------------------------------------------------
+    # Pointer movement
+    # ------------------------------------------------------------------
+    def promote(self, program: str, tag: str, version: int) -> str:
+        """Repoint the latest pointer at an already-stored version.
+
+        The promotion path of shadow evaluation: the candidate was
+        saved with ``set_latest=False``; once it survives shadowing,
+        promoting it is a pointer move plus an atomic rematerialise —
+        no artifact bytes are rewritten.
+        """
+        artifact = self.load_version(program, tag, version)
+        return self._write_latest(program, tag, version, artifact)
+
+    def rollback(self, program: str, tag: str = DEFAULT_TAG, *,
+                 to_version: int | None = None) -> int:
+        """Repoint latest at an older version (default: the previous).
+
+        History is kept — rolling back never deletes the bad version,
+        it just stops serving it.  Returns the version now pointed at.
+        """
+        latest = self.latest_version(program, tag)
+        if latest is None:
+            raise ArtifactError(
+                f"no version history for {program!r} tag {tag!r}; "
+                f"nothing to roll back")
+        if to_version is None:
+            older = [v for v in self.versions(program, tag) if v < latest]
+            if not older:
+                raise ArtifactError(
+                    f"{program!r} tag {tag!r} has no version older than "
+                    f"the current latest (v{latest})")
+            to_version = older[-1]
+        self.promote(program, tag, to_version)
+        return to_version
+
+    # ------------------------------------------------------------------
+    # Enumeration
+    # ------------------------------------------------------------------
     def list(self) -> dict[str, list[str]]:
         """Mapping of program name to sorted list of stored tags."""
-        catalog: dict[str, list[str]] = {}
+        catalog = {program: self.list_tags(program)
+                   for program in self.list_programs()}
+        return {program: tags for program, tags in catalog.items()
+                if tags}
+
+    def list_programs(self) -> list[str]:
+        """Sorted program names present in the store."""
         if not os.path.isdir(self.root):
-            return catalog
-        for program in sorted(os.listdir(self.root)):
-            directory = os.path.join(self.root, program)
-            if not os.path.isdir(directory):
-                continue
-            tags = sorted(entry[:-len(".json")]
-                          for entry in os.listdir(directory)
-                          if entry.endswith(".json"))
-            if tags:
-                catalog[program] = tags
-        return catalog
+            return []
+        return sorted(entry for entry in os.listdir(self.root)
+                      if not entry.startswith(".")
+                      and os.path.isdir(os.path.join(self.root, entry)))
+
+    def list_tags(self, program: str) -> list[str]:
+        """Sorted tags of ``program`` — materialised or version-only."""
+        directory = os.path.join(self.root,
+                                 _checked_name("program", program))
+        if not os.path.isdir(directory):
+            return []
+        tags = {entry[:-len(".json")]
+                for entry in os.listdir(directory)
+                if entry.endswith(".json") and not entry.startswith(".")}
+        history = os.path.join(directory, _HISTORY_DIR)
+        if os.path.isdir(history):
+            tags.update(entry for entry in os.listdir(history)
+                        if not entry.startswith(".")
+                        and os.path.isdir(os.path.join(history, entry)))
+        return sorted(tags)
+
+    def stats(self) -> StoreStats:
+        """Aggregate counts and on-disk footprint of the whole store."""
+        programs = self.list_programs()
+        tags = versions = total_bytes = 0
+        for program in programs:
+            program_tags = self.list_tags(program)
+            tags += len(program_tags)
+            for tag in program_tags:
+                tag_versions = self.versions(program, tag)
+                versions += len(tag_versions)
+                for path in (self.path_for(program, tag),
+                             *(self._version_path(program, tag, v)
+                               for v in tag_versions)):
+                    try:
+                        total_bytes += os.path.getsize(path)
+                    except OSError:
+                        pass
+        return StoreStats(programs=len(programs), tags=tags,
+                          versions=versions, total_bytes=total_bytes)
 
     def __repr__(self) -> str:
-        return f"ArtifactStore({self.root!r})"
+        return f"ArtifactStore({self.root!r}, retain={self.retain})"

@@ -1,0 +1,273 @@
+"""End-to-end adaptive serving: drift → retune → shadow → swap.
+
+The acceptance scenario of the closed loop.  A ``pickmean`` deployment
+is tuned on *calm* traffic (sample variance 0.5); live traffic then
+shifts to high variance, so the sampling configuration that earned the
+0.99-accuracy guarantee in training no longer delivers it.  The drift
+detector must fire, the controller must retune *in bounded background
+slices* seeded with the deployed configs, shadow the candidate on
+sampled live traffic, promote it, and served accuracy must recover.
+
+The companion test retunes against *stale* (ultra-calm) training data:
+the candidate looks great in training, regresses in shadow, and must
+be rolled back — with the store's latest pointer and the served
+program untouched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autotuner import Autotuner, ProgramTestHarness, TunerSettings
+from repro.compiler.compile import compile_program
+from repro.runtime.backends import ThreadPoolBackend
+from repro.serving import (
+    ArtifactStore,
+    RetuneController,
+    ServeRequest,
+    ServingEngine,
+    ServingTelemetry,
+)
+
+from repro.lang.transform import Transform
+from repro.lang.tunables import accuracy_variable
+
+SERVE_N = 64.0
+TARGET = 0.99          # the bin whose guarantee the shift breaks
+CALM_SIGMA = 0.5
+SHIFT_SIGMA = 6.0
+STALE_SIGMA = 0.01     # "retrained on stale data" for the rollback test
+
+
+# ----------------------------------------------------------------------
+# A mean estimator whose calm-traffic optimum is *sampling*: the exact
+# scan is 20x the cost of the whole input, so training on calm data
+# deploys a subsample size with just enough margin for 0.99 — the
+# configuration a variance shift can break.  The scan stays available
+# as the (expensive) recovery the retuner must rediscover.
+# ----------------------------------------------------------------------
+def _adapt_metric(outputs, inputs):
+    estimate = float(outputs["est"])
+    truth = float(np.mean(inputs["xs"]))
+    return max(0.0, 1.0 - abs(estimate - truth) / (abs(truth) + 1e-9))
+
+
+def _subsample(ctx, xs):
+    m = min(len(xs), int(ctx.param("m")))
+    indices = ctx.rng.integers(0, len(xs), size=m)
+    ctx.add_cost(m)
+    return float(np.mean(xs[indices]))
+
+
+def _full_scan(ctx, xs):
+    ctx.add_cost(20 * len(xs))
+    return float(np.mean(xs))
+
+
+def make_adaptmean_transform() -> Transform:
+    transform = Transform(
+        "adaptmean", inputs=("xs",), outputs=("est",),
+        accuracy_metric=_adapt_metric,
+        accuracy_bins=(0.5, 0.9, 0.99),
+        tunables=[accuracy_variable("m", lo=1, hi=100000, default=4,
+                                    direction=+1)])
+    transform.rule(outputs=("est",), inputs=("xs",),
+                   name="subsample")(_subsample)
+    transform.rule(outputs=("est",), inputs=("xs",),
+                   name="full_scan")(_full_scan)
+    return transform
+
+TUNE = TunerSettings(input_sizes=(16.0, 64.0), rounds_per_size=2,
+                     mutation_attempts=6, min_trials=3, max_trials=5,
+                     seed=7, initial_random=1,
+                     guided_max_evaluations=12,
+                     accuracy_confidence=0.9)
+RETUNE = TunerSettings(input_sizes=(16.0, 64.0), rounds_per_size=2,
+                       mutation_attempts=8, min_trials=3, max_trials=5,
+                       seed=21, initial_random=1,
+                       guided_max_evaluations=12,
+                       accuracy_confidence=None)
+
+
+def make_generator(sigma):
+    def generate(n, rng):
+        return {"xs": rng.normal(10.0, sigma, size=max(2, int(n)))}
+    return generate
+
+
+def make_requests(sigma: float, count: int, *, first_seed: int = 0
+                  ) -> list[ServeRequest]:
+    requests = []
+    for i in range(count):
+        rng = np.random.default_rng(10_000 + first_seed + i)
+        requests.append(ServeRequest(
+            program="adaptmean",
+            inputs=make_generator(sigma)(int(SERVE_N), rng),
+            n=SERVE_N, accuracy=TARGET, seed=first_seed + i))
+    return requests
+
+
+def build_world(tmp_path, retune_sigma: float, *, backend=None):
+    """Tune on calm traffic, deploy, and wire the adaptive stack."""
+    program, _ = compile_program(make_adaptmean_transform())
+    harness = ProgramTestHarness(program, make_generator(CALM_SIGMA),
+                                 base_seed=3)
+    result = Autotuner(program, harness, TUNE).tune()
+    harness.close()
+    assert result.unmet_bins == ()
+    # Guarantees at the same confidence the tuner enforced, so the
+    # deployed artifact really does promise 0.99.
+    guarantees = result.bin_guarantees(confidence=0.9)
+    assert guarantees[TARGET].holds
+
+    store = ArtifactStore(tmp_path / "artifacts")
+    store.save(result.to_artifact(confidence=0.9))
+    telemetry = ServingTelemetry(window=64)
+    engine = ServingEngine(store=store, telemetry=telemetry,
+                           backend=backend)
+    engine.register("adaptmean",
+                    store.load_tuned("adaptmean", compiled=program))
+
+    def harness_factory(name, compiled):
+        return ProgramTestHarness(compiled,
+                                  make_generator(retune_sigma),
+                                  base_seed=11)
+
+    controller = RetuneController(
+        engine, store, harness_factory=harness_factory,
+        settings=RETUNE, slice_trials=40, shadow_fraction=1.0,
+        min_shadow_samples=6, min_drift_samples=12,
+        drift_confidence=0.9)
+    return program, store, telemetry, engine, controller
+
+
+def drive_retune_to_shadow(controller, max_polls: int = 200) -> int:
+    """Poll until the in-flight retune reaches its shadow phase."""
+    for polls in range(1, max_polls + 1):
+        controller.poll()
+        status = controller.status()
+        if status and all(s.phase == "shadow"
+                          for s in status.values()):
+            return polls
+    raise AssertionError(
+        f"retune never reached shadow; status={controller.status()} "
+        f"events={controller.events}")
+
+
+class TestAdaptiveLoop:
+    def test_drift_retune_shadow_promote_recovers(self, tmp_path):
+        program, store, telemetry, engine, controller = \
+            build_world(tmp_path, retune_sigma=SHIFT_SIGMA)
+        baseline = engine.program_for("adaptmean")
+
+        # Calm traffic: guarantees hold, nothing to do.
+        engine.serve(make_requests(CALM_SIGMA, 16))
+        assert telemetry.snapshot("adaptmean", TARGET).samples == 16
+        assert controller.poll() == []
+        assert controller.status() == {}
+
+        # The workload shifts: observed accuracy erodes below 0.99.
+        engine.serve(make_requests(SHIFT_SIGMA, 24, first_seed=100))
+        drifted = telemetry.snapshot("adaptmean", TARGET)
+        assert drifted.mean_accuracy < TARGET
+
+        # Drift fires and a seeded background retune opens.
+        actions = controller.poll()
+        assert any("drift" in action for action in actions)
+        status = controller.status()["adaptmean"]
+        assert status.phase == "tuning"
+        assert TARGET in status.drifted_bins
+
+        # Bounded slices: the session takes several polls, not one.
+        polls = drive_retune_to_shadow(controller)
+        assert polls >= 2
+        status = controller.status()["adaptmean"]
+        assert status.candidate_version == 2  # v1 deployed, v2 candidate
+        assert store.latest_version("adaptmean") == 1  # not served yet
+
+        # Shadow evaluation on sampled live traffic, then promotion.
+        engine.serve(make_requests(SHIFT_SIGMA, 12, first_seed=200))
+        shadow = engine.shadow_status("adaptmean")
+        assert shadow is not None and shadow.samples >= 6
+        actions = controller.poll()
+        assert any("promoted" in action for action in actions)
+        assert controller.status() == {}
+        assert store.latest_version("adaptmean") == 2
+        assert engine.stats().swaps == 1
+        assert engine.program_for("adaptmean") is not baseline
+        assert engine.shadow_status("adaptmean") is None
+
+        # Served accuracy recovers on the shifted workload.
+        responses = engine.serve(
+            make_requests(SHIFT_SIGMA, 16, first_seed=300))
+        assert all(r.ok for r in responses)
+        recovered = telemetry.snapshot("adaptmean", TARGET)
+        assert recovered.samples == 16  # hot_swap reset the window
+        assert recovered.mean_accuracy >= TARGET
+        # And the detector agrees the new artifact holds.
+        assert controller.check_drift() == {}
+
+    def test_regressing_candidate_rolled_back(self, tmp_path):
+        program, store, telemetry, engine, controller = \
+            build_world(tmp_path, retune_sigma=STALE_SIGMA)
+        baseline = engine.program_for("adaptmean")
+
+        # Same drift as above...
+        engine.serve(make_requests(SHIFT_SIGMA, 24, first_seed=100))
+        actions = controller.poll()
+        assert any("drift" in action for action in actions)
+        drive_retune_to_shadow(controller)
+
+        # ...but the retune trained on stale ultra-calm data: its tiny
+        # sampling config collapses on real (shifted) traffic.
+        engine.serve(make_requests(SHIFT_SIGMA, 12, first_seed=200))
+        shadow = engine.shadow_status("adaptmean")
+        assert shadow is not None and shadow.samples >= 6
+        candidate_mean = (sum(shadow.candidate_accuracies)
+                          / len(shadow.candidate_accuracies))
+        primary_mean = (sum(shadow.primary_accuracies)
+                        / len(shadow.primary_accuracies))
+        assert candidate_mean < primary_mean  # a genuine regression
+
+        actions = controller.poll()
+        assert any("rolled back" in action for action in actions)
+        # Nothing was served from the bad candidate: pointer, program
+        # and swap count are untouched; history keeps the candidate.
+        assert store.latest_version("adaptmean") == 1
+        assert store.versions("adaptmean") == [1, 2]
+        assert engine.program_for("adaptmean") is baseline
+        assert engine.stats().swaps == 0
+        assert engine.shadow_status("adaptmean") is None
+        # The program is suspended until an operator clears it.
+        assert controller.suspended == ("adaptmean",)
+        assert controller.poll() == []
+        controller.clear("adaptmean")
+        assert controller.suspended == ()
+        assert telemetry.snapshot("adaptmean", TARGET).samples == 0
+
+    def test_background_thread_promotes(self, tmp_path):
+        """The same loop, driven by the controller's own thread with a
+        parallel trial backend under the retune harness."""
+        import time
+
+        program, store, telemetry, engine, controller = build_world(
+            tmp_path, retune_sigma=SHIFT_SIGMA,
+            backend=ThreadPoolBackend(max_workers=2))
+        engine.serve(make_requests(SHIFT_SIGMA, 24, first_seed=100))
+        controller.start(interval=0.01)
+        try:
+            deadline = time.time() + 60.0
+            promoted = False
+            seed = 500
+            while time.time() < deadline and not promoted:
+                engine.serve(make_requests(SHIFT_SIGMA, 8,
+                                           first_seed=seed))
+                seed += 8
+                promoted = any("promoted" in event
+                               for event in controller.events)
+        finally:
+            controller.stop()
+            engine.close()
+        assert promoted, f"events={controller.events}"
+        assert store.latest_version("adaptmean") == 2

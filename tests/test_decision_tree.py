@@ -117,6 +117,64 @@ class TestMutations:
         assert tree.num_levels == 0
 
 
+class TestMutationEdgeCases:
+    """Boundary behaviour of the Section-5.4 mutation operations."""
+
+    def test_remove_level_on_single_leaf_tree(self):
+        """A leaf-only tree has no cutoff to remove at any index."""
+        tree = SizeDecisionTree([42])
+        assert tree.num_levels == 0
+        for index in (-1, 0, 1):
+            with pytest.raises(ConfigError, match="no cutoff"):
+                tree.remove_level(index)
+
+    def test_remove_last_level_yields_single_leaf(self):
+        tree = SizeDecisionTree([1, 2], cutoffs=[10]).remove_level(0)
+        assert tree.num_levels == 0
+        assert tree.leaves == (1,)  # lower leaf wins the merge
+        with pytest.raises(ConfigError):
+            tree.remove_level(0)  # and it is now leaf-only
+
+    def test_add_level_at_existing_cutoff_rejected(self):
+        tree = SizeDecisionTree([1, 2], cutoffs=[10])
+        with pytest.raises(ConfigError, match="already present"):
+            tree.add_level(10.0)
+        # The int/float spelling of the same cutoff is the same cutoff.
+        with pytest.raises(ConfigError, match="already present"):
+            tree.add_level(10)
+
+    def test_add_level_nonpositive_cutoff_rejected(self):
+        for bad in (0.0, -5.0):
+            with pytest.raises(ConfigError, match="positive"):
+                SizeDecisionTree([1]).add_level(bad)
+
+    def test_scale_cutoff_without_room_rejected(self):
+        """Neighbours so close that no strictly-between clamp exists."""
+        lo = 1.0
+        hi = lo * (1 + 1e-9)          # adjacent beyond clamp resolution
+        mid = lo + (hi - lo) / 2       # strictly between, barely
+        tree = SizeDecisionTree([1, 2, 3, 4], cutoffs=[lo, mid, hi])
+        with pytest.raises(ConfigError, match="no room"):
+            tree.scale_cutoff(1, 1e6)
+        with pytest.raises(ConfigError, match="no room"):
+            tree.scale_cutoff(1, 1e-6)
+
+    def test_scale_cutoff_clamp_preserves_strict_ordering(self):
+        """When room exists, extreme factors clamp strictly inside."""
+        tree = SizeDecisionTree([1, 2, 3], cutoffs=[10, 20])
+        for index, factor in ((0, 1e9), (0, 1e-9), (1, 1e9), (1, 1e-9)):
+            scaled = tree.scale_cutoff(index, factor)
+            c = scaled.cutoffs
+            assert c[0] < c[1]
+            assert all(x > 0 for x in c)
+
+    def test_scale_single_cutoff_has_infinite_room(self):
+        tree = SizeDecisionTree([1, 2], cutoffs=[10])
+        assert tree.scale_cutoff(0, 1e6).cutoffs == (1e7,)
+        assert tree.scale_cutoff(0, 1e-6).cutoffs[0] == \
+            pytest.approx(1e-5)
+
+
 class TestSerialisation:
     def test_json_round_trip(self):
         tree = SizeDecisionTree([1, "x", 3.5], cutoffs=[4, 9])

@@ -244,6 +244,127 @@ class TestArtifactStore:
 
 
 # ----------------------------------------------------------------------
+# Artifact versioning: monotonic versions, latest pointer, rollback
+# ----------------------------------------------------------------------
+class TestStoreVersioning:
+    def stamped(self, pickmean_artifact, n):
+        """The same artifact, distinguishable by metadata."""
+        from dataclasses import replace
+        return replace(pickmean_artifact,
+                       metadata={**pickmean_artifact.metadata,
+                                 "revision": n})
+
+    def test_saves_are_monotonic_versions(self, tmp_path,
+                                          pickmean_artifact):
+        store = ArtifactStore(tmp_path)
+        assert store.versions("pickmean") == []
+        assert store.latest_version("pickmean") is None
+        store.save(self.stamped(pickmean_artifact, 1))
+        store.save(self.stamped(pickmean_artifact, 2))
+        assert store.versions("pickmean") == [1, 2]
+        assert store.latest_version("pickmean") == 2
+        assert store.load("pickmean").metadata["revision"] == 2
+        assert store.load_version("pickmean", "default",
+                                  1).metadata["revision"] == 1
+
+    def test_candidate_save_does_not_move_latest(self, tmp_path,
+                                                 pickmean_artifact):
+        store = ArtifactStore(tmp_path)
+        store.save(self.stamped(pickmean_artifact, 1))
+        store.save(self.stamped(pickmean_artifact, 2),
+                   set_latest=False)
+        assert store.versions("pickmean") == [1, 2]
+        assert store.latest_version("pickmean") == 1
+        assert store.load("pickmean").metadata["revision"] == 1
+        store.promote("pickmean", "default", 2)
+        assert store.latest_version("pickmean") == 2
+        assert store.load("pickmean").metadata["revision"] == 2
+
+    def test_rollback_repoints_without_deleting(self, tmp_path,
+                                                pickmean_artifact):
+        store = ArtifactStore(tmp_path)
+        for n in (1, 2, 3):
+            store.save(self.stamped(pickmean_artifact, n))
+        assert store.rollback("pickmean") == 2
+        assert store.load("pickmean").metadata["revision"] == 2
+        assert store.versions("pickmean") == [1, 2, 3]  # history kept
+        assert store.rollback("pickmean", to_version=1) == 1
+        assert store.load("pickmean").metadata["revision"] == 1
+
+    def test_rollback_without_history_rejected(self, tmp_path,
+                                               pickmean_artifact):
+        store = ArtifactStore(tmp_path)
+        with pytest.raises(ArtifactError, match="nothing to roll back"):
+            store.rollback("pickmean")
+        store.save(pickmean_artifact)
+        with pytest.raises(ArtifactError, match="no version older"):
+            store.rollback("pickmean")
+
+    def test_missing_version_rejected(self, tmp_path, pickmean_artifact):
+        store = ArtifactStore(tmp_path)
+        store.save(pickmean_artifact)
+        with pytest.raises(ArtifactError, match="no version 9"):
+            store.load_version("pickmean", "default", 9)
+
+    def test_retention_prunes_oldest_but_keeps_latest(
+            self, tmp_path, pickmean_artifact):
+        store = ArtifactStore(tmp_path, retain=2)
+        for n in (1, 2, 3, 4):
+            store.save(self.stamped(pickmean_artifact, n))
+        assert store.versions("pickmean") == [3, 4]
+        # The latest-pointed version survives retention even when
+        # newer candidates pile up past the bound.
+        store.rollback("pickmean")  # latest -> 3
+        store.save(self.stamped(pickmean_artifact, 5),
+                   set_latest=False)
+        store.save(self.stamped(pickmean_artifact, 6),
+                   set_latest=False)
+        assert 3 in store.versions("pickmean")
+        assert store.load("pickmean").metadata["revision"] == 3
+
+    def test_retention_validated(self, tmp_path):
+        with pytest.raises(ArtifactError):
+            ArtifactStore(tmp_path, retain=0)
+
+    def test_legacy_unversioned_layout_still_loads(
+            self, tmp_path, pickmean_artifact):
+        """A pre-versioning store (bare <tag>.json) keeps working."""
+        store = ArtifactStore(tmp_path)
+        import os
+        path = store.path_for("pickmean")
+        os.makedirs(os.path.dirname(path))
+        pickmean_artifact.save(path)
+        assert store.load("pickmean").bin_targets == \
+            pickmean_artifact.bin_targets
+        assert store.versions("pickmean") == []
+        assert store.list() == {"pickmean": ["default"]}
+        # The first versioned save starts history at v1.
+        store.save(pickmean_artifact)
+        assert store.versions("pickmean") == [1]
+
+    def test_enumeration_and_stats(self, tmp_path, pickmean_artifact):
+        store = ArtifactStore(tmp_path)
+        assert store.list_programs() == []
+        assert store.list_tags("pickmean") == []
+        store.save(pickmean_artifact)
+        store.save(pickmean_artifact, tag="nightly")
+        store.save(TunedArtifact.from_tuned(
+            suite_tuned_program("poisson")))
+        assert store.list_programs() == ["pickmean", "poisson"]
+        assert store.list_tags("pickmean") == ["default", "nightly"]
+        # A candidate-only tag (never materialised) is still listed.
+        store.save(pickmean_artifact, tag="candidate",
+                   set_latest=False)
+        assert "candidate" in store.list_tags("pickmean")
+        stats = store.stats()
+        assert stats.programs == 2
+        assert stats.tags == 4
+        assert stats.versions == 4
+        assert stats.total_bytes > 0
+        assert "2 programs" in str(stats)
+
+
+# ----------------------------------------------------------------------
 # Serving equivalence: the acceptance criterion
 # ----------------------------------------------------------------------
 def mixed_requests(count: int) -> list[ServeRequest]:
@@ -486,3 +607,149 @@ class TestServingEngine:
         assert engine.stats().requests == 1
         engine.reset_stats()
         assert engine.stats().requests == 0
+
+
+# ----------------------------------------------------------------------
+# Hot swap & shadow deployments
+# ----------------------------------------------------------------------
+def degraded_pickmean(program) -> TunedProgram:
+    """Every bin served by the (inaccurate) default configuration."""
+    return TunedProgram(program, {
+        target: program.default_config()
+        for target in program.root_transform.accuracy_bins})
+
+
+class TestHotSwapAndShadow:
+    def test_hot_swap_is_atomic_and_counted(self, tuned_pickmean):
+        program, result = tuned_pickmean
+        tuned = result.tuned_program()
+        engine = ServingEngine()
+        engine.register("pickmean", tuned)
+        replacement = degraded_pickmean(program)
+        previous = engine.hot_swap("pickmean", replacement)
+        assert previous is tuned
+        assert engine.program_for("pickmean") is replacement
+        assert engine.stats().swaps == 1
+        # Served traffic now follows the new program's configs.
+        rng = np.random.default_rng(4)
+        inputs = pickmean_inputs(32, rng)
+        response = engine.serve_one(ServeRequest(
+            program="pickmean", inputs=inputs, n=32.0, seed=5))
+        expected = replacement.run(inputs, 32.0, seed=5)
+        assert response.outputs["est"] == expected.outputs["est"]
+
+    def test_swap_invalidates_config_digests(self, tuned_pickmean):
+        """Same name, different configs: responses must re-digest."""
+        program, result = tuned_pickmean
+        engine = ServingEngine()
+        engine.register("pickmean", result.tuned_program())
+        rng = np.random.default_rng(4)
+        inputs = pickmean_inputs(32, rng)
+        request = ServeRequest(program="pickmean", inputs=inputs,
+                               n=32.0, seed=5)
+        first = engine.serve_one(request)
+        replacement = degraded_pickmean(program)
+        engine.hot_swap("pickmean", replacement)
+        second = engine.serve_one(request)
+        assert second.outputs["est"] == \
+            replacement.run(inputs, 32.0, seed=5).outputs["est"]
+        assert first.outputs["est"] != second.outputs["est"]
+
+    def test_shadow_samples_fraction_without_changing_responses(
+            self, tuned_pickmean):
+        program, result = tuned_pickmean
+        tuned = result.tuned_program()
+        engine = ServingEngine()
+        engine.register("pickmean", tuned)
+        requests = [ServeRequest(
+            program="pickmean",
+            inputs=pickmean_inputs(32, np.random.default_rng(50 + i)),
+            n=32.0, accuracy=0.9, seed=i) for i in range(12)]
+        plain = engine.serve(requests)
+
+        engine.start_shadow("pickmean", degraded_pickmean(program),
+                            fraction=0.25)
+        shadowed = engine.serve(requests)
+        # Callers always get the primary's outputs.
+        assert [r.outputs["est"] for r in shadowed] == \
+            [r.outputs["est"] for r in plain]
+        status = engine.shadow_status("pickmean")
+        assert status.samples == 3  # every 4th of 12 ok requests
+        assert status.executions == 3
+        assert len(status.primary_accuracies) == \
+            len(status.candidate_accuracies) == 3
+        assert engine.stats().shadow_executions == 3
+
+        final = engine.stop_shadow("pickmean")
+        assert final.samples == 3
+        assert engine.shadow_status("pickmean") is None
+
+    def test_shadow_buckets_pairs_by_primary_bin(self, tuned_pickmean):
+        """Mixed-accuracy traffic lands in per-bin windows, so a
+        drifted bin is judged on its own requests."""
+        program, result = tuned_pickmean
+        tuned = result.tuned_program()
+        engine = ServingEngine()
+        engine.register("pickmean", tuned)
+        accuracies = [0.5, 0.99]
+        requests = [ServeRequest(
+            program="pickmean",
+            inputs=pickmean_inputs(32, np.random.default_rng(70 + i)),
+            n=32.0, accuracy=accuracies[i % 2], seed=i)
+            for i in range(10)]
+        engine.start_shadow("pickmean", degraded_pickmean(program),
+                            fraction=1.0)
+        responses = engine.serve(requests)
+        status = engine.shadow_status("pickmean")
+        served_bins = {r.bin_target for r in responses}
+        assert set(status.per_bin) == served_bins
+        for primary, candidate in status.per_bin.values():
+            assert len(primary) == len(candidate) > 0
+        assert sum(len(p) for p, _ in status.per_bin.values()) == \
+            status.samples
+
+    def test_shadow_fraction_validated(self, tuned_pickmean):
+        program, result = tuned_pickmean
+        engine = ServingEngine()
+        engine.register("pickmean", result.tuned_program())
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError):
+                engine.start_shadow("pickmean",
+                                    degraded_pickmean(program),
+                                    fraction=bad)
+
+    def test_hot_swap_ends_shadow_and_resets_telemetry(
+            self, tuned_pickmean):
+        from repro.serving import ServingTelemetry
+        program, result = tuned_pickmean
+        telemetry = ServingTelemetry()
+        engine = ServingEngine(telemetry=telemetry)
+        tuned = result.tuned_program()
+        engine.register("pickmean", tuned)
+        engine.serve_one(ServeRequest(
+            program="pickmean",
+            inputs=pickmean_inputs(16, np.random.default_rng(1)),
+            n=16.0))
+        assert telemetry.snapshots("pickmean")
+        engine.start_shadow("pickmean", degraded_pickmean(program),
+                            fraction=1.0)
+        engine.hot_swap("pickmean", degraded_pickmean(program))
+        assert engine.shadow_status("pickmean") is None
+        assert telemetry.snapshots("pickmean") == []
+
+    def test_telemetry_records_served_bins(self, tuned_pickmean):
+        from repro.serving import ServingTelemetry
+        _, result = tuned_pickmean
+        telemetry = ServingTelemetry()
+        engine = ServingEngine(telemetry=telemetry)
+        engine.register("pickmean", result.tuned_program())
+        responses = engine.serve([ServeRequest(
+            program="pickmean",
+            inputs=pickmean_inputs(32, np.random.default_rng(60 + i)),
+            n=32.0, accuracy=0.9, seed=i) for i in range(6)])
+        bin_target = responses[0].bin_target
+        snap = telemetry.snapshot("pickmean", bin_target)
+        assert snap.served == 6
+        assert snap.samples == 6
+        assert snap.mean_accuracy == pytest.approx(
+            sum(r.achieved_accuracy for r in responses) / 6)

@@ -1,0 +1,198 @@
+"""The resumable TuningSession stepper.
+
+The load-bearing contract is the determinism guard: for a fixed seed,
+``Autotuner.tune`` (now a thin driver over ``TuningSession``) must be
+bit-identical — config digests and guarantees — to the pre-refactor
+monolithic loop.  ``legacy_tune`` below *is* that loop, phase for
+phase, kept as an executable specification; if the session's state
+machine ever reorders a phase or consumes the RNG differently, the
+comparison fails.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.autotuner import (
+    Autotuner,
+    ProgramTestHarness,
+    TuningResult,
+    TuningSession,
+)
+from repro.autotuner.candidate import Candidate
+from repro.autotuner.pruning import k_fastest
+from repro.compiler.compile import compile_program
+from repro.errors import TrainingError
+from repro.rng import generator_for
+from repro.runtime.backends import config_digest
+
+from tests.conftest import approxmean_inputs, make_approxmean_transform
+from tests.test_tuner import quick_settings
+
+
+def make_tuner(**overrides) -> Autotuner:
+    program, _ = compile_program(make_approxmean_transform())
+    harness = ProgramTestHarness(program, approxmean_inputs, base_seed=3)
+    return Autotuner(program, harness, quick_settings(**overrides))
+
+
+def legacy_tune(tuner: Autotuner) -> TuningResult:
+    """The pre-refactor ``Autotuner.tune`` loop, verbatim.
+
+    Drives the same phase methods in the same order with the same RNG
+    stream; the executable reference the session is held to.
+    """
+    settings = tuner.settings
+    rng = generator_for(settings.seed, "tuner", tuner.program.root)
+    population = tuner._initial_population(rng)
+    sizes = settings.sizes()
+    for n in sizes:
+        tuner._test_population(population, n)
+        for _ in range(settings.rounds_per_size):
+            tuner._random_mutation(population, n, rng)
+            if settings.use_guided_mutation:
+                tuner._guided_mutation(population, n)
+            pruned = tuner._prune(population, n)
+            if pruned:
+                population = pruned
+    final_n = sizes[-1]
+    best_per_bin = {}
+    for target in tuner.bins:
+        eligible = [c for c in population
+                    if c.meets_accuracy(final_n, target, tuner.metric,
+                                        settings.accuracy_confidence)]
+        fastest = k_fastest(eligible, 1, tuner.comparator, final_n)
+        if fastest:
+            best_per_bin[target] = fastest[0]
+    unmet = tuple(t for t in tuner.bins if t not in best_per_bin)
+    return TuningResult(
+        program=tuner.program, bins=tuner.bins,
+        best_per_bin=best_per_bin, population=population,
+        sizes=sizes, unmet_bins=unmet,
+        trials_run=tuner.harness.trials_run, settings=settings)
+
+
+def fingerprint(result: TuningResult) -> dict:
+    """Config digests + guarantees, the acceptance-criterion identity."""
+    return {
+        "digests": {target: config_digest(candidate.config)
+                    for target, candidate
+                    in result.best_per_bin.items()},
+        "guarantees": result.bin_guarantees(),
+        "unmet": result.unmet_bins,
+        "trials": result.trials_run,
+    }
+
+
+class TestDeterminismGuard:
+    def test_tune_matches_pre_refactor_loop(self):
+        """Acceptance criterion: driver == legacy loop, bit for bit."""
+        legacy = fingerprint(legacy_tune(make_tuner()))
+        stepped = fingerprint(make_tuner().tune())
+        assert stepped == legacy
+
+    @pytest.mark.parametrize("budget", [1, 3, 7])
+    def test_sliced_stepping_matches_single_run(self, budget):
+        """step(budget) slices must compose to the identical result."""
+        whole = fingerprint(make_tuner().tune())
+        session = TuningSession(make_tuner())
+        steps = 0
+        while not session.done:
+            progress = session.step(budget)
+            steps += 1
+            assert progress.units >= 1
+            assert steps < 10_000  # the stepper must terminate
+        assert fingerprint(session.result()) == whole
+        assert steps > 1  # small budgets really did slice the run
+
+    def test_run_equals_tune(self):
+        assert fingerprint(TuningSession(make_tuner()).run()) == \
+            fingerprint(make_tuner().tune())
+
+    def test_zero_rounds_matches_legacy(self):
+        """rounds_per_size=0 (test-only tuning) ran an empty inner
+        loop in the legacy driver; the state machine must too."""
+        legacy = fingerprint(legacy_tune(make_tuner(rounds_per_size=0)))
+        stepped = fingerprint(make_tuner(rounds_per_size=0).tune())
+        assert stepped == legacy
+
+
+class TestStepper:
+    def test_explicit_state_progresses(self):
+        session = TuningSession(make_tuner())
+        assert session.phase == "test"
+        assert session.current_size == session.sizes[0]
+        assert not session.done
+        session.step()  # one unit: the initial population test
+        assert session.phase == "mutate"
+        session.run()
+        assert session.done
+        assert session.current_size is None
+
+    def test_result_before_finish_raises(self):
+        session = TuningSession(make_tuner())
+        with pytest.raises(TrainingError):
+            session.result()
+
+    def test_step_after_done_is_a_noop(self):
+        session = TuningSession(make_tuner())
+        session.run()
+        progress = session.step(100)
+        assert progress.done
+        assert progress.units == 0
+        assert progress.trials == 0
+
+    def test_zero_budget_still_progresses(self):
+        session = TuningSession(make_tuner())
+        progress = session.step(0)
+        assert progress.units == 1
+
+    def test_progress_reports_trials(self):
+        session = TuningSession(make_tuner())
+        progress = session.step(5)
+        assert progress.trials >= 5 or progress.done
+        assert "n=" in str(progress) or progress.done
+
+    def test_repr_names_position(self):
+        session = TuningSession(make_tuner())
+        assert "phase=test" in repr(session)
+
+    def test_printable_at_every_pause(self):
+        """str/repr must hold at *every* stop point — including the
+        finalize pause, where there is no current size."""
+        session = TuningSession(make_tuner())
+        while not session.done:
+            progress = session.step()
+            assert str(progress)
+            assert repr(session)
+        assert "finished" in str(session.step())
+
+
+class TestSeeding:
+    def test_seed_configs_join_population(self):
+        tuner = make_tuner()
+        seeds = (tuner.program.default_config(),)
+        session = TuningSession(tuner, seed_configs=seeds)
+        assert session.seeded
+        assert len(session.population) == \
+            1 + tuner.settings.initial_random + len(seeds)
+        assert session.population[-1].config == seeds[0]
+
+    def test_seeded_session_completes(self):
+        # Seed with the configs a previous run deployed: the
+        # incremental-retune path.
+        base = make_tuner().tune()
+        seeds = tuple(c.config for c in base.best_per_bin.values())
+        session = TuningSession(make_tuner(), seed_configs=seeds)
+        result = session.run()
+        assert result.unmet_bins == ()
+
+    def test_autotuner_session_helper(self):
+        tuner = make_tuner()
+        session = tuner.session(
+            seed_configs=(tuner.program.default_config(),))
+        assert isinstance(session, TuningSession)
+        assert session.seeded
+
+    def test_unseeded_flag(self):
+        assert not TuningSession(make_tuner()).seeded
