@@ -129,10 +129,10 @@ def test_tuner_wall_clock_per_backend(benchmark):
         frontiers = {}
         for name, factory in backends.items():
             _, program, harness = _poisson_harness(backend=factory())
-            start = time.perf_counter()
-            result = Autotuner(program, harness, settings).tune()
-            elapsed = time.perf_counter() - start
-            harness.close()
+            with harness:
+                start = time.perf_counter()
+                result = Autotuner(program, harness, settings).tune()
+                elapsed = time.perf_counter() - start
             rows[name] = (elapsed, result.trials_run / elapsed)
             frontiers[name] = result.frontier()
         assert frontiers["thread"] == frontiers["serial"]

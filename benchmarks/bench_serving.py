@@ -57,10 +57,9 @@ def _tuned_via_artifact():
     serving benchmark measures what deployments actually load."""
     spec = get_benchmark("poisson")
     program, _ = spec.compile()
-    harness = ProgramTestHarness(program, spec.generate, base_seed=5,
-                                 cost_limit=spec.cost_limit)
-    result = Autotuner(program, harness, TUNE_SETTINGS).tune()
-    harness.close()
+    with ProgramTestHarness(program, spec.generate, base_seed=5,
+                            cost_limit=spec.cost_limit) as harness:
+        result = Autotuner(program, harness, TUNE_SETTINGS).tune()
     artifact = TunedArtifact.from_json(result.to_artifact().to_json())
     return artifact.resolve()
 

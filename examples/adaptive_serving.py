@@ -1,24 +1,17 @@
-"""The closed loop: tune → serve → observe → retune → hot-swap.
+"""The closed loop on `repro.api`: tune → serve → observe → adapt.
 
 Training-time accuracy guarantees are statistical (paper, Section
 3.3): they hold for the distribution the tuner trained on.  This
-example injects a workload shift that silently breaks one, and walks
-the adaptive-serving stack through recovering:
-
-1. **tune** a mean estimator on calm data (variance 0.5) and deploy it
-   through a versioned ``ArtifactStore`` + ``ServingEngine`` with
-   ``ServingTelemetry`` attached;
-2. **shift** the live traffic to variance 6: the subsample size that
-   earned the 0.99 bin its guarantee now misses it, and the rolling
-   per-bin windows show it;
-3. **detect** — the ``RetuneController``'s drift check re-runs the
-   statistical test on observed accuracy and flags the bin;
-4. **retune in the background** — bounded ``TuningSession.step``
-   slices, seeded with the deployed configurations, against a harness
-   that generates *shifted* training data;
-5. **shadow** the candidate on sampled live traffic, **promote** it
-   (store version pointer + atomic engine hot-swap), and watch served
-   accuracy recover.
+example tunes a mean estimator on calm data (variance 0.5), deploys
+it, then shifts live traffic to variance 6 — silently breaking the
+0.99 bin's guarantee — and lets the service recover: `poll()` detects
+the drift, runs bounded background retune slices against *shifted*
+training inputs, shadows the candidate on sampled live traffic, and
+promotes it (store version pointer + atomic engine hot-swap).  The
+whole adaptive loop is declared by one `ServicePolicy`; the transform
+is built by a module-level factory, so the service reloads the
+program from the stored artifact's `("factory", ...)` provenance
+without being handed compiled code.
 
 Run:  python examples/adaptive_serving.py
 """
@@ -27,31 +20,27 @@ import tempfile
 
 import numpy as np
 
-from repro.autotuner import Autotuner, ProgramTestHarness, TunerSettings
-from repro.compiler.compile import compile_program
+from repro.api import Project, Service, ServicePolicy
+from repro.autotuner import TunerSettings
 from repro.lang.transform import Transform
 from repro.lang.tunables import accuracy_variable
-from repro.serving import (
-    ArtifactStore,
-    RetuneController,
-    ServeRequest,
-    ServingEngine,
-    ServingTelemetry,
-)
 
 CALM_SIGMA, SHIFT_SIGMA = 0.5, 6.0
 TARGET = 0.99
 SERVE_N = 64.0
-SETTINGS = TunerSettings(input_sizes=(16.0, 64.0), rounds_per_size=2,
-                         mutation_attempts=6, min_trials=3,
-                         max_trials=5, seed=7, initial_random=1,
-                         guided_max_evaluations=12,
-                         accuracy_confidence=0.9)
+TUNE = TunerSettings(input_sizes=(16.0, 64.0), rounds_per_size=2,
+                     mutation_attempts=6, min_trials=3, max_trials=5,
+                     seed=7, initial_random=1,
+                     guided_max_evaluations=12, accuracy_confidence=0.9)
 RETUNE = TunerSettings(input_sizes=(16.0, 64.0), rounds_per_size=2,
                        mutation_attempts=8, min_trials=3, max_trials=5,
                        seed=21, initial_random=1,
                        guided_max_evaluations=12,
                        accuracy_confidence=None)
+POLICY = ServicePolicy(retune=RETUNE, slice_trials=40,
+                       shadow_fraction=1.0, min_shadow_samples=6,
+                       min_drift_samples=12, drift_confidence=0.9,
+                       telemetry_window=64)
 
 
 def _metric(outputs, inputs):
@@ -91,17 +80,16 @@ def generator(sigma):
     return generate
 
 
-def requests_at(sigma, count, first_seed):
+def requests_at(service, sigma, count, first_seed):
     make = generator(sigma)
-    return [ServeRequest(
-        program="adaptmean",
-        inputs=make(int(SERVE_N), np.random.default_rng(9000 + s)),
-        n=SERVE_N, accuracy=TARGET, seed=s)
+    return [service.request(
+        make(int(SERVE_N), np.random.default_rng(9000 + s)),
+        SERVE_N, accuracy=TARGET, seed=s)
         for s in range(first_seed, first_seed + count)]
 
 
-def report(telemetry, label):
-    snap = telemetry.snapshot("adaptmean", TARGET)
+def report(service, label):
+    snap = service.snapshot(TARGET)
     mean = ("n/a" if snap.mean_accuracy is None
             else f"{snap.mean_accuracy:.4f}")
     print(f"  [{label}] bin {TARGET:g}: mean observed accuracy {mean} "
@@ -111,63 +99,55 @@ def report(telemetry, label):
 def main():
     with tempfile.TemporaryDirectory() as root:
         # 1. Tune on calm traffic and deploy (artifact v1).
-        program, _ = compile_program(make_transform())
-        harness = ProgramTestHarness(program, generator(CALM_SIGMA),
-                                     base_seed=3)
-        result = Autotuner(program, harness, SETTINGS).tune()
-        harness.close()
-        store = ArtifactStore(root, retain=8)
-        store.save(result.to_artifact(confidence=0.9))
-        print(f"tuned on calm data ({result.trials_run} trials); "
-              f"deployed v{store.latest_version('adaptmean')}")
+        with Project.from_transform(make_transform,
+                                    generator(CALM_SIGMA),
+                                    base_seed=3) as project:
+            tuned = project.tune(TUNE)
+            deployment = tuned.deploy(root, confidence=0.9, retain=8)
+        print(f"tuned on calm data ({tuned.trials_run} trials); "
+              f"deployed v{deployment.version}")
         print(f"  0.99-bin guarantee: "
-              f"{result.bin_guarantees(confidence=0.9)[TARGET]}")
+              f"{tuned.bin_guarantees(confidence=0.9)[TARGET]}")
 
-        telemetry = ServingTelemetry(window=64)
-        engine = ServingEngine(store=store, telemetry=telemetry)
-        engine.register("adaptmean",
-                        store.load_tuned("adaptmean",
-                                         compiled=program))
-        controller = RetuneController(
-            engine, store,
-            harness_factory=lambda name, compiled: ProgramTestHarness(
-                compiled, generator(SHIFT_SIGMA), base_seed=11),
-            settings=RETUNE, slice_trials=40, shadow_fraction=1.0,
-            min_shadow_samples=6, min_drift_samples=12,
-            drift_confidence=0.9, log=lambda m: print(f"  [ctl] {m}"))
+        # The service retunes against *shifted* training inputs — the
+        # operator's statement of what current traffic looks like.
+        with Service.load(deployment.store, program="adaptmean",
+                          policy=POLICY,
+                          training_inputs=generator(SHIFT_SIGMA),
+                          log=lambda m: print(f"  [ctl] {m}")) as service:
+            # 2. Calm traffic: the guarantee holds.
+            service.serve(requests_at(service, CALM_SIGMA, 16, 0))
+            report(service, "calm")
+            assert service.poll() == []
 
-        # 2. Calm traffic: the guarantee holds.
-        engine.serve(requests_at(CALM_SIGMA, 16, 0))
-        report(telemetry, "calm")
-        assert controller.poll() == []
+            # 3. The workload shifts; observed accuracy erodes.
+            service.serve(requests_at(service, SHIFT_SIGMA, 24, 100))
+            report(service, "shifted")
 
-        # 3. The workload shifts; observed accuracy erodes.
-        engine.serve(requests_at(SHIFT_SIGMA, 24, 100))
-        report(telemetry, "shifted")
+            # 4. Drift fires; bounded background retune slices run.
+            service.poll()
+            while any(s.phase == "tuning"
+                      for s in service.adaptive_status().values()):
+                service.poll()
 
-        # 4. Drift fires; bounded background retune slices run.
-        controller.poll()
-        while any(s.phase == "tuning"
-                  for s in controller.status().values()):
-            controller.poll()
+            # 5. Shadow on live traffic, then promotion + hot swap.
+            service.serve(requests_at(service, SHIFT_SIGMA, 12, 200))
+            shadow = service.engine.shadow_status("adaptmean")
+            print(f"  shadow sampled {shadow.samples} live requests")
+            service.poll()
+            store = deployment.store
+            print(f"store now: versions "
+                  f"{store.versions('adaptmean')}, serving "
+                  f"v{store.latest_version('adaptmean')}; engine "
+                  f"swaps: {service.stats().swaps}")
 
-        # 5. Shadow on live traffic, then promotion + hot swap.
-        engine.serve(requests_at(SHIFT_SIGMA, 12, 200))
-        shadow = engine.shadow_status("adaptmean")
-        print(f"  shadow sampled {shadow.samples} live requests")
-        controller.poll()
-        print(f"store now: versions "
-              f"{store.versions('adaptmean')}, serving "
-              f"v{store.latest_version('adaptmean')}; engine swaps: "
-              f"{engine.stats().swaps}")
-
-        # 6. Served accuracy recovers on the shifted workload.
-        engine.serve(requests_at(SHIFT_SIGMA, 16, 300))
-        report(telemetry, "recovered")
-        assert controller.check_drift() == {}
-        print("guarantee restored; audit trail:")
-        for line in controller.events:
-            print(f"    - {line}")
+            # 6. Served accuracy recovers on the shifted workload.
+            service.serve(requests_at(service, SHIFT_SIGMA, 16, 300))
+            report(service, "recovered")
+            assert service.check_drift() == {}
+            print("guarantee restored; audit trail:")
+            for line in service.events:
+                print(f"    - {line}")
 
 
 if __name__ == "__main__":

@@ -1,12 +1,14 @@
-"""Execution backends and the trial cache, end to end.
+"""Execution backends and the trial cache, declared as spec strings.
 
 The autotuner spends nearly all its time running trials (Section
 5.5.1).  This example tunes the Poisson benchmark three ways and shows
-that the choice of execution backend is purely an execution decision:
+that the choice of execution backend is purely an execution decision —
+a `Project` takes the backend as a spec string and an optional
+trial-cache path, nothing else changes:
 
-1. serial (the default) — the reference result;
-2. process-pool — same seed, bit-identical frontier, parallel trials;
-3. serial again, against the trial cache written by run 1 — zero
+1. `"serial"` (the default) — the reference result;
+2. `"process:2"` — same seed, bit-identical frontier, parallel trials;
+3. `"serial"` again, against the trial cache written by run 1 — zero
    trials re-executed.
 
 Run:  python examples/parallel_tuning.py
@@ -16,56 +18,38 @@ import tempfile
 import time
 from pathlib import Path
 
-from repro.autotuner import Autotuner, ProgramTestHarness, TunerSettings
-from repro.runtime.backends import (
-    ProcessPoolBackend,
-    SerialBackend,
-    TrialCache,
-)
-from repro.suite import get_benchmark
-
-SETTINGS = TunerSettings(input_sizes=(7.0, 15.0), rounds_per_size=1,
-                         mutation_attempts=6, min_trials=2, max_trials=4,
-                         seed=13, initial_random=2,
-                         guided_max_evaluations=8,
-                         accuracy_confidence=None)
+from repro.api import Project
 
 
-def tune(backend=None, cache=None):
-    spec = get_benchmark("poisson")
-    program, _ = spec.compile()
-    harness = ProgramTestHarness(program, spec.generate, base_seed=5,
-                                 cost_limit=spec.cost_limit,
-                                 backend=backend, cache=cache)
-    start = time.perf_counter()
-    result = Autotuner(program, harness, SETTINGS).tune()
-    elapsed = time.perf_counter() - start
-    harness.close()
-    return harness, result, elapsed
+def tune(backend="serial", cache=None):
+    with Project.from_benchmark("poisson", backend=backend, cache=cache,
+                                base_seed=5) as project:
+        start = time.perf_counter()
+        result = project.tune("smoke", seed=13, max_input_size=15)
+        elapsed = time.perf_counter() - start
+    return project, result, elapsed
 
 
 def main():
     cache_path = Path(tempfile.gettempdir()) / "poisson_trials.json"
 
-    cache = TrialCache(cache_path)
-    _, serial_result, serial_time = tune(SerialBackend(), cache)
-    cache.save()
+    # Closing the project persists the cache it built from the path.
+    _, serial_result, serial_time = tune("serial", cache_path)
     print(f"serial:      {serial_time:6.2f}s, "
           f"{serial_result.trials_run} trials, "
           f"frontier {serial_result.frontier()[:2]} ...")
 
-    _, process_result, process_time = tune(ProcessPoolBackend())
+    _, process_result, process_time = tune("process:2")
     identical = process_result.frontier() == serial_result.frontier()
     print(f"process:     {process_time:6.2f}s, "
           f"{process_result.trials_run} trials, "
           f"bit-identical frontier: {identical}")
 
-    warm_harness, cached_result, cached_time = tune(
-        SerialBackend(), TrialCache(cache_path))
+    warm_project, cached_result, cached_time = tune("serial", cache_path)
     print(f"warm cache:  {cached_time:6.2f}s, "
           f"{cached_result.trials_run} trials recorded, "
-          f"{warm_harness.trials_executed} executed "
-          f"(cache: {warm_harness.cache})")
+          f"{warm_project.trials_executed} executed "
+          f"(cache: {warm_project.cache})")
 
     cache_path.unlink(missing_ok=True)
 

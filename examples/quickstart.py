@@ -1,5 +1,5 @@
-"""Quickstart: write, compile, autotune and deploy a variable-accuracy
-transform in ~60 lines.
+"""Quickstart: write, compile, autotune and run a variable-accuracy
+transform — the whole lifecycle through `repro.api`.
 
 The task: estimate the mean of a large array.  Two algorithmic choices
 (subsample vs exact scan) and one accuracy variable (the sample count)
@@ -11,8 +11,8 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import Transform, accuracy_variable, compile_program
-from repro.autotuner import Autotuner, ProgramTestHarness, TunerSettings
+from repro import Transform, accuracy_variable
+from repro.api import Project
 
 
 # ----------------------------------------------------------------------
@@ -50,40 +50,37 @@ def exact(ctx, xs):
     return float(np.mean(xs))
 
 
+def training_inputs(n, rng):
+    return {"xs": rng.normal(10.0, 1.0, size=max(2, n))}
+
+
 # ----------------------------------------------------------------------
-# 2. Compile and autotune (done once, per machine / per metric).
+# 2. Compile and autotune (done once, per machine / per metric): a
+#    Project owns the compile, the test harness and the backend.
 # ----------------------------------------------------------------------
 def main():
-    program, training_info = compile_program(approxmean)
-    print(f"compiled {program.root!r}: "
-          f"{len(program.space)} tunable parameters, "
-          f"{len(training_info.tunables)} entries in the training info\n")
-
-    def training_inputs(n, rng):
-        return {"xs": rng.normal(10.0, 1.0, size=max(2, n))}
-
-    harness = ProgramTestHarness(program, training_inputs, base_seed=1)
-    settings = TunerSettings(max_input_size=4096, min_input_size=16,
+    with Project.from_transform(approxmean, training_inputs,
+                                base_seed=1) as project:
+        tuned = project.tune(max_input_size=4096, min_input_size=16,
                              seed=42, min_trials=2, max_trials=8)
-    result = Autotuner(program, harness, settings).tune()
 
-    print("tuned frontier (at the largest training size):")
-    for target, accuracy, cost in result.frontier():
-        print(f"  accuracy bin {target:4g}: measured accuracy "
-              f"{accuracy:6.4f} at cost {cost:10.0f}")
-    print(f"  ({result.trials_run} training trials)\n")
+        print("tuned frontier (at the largest training size):")
+        for target, accuracy, cost in tuned.frontier():
+            print(f"  accuracy bin {target:4g}: measured accuracy "
+                  f"{accuracy:6.4f} at cost {cost:10.0f}")
+        print(f"  ({tuned.trials_run} training trials)\n")
 
-    # ------------------------------------------------------------------
-    # 3. The library user requests accuracy; no algorithm knowledge.
-    # ------------------------------------------------------------------
-    tuned = result.tuned_program()
-    xs = np.random.default_rng(7).normal(10.0, 1.0, size=4096)
-    for requested in (0.5, 0.9, 0.99):
-        run = tuned.run({"xs": xs}, len(xs), accuracy=requested,
-                        verify=True)  # "verify_accuracy": retry ladder
-        print(f"requested {requested:4g}: est={run.outputs['est']:8.4f} "
-              f"achieved accuracy {run.metrics.accuracy:6.4f} "
-              f"cost {run.cost:10.0f}")
+        # --------------------------------------------------------------
+        # 3. The library user requests accuracy; no algorithm knowledge.
+        # --------------------------------------------------------------
+        xs = np.random.default_rng(7).normal(10.0, 1.0, size=4096)
+        for requested in (0.5, 0.9, 0.99):
+            run = tuned.run({"xs": xs}, len(xs), accuracy=requested,
+                            verify=True)  # "verify_accuracy": retry ladder
+            print(f"requested {requested:4g}: "
+                  f"est={run.outputs['est']:8.4f} "
+                  f"achieved accuracy {run.metrics.accuracy:6.4f} "
+                  f"cost {run.cost:10.0f}")
 
 
 if __name__ == "__main__":

@@ -1,20 +1,19 @@
-"""Tune once, serve many: artifacts and the serving engine.
+"""Tune once, serve many — the deploy → serve half of `repro.api`.
 
 The deployable product of autotuning is not the tuner but the tuned
-program (paper, Sections 3.2-3.3).  This example walks the full
-production loop on the Poisson benchmark:
+program (paper, Sections 3.2-3.3).  This example walks the production
+loop on the Poisson benchmark:
 
-1. tune (scaled down) and package the result as a versioned
-   ``TunedArtifact`` — per-bin configurations plus the statistical
-   accuracy guarantee each bin earned during training;
-2. save it into an ``ArtifactStore`` on disk;
-3. in the role of a fresh serving process, load the artifact back
-   *by provenance* (no re-tuning, no access to the tuner) into a new
-   ``TunedProgram``;
-4. serve a mixed-accuracy batch of ``ServeRequest``s through a
-   ``ServingEngine`` on a thread-pool backend, and print each
-   response's bin choice, achieved accuracy, guarantee, and the
-   engine's latency/escalation/fallback counters.
+1. a `Project` over the benchmark tunes with the `"smoke"` preset and
+   `deploy()`s the result — a versioned `TunedArtifact` carrying
+   per-bin configurations and statistical accuracy guarantees — into
+   an `ArtifactStore` on disk;
+2. in the role of a fresh serving process, `Service.load` rebuilds the
+   program from the artifact's recorded provenance (no re-tuning, no
+   access to the tuner) and serves a mixed-accuracy batch on a
+   thread-pool backend declared by a `ServicePolicy` spec string;
+3. each response reports its bin choice, achieved accuracy, guarantee,
+   and the engine's latency/escalation/fallback counters.
 
 Run:  python examples/serve_tuned.py
 """
@@ -23,50 +22,36 @@ import tempfile
 
 import numpy as np
 
-from repro.autotuner import Autotuner, ProgramTestHarness, TunerSettings
-from repro.runtime.backends import ThreadPoolBackend
-from repro.serving import ArtifactStore, ServeRequest, ServingEngine
+from repro.api import Project, Service, ServicePolicy
 from repro.suite import get_benchmark
 
-SETTINGS = TunerSettings(input_sizes=(7.0, 15.0), rounds_per_size=1,
-                         mutation_attempts=6, min_trials=2, max_trials=4,
-                         seed=13, initial_random=2,
-                         guided_max_evaluations=8,
-                         accuracy_confidence=None)
 
-
-def tune_and_save(store: ArtifactStore) -> None:
-    spec = get_benchmark("poisson")
-    program, _ = spec.compile()
-    harness = ProgramTestHarness(program, spec.generate, base_seed=5,
-                                 cost_limit=spec.cost_limit)
-    result = Autotuner(program, harness, SETTINGS).tune()
-    harness.close()
-    artifact = result.to_artifact(created_at="example-run")
-    path = store.save(artifact)
-    print(f"tuned {result.trials_run} trials -> {path}")
-    for entry in artifact.bins:
+def tune_and_deploy(root: str) -> None:
+    with Project.from_benchmark("poisson") as project:
+        tuned = project.tune("smoke", seed=13, max_input_size=15)
+        deployment = tuned.deploy(root, created_at="example-run")
+    print(f"tuned {tuned.trials_run} trials -> {deployment.path}")
+    for entry in tuned.artifact().bins:
         print(f"  bin {entry.target:g}: {entry.guarantee}")
 
 
-def serve_from_store(store: ArtifactStore) -> None:
+def serve_from_store(root: str) -> None:
     # A fresh process would do exactly this: no tuner, no re-training —
-    # the engine loads the artifact lazily and rebuilds the compiled
+    # the service loads the artifact lazily and rebuilds the compiled
     # program from its recorded provenance.
     spec = get_benchmark("poisson")
     rng = np.random.default_rng(42)
-    requests = [
-        ServeRequest(program="poisson", inputs=spec.generate(15, rng),
-                     n=15.0, accuracy=accuracy, verify=verify, seed=i)
-        for i, (accuracy, verify) in enumerate(
-            [(0.5, False), (3.0, False), (7.0, True), (None, False),
-             (9.99, False),  # beyond every bin: explicit fallback
-             (1.0, True), (5.0, False), (3.0, True)])
-    ]
-    with ServingEngine(store=store,
-                       backend=ThreadPoolBackend(max_workers=4),
-                       batch_size=4) as engine:
-        responses = engine.serve(requests)
+    policy = ServicePolicy(backend="threads:4", batch_size=4)
+    with Service.load(root, program="poisson", policy=policy) as service:
+        requests = [
+            service.request(spec.generate(15, rng), 15.0,
+                            accuracy=accuracy, verify=verify, seed=i)
+            for i, (accuracy, verify) in enumerate(
+                [(0.5, False), (3.0, False), (7.0, True), (None, False),
+                 (9.99, False),  # beyond every bin: explicit fallback
+                 (1.0, True), (5.0, False), (3.0, True)])
+        ]
+        responses = service.serve(requests)
         for request, response in zip(requests, responses):
             wants = ("best" if request.accuracy is None
                      else f"{request.accuracy:g}")
@@ -77,15 +62,13 @@ def serve_from_store(store: ArtifactStore) -> None:
             print(f"  want {wants:>5} -> bin {response.bin_target:g} "
                   f"achieved {response.achieved_accuracy:.3g} "
                   f"({response.latency * 1e3:.2f}ms){flags}")
-        print(engine.stats())
+        print(service.stats())
 
 
 def main():
     with tempfile.TemporaryDirectory() as root:
-        store = ArtifactStore(root)
-        tune_and_save(store)
-        print(f"store contents: {store.list()}")
-        serve_from_store(store)
+        tune_and_deploy(root)
+        serve_from_store(root)
 
 
 if __name__ == "__main__":

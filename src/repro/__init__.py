@@ -9,6 +9,10 @@ system inventory.
 
 Public API highlights
 ---------------------
+- :mod:`repro.api` — **the documented lifecycle API**: ``Project``
+  (declare + tune + deploy, with backend spec strings and settings
+  presets) and ``Service`` (policy-driven serving with drift detection
+  and background retuning).  Start here.
 - :class:`repro.lang.Transform`, :class:`repro.lang.CallSite` — declare
   variable-accuracy programs.
 - :func:`repro.lang.accuracy_variable`, :func:`repro.lang.for_enough`,

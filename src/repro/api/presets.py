@@ -1,0 +1,108 @@
+"""Named tuner-settings presets for the lifecycle façade.
+
+Directive-style autotuning systems live or die by how little a user
+must say to get a sensible run.  A preset is a named bundle of
+:class:`~repro.autotuner.tuner.TunerSettings` overrides; keyword
+overrides on top of a preset always win, and everything flows through
+``TunerSettings``'s own construction-time validation.
+
+* ``"smoke"`` — seconds, not minutes: a tiny sweep with few trials and
+  no confidence requirement.  The preset behind examples, CI smoke
+  jobs, and API experiments.
+* ``"paper"`` — the paper's defaults (Figure 5 / Section 5.5): full
+  exponential sweep to 4096, adaptive 3..25 trials, statistical
+  accuracy guarantees at 90% confidence.
+
+Presets deliberately do NOT pin ``input_sizes``: benchmarks constrain
+their own sizes (Poisson grids must be ``2^k - 1``), so the
+:class:`~repro.api.project.Project` resolves concrete sizes from the
+benchmark spec, bounded by the preset's ``max_input_size``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.autotuner.tuner import TunerSettings
+from repro.errors import ConfigError
+
+__all__ = ["PRESETS", "settings_for", "fit_sizes"]
+
+#: Named settings bundles; values are TunerSettings keyword overrides.
+PRESETS: dict[str, Mapping[str, Any]] = {
+    "smoke": {
+        "max_input_size": 16.0,
+        "min_input_size": 2.0,
+        "rounds_per_size": 1,
+        "mutation_attempts": 6,
+        "min_trials": 2,
+        "max_trials": 4,
+        "initial_random": 2,
+        "guided_max_evaluations": 8,
+        "accuracy_confidence": None,
+    },
+    "paper": {
+        "max_input_size": 4096.0,
+        "min_input_size": 2.0,
+        "rounds_per_size": 2,
+        "mutation_attempts": 8,
+        "min_trials": 3,
+        "max_trials": 25,
+        "accuracy_confidence": 0.9,
+    },
+}
+
+
+def settings_for(preset: str | TunerSettings | None = None,
+                 **overrides: Any) -> TunerSettings:
+    """Assemble :class:`TunerSettings` from a preset plus overrides.
+
+    ``preset`` may be a preset name, an existing ``TunerSettings``
+    (overrides are applied with ``dataclasses.replace`` semantics), or
+    ``None`` (plain defaults).  Unknown preset names raise
+    :class:`~repro.errors.ConfigError` listing the choices; unknown
+    keyword names surface as ``TypeError`` from the dataclass, and
+    invalid values as ``ConfigError`` from its validation.
+    """
+    if isinstance(preset, TunerSettings):
+        from dataclasses import replace
+        return replace(preset, **overrides) if overrides else preset
+    merged: dict[str, Any] = {}
+    if preset is not None:
+        try:
+            merged.update(PRESETS[preset])
+        except KeyError:
+            raise ConfigError(
+                f"unknown settings preset {preset!r}; choose from "
+                f"{sorted(PRESETS)} (or pass TunerSettings keywords "
+                f"directly)") from None
+    merged.update(overrides)
+    return TunerSettings(**merged)
+
+
+def fit_sizes(settings: TunerSettings,
+              default_sizes: "tuple[float, ...] | None",
+              owner: str) -> TunerSettings:
+    """Pin ``input_sizes`` to a program's own training sizes.
+
+    When ``settings`` doesn't pin ``input_sizes`` and the program
+    knows its sizes (benchmark specs do), the sizes within
+    ``[min_input_size, max_input_size]`` are used — so size-constrained
+    programs (Poisson grids must be ``2^k - 1``) never see the generic
+    exponential sweep.  Raises :class:`ConfigError` when the bounds
+    exclude every known size, naming ``owner``.
+    """
+    if settings.input_sizes is not None or not default_sizes:
+        return settings
+    from dataclasses import replace
+    fit = tuple(n for n in default_sizes
+                if settings.min_input_size <= n
+                <= settings.max_input_size)
+    if not fit:
+        raise ConfigError(
+            f"no benchmark training size of {owner!r} "
+            f"({default_sizes}) falls inside "
+            f"[{settings.min_input_size:g}, "
+            f"{settings.max_input_size:g}]; widen the bounds or pass "
+            f"input_sizes explicitly")
+    return replace(settings, input_sizes=fit)

@@ -288,3 +288,9 @@ class ProgramTestHarness:
     def close(self) -> None:
         """Release backend resources (worker pools)."""
         self.backend.close()
+
+    def __enter__(self) -> "ProgramTestHarness":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -33,7 +33,7 @@ from repro.autotuner.pruning import prune_population
 from repro.autotuner.testing import ProgramTestHarness
 from repro.compiler.program import CompiledProgram
 from repro.config.configuration import Configuration
-from repro.errors import TrainingError
+from repro.errors import ConfigError, TrainingError
 
 __all__ = ["TunerSettings", "TuningResult", "Autotuner"]
 
@@ -89,6 +89,68 @@ class TunerSettings:
     prefer_root_mutators: bool = True
     root_mutator_weight: float = 4.0
     log: Callable[[str], None] | None = None
+
+    def __post_init__(self) -> None:
+        """Reject malformed settings at construction time.
+
+        A bad knob value used to surface as an opaque failure deep
+        inside the tuning loop (or, worse, as an infinite size sweep
+        when ``min_input_size`` was non-positive).  Everything below is
+        checkable up front, so it is.
+        """
+        def bad(message: str) -> ConfigError:
+            return ConfigError(f"invalid TunerSettings: {message}")
+
+        if self.objective not in ("cost", "time"):
+            raise bad(f"unknown objective {self.objective!r} "
+                      f"(expected 'cost' or 'time')")
+        if self.require_targets not in ("error", "warn", "ignore"):
+            raise bad(f"require_targets must be 'error', 'warn' or "
+                      f"'ignore', got {self.require_targets!r}")
+        if self.input_sizes is not None:
+            sizes = tuple(float(n) for n in self.input_sizes)
+            if not sizes:
+                raise bad("input_sizes is empty; give at least one "
+                          "training input size")
+            if any(n <= 0 for n in sizes):
+                raise bad(f"input_sizes must be positive, got {sizes}")
+            if any(b <= a for a, b in zip(sizes, sizes[1:])):
+                raise bad(f"input_sizes must be strictly increasing "
+                          f"(the sweep grows and the final size is the "
+                          f"deployment size), got {sizes}")
+        else:
+            if self.min_input_size <= 0:
+                raise bad(f"min_input_size must be positive, got "
+                          f"{self.min_input_size!r} (the exponential "
+                          f"sweep doubles from it)")
+            if self.min_input_size > self.max_input_size:
+                raise bad(f"min_input_size {self.min_input_size!r} "
+                          f"exceeds max_input_size "
+                          f"{self.max_input_size!r}")
+        if self.rounds_per_size < 0:
+            raise bad(f"rounds_per_size must be >= 0, got "
+                      f"{self.rounds_per_size!r}")
+        if self.min_trials < 1:
+            raise bad(f"min_trials must be >= 1, got "
+                      f"{self.min_trials!r}")
+        if self.max_trials < self.min_trials:
+            raise bad(f"max_trials {self.max_trials!r} is below "
+                      f"min_trials {self.min_trials!r}")
+        if self.mutation_attempts < 0:
+            raise bad(f"mutation_attempts must be >= 0, got "
+                      f"{self.mutation_attempts!r}")
+        if self.k_per_bin < 1:
+            raise bad(f"k_per_bin must be >= 1, got {self.k_per_bin!r}")
+        if self.initial_random < 0:
+            raise bad(f"initial_random must be >= 0, got "
+                      f"{self.initial_random!r}")
+        if self.accuracy_confidence is not None and \
+                not 0.0 < self.accuracy_confidence < 1.0:
+            raise bad(f"accuracy_confidence must be in (0, 1) or None, "
+                      f"got {self.accuracy_confidence!r}")
+        if self.guided_max_evaluations < 1:
+            raise bad(f"guided_max_evaluations must be >= 1, got "
+                      f"{self.guided_max_evaluations!r}")
 
     def sizes(self) -> tuple[float, ...]:
         if self.input_sizes is not None:
@@ -220,10 +282,8 @@ class Autotuner:
         self.program = program
         self.harness = harness
         self.settings = settings or TunerSettings()
-        if self.settings.objective not in ("cost", "time"):
-            raise TrainingError(
-                f"unknown objective {self.settings.objective!r} "
-                f"(expected 'cost' or 'time')")
+        # settings.objective is validated by TunerSettings itself;
+        # here only the harness pairing can still be wrong.
         if self.settings.objective != harness.objective:
             raise TrainingError(
                 f"TunerSettings.objective={self.settings.objective!r} but "

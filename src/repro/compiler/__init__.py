@@ -14,12 +14,18 @@ executable :class:`~repro.compiler.program.CompiledProgram`:
    (Section 5.3).
 """
 
-from repro.compiler.compile import compile_program
+from repro.compiler.compile import (
+    compile_program,
+    compiled_from_factory,
+    factory_spec,
+)
 from repro.compiler.program import CompiledProgram, ExecutionResult, Instance
 from repro.compiler.training_info import TrainingInfo, TunableInfo
 
 __all__ = [
     "compile_program",
+    "compiled_from_factory",
+    "factory_spec",
     "CompiledProgram",
     "ExecutionResult",
     "Instance",

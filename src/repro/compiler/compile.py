@@ -9,7 +9,10 @@ used by the autotuner.
 
 from __future__ import annotations
 
-from typing import Iterable
+import functools
+import importlib
+import sys
+from typing import Callable, Iterable
 
 from repro.compiler.analysis import (
     build_instances,
@@ -18,9 +21,10 @@ from repro.compiler.analysis import (
 )
 from repro.compiler.program import CompiledProgram
 from repro.compiler.training_info import TrainingInfo, build_training_info
+from repro.errors import CompileError
 from repro.lang.transform import Transform
 
-__all__ = ["compile_program"]
+__all__ = ["compile_program", "compiled_from_factory", "factory_spec"]
 
 
 def compile_program(root: Transform,
@@ -49,4 +53,65 @@ def compile_program(root: Transform,
     program = CompiledProgram(root=root.name, transforms=reachable,
                               instances=instances, space=space)
     info = build_training_info(root, reachable, instances, space)
+    return program, info
+
+
+def factory_spec(factory: Callable[[], object]) -> str:
+    """``"module:qualname"`` naming a zero-argument transform factory.
+
+    The factory must be importable by that name (a module-level
+    function, not a closure or lambda), because workers and artifact
+    loaders re-import it to rebuild the program.
+    """
+    module = getattr(factory, "__module__", None)
+    qualname = getattr(factory, "__qualname__", None)
+    if not module or not qualname or "<" in qualname \
+            or "." in qualname:
+        raise CompileError(
+            f"transform factory {factory!r} must be a module-level "
+            f"function (importable as module:qualname) to serve as "
+            f"program provenance")
+    # The name must resolve back to *this* object: a shadowed or
+    # rebound name would make workers and artifact loaders rebuild a
+    # different program than the one the caller passed.
+    owner = sys.modules.get(module)
+    if owner is None or getattr(owner, qualname, None) is not factory:
+        raise CompileError(
+            f"transform factory {module}:{qualname} does not resolve "
+            f"back to the passed function (shadowed or rebound name?); "
+            f"provenance would rebuild a different program")
+    return f"{module}:{qualname}"
+
+
+@functools.lru_cache(maxsize=None)
+def compiled_from_factory(spec: str
+                          ) -> tuple[CompiledProgram, TrainingInfo]:
+    """Compile the program a ``"module:qualname"`` factory builds.
+
+    The factory is imported and called with no arguments; it returns
+    either a root :class:`Transform` or a ``(root, extras)`` tuple.
+    The compiled program carries ``("factory", spec)`` provenance, so
+    it pickles to process workers and reloads from stored artifacts by
+    re-running the factory — the same trick suite benchmarks use with
+    ``("benchmark", name)``.  Cached per process, like
+    :func:`repro.suite.registry.compiled_benchmark`.
+    """
+    module_name, _, qualname = spec.partition(":")
+    if not module_name or not qualname:
+        raise CompileError(
+            f"factory provenance {spec!r} is not of the form "
+            f"'module:qualname'")
+    try:
+        module = importlib.import_module(module_name)
+        factory = getattr(module, qualname)
+    except (ImportError, AttributeError) as exc:
+        raise CompileError(
+            f"cannot import transform factory {spec!r}: {exc}") from exc
+    built = factory()
+    if isinstance(built, tuple):
+        root, extras = built
+    else:
+        root, extras = built, ()
+    program, info = compile_program(root, extras)
+    program.provenance = ("factory", spec)
     return program, info

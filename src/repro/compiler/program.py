@@ -94,6 +94,9 @@ def _rebuild_from_provenance(provenance: tuple[str, str]
     if kind == "benchmark":
         from repro.suite.registry import compiled_benchmark
         return compiled_benchmark(name)[0]
+    if kind == "factory":
+        from repro.compiler.compile import compiled_from_factory
+        return compiled_from_factory(name)[0]
     raise CompileError(f"unknown program provenance {provenance!r}")
 
 
@@ -106,9 +109,11 @@ class CompiledProgram:
         self._transforms = dict(transforms)
         self._instances = dict(instances)
         self.space = space
-        #: How to rebuild this program in another process, e.g.
-        #: ``("benchmark", "poisson")``.  Set by
-        #: :meth:`repro.suite.registry.BenchmarkSpec.compile`; when
+        #: How to rebuild this program in another process:
+        #: ``("benchmark", "poisson")`` (set by
+        #: :meth:`repro.suite.registry.BenchmarkSpec.compile`) or
+        #: ``("factory", "module:qualname")`` (set by
+        #: :func:`repro.compiler.compile.compiled_from_factory`).  When
         #: present, pickling serialises this marker instead of the
         #: transform graph, whose rule closures are not picklable.
         self.provenance: tuple[str, str] | None = None

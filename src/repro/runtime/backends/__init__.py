@@ -43,6 +43,7 @@ __all__ = [
     "config_digest",
     "execute_trial",
     "backend_from_name",
+    "backend_from_spec",
 ]
 
 _BACKENDS = {
@@ -54,15 +55,73 @@ _BACKENDS = {
 }
 
 
+def _backend_factory(name: str) -> "type[ExecutionBackend] | None":
+    """The one registry lookup behind both public parsers."""
+    return _BACKENDS.get(name.lower())
+
+
+def _choices() -> list[str]:
+    return sorted(set(_BACKENDS))
+
+
 def backend_from_name(name: str, **kwargs) -> ExecutionBackend:
     """Build a backend from a short name (``serial``/``thread``/``process``).
 
     Convenience for CLI flags and benchmark sweeps; keyword arguments
-    are forwarded to the backend constructor.
+    are forwarded to the backend constructor.  For the ``name:workers``
+    spec-string form (and ``ConfigError`` diagnostics) use
+    :func:`backend_from_spec`.
     """
-    try:
-        factory = _BACKENDS[name.lower()]
-    except KeyError:
+    factory = _backend_factory(name)
+    if factory is None:
         raise ValueError(f"unknown execution backend {name!r}; "
-                         f"choose from {sorted(set(_BACKENDS))}") from None
+                         f"choose from {_choices()}")
     return factory(**kwargs)
+
+
+def backend_from_spec(spec: "str | ExecutionBackend"
+                      ) -> ExecutionBackend:
+    """Build a backend from a spec string — the one shared parser.
+
+    Specs are ``"<name>"`` or ``"<name>:<workers>"``: ``"serial"``,
+    ``"threads:8"``, ``"process:4"`` (``thread``/``threads`` and
+    ``process``/``processes`` are synonyms).  An
+    :class:`ExecutionBackend` instance passes through unchanged, so
+    every API that takes a spec also takes a hand-built backend.
+    Malformed specs raise :class:`~repro.errors.ConfigError` naming
+    the accepted forms.
+    """
+    from repro.errors import ConfigError
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    if not isinstance(spec, str):
+        raise ConfigError(
+            f"backend spec must be a string like 'serial', 'threads:8' "
+            f"or 'process:4', or an ExecutionBackend instance; got "
+            f"{type(spec).__name__}")
+    name, sep, count = spec.strip().partition(":")
+    factory = _backend_factory(name)
+    if factory is None:
+        raise ConfigError(
+            f"unknown execution backend {name!r} in spec {spec!r}; "
+            f"choose from {_choices()}")
+    if not sep:
+        return factory()
+    if not count:
+        raise ConfigError(
+            f"backend spec {spec!r} ends in ':' without a worker "
+            f"count; use '{name}' or '{name}:<workers>'")
+    if factory is SerialBackend:
+        raise ConfigError(
+            f"backend spec {spec!r}: the serial backend takes no "
+            f"worker count")
+    try:
+        workers = int(count)
+    except ValueError:
+        raise ConfigError(
+            f"backend spec {spec!r}: worker count {count!r} is not an "
+            f"integer") from None
+    if workers < 1:
+        raise ConfigError(
+            f"backend spec {spec!r}: worker count must be >= 1")
+    return factory(max_workers=workers)

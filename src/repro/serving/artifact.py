@@ -5,8 +5,10 @@ JSON-serialisable bundle of everything a fresh process needs to serve
 a tuned program without re-tuning —
 
 * **provenance** — which program this is (root transform name) and how
-  to rebuild it (``("benchmark", name)`` for suite programs), so a
-  loader can recompile the program instead of shipping code;
+  to rebuild it (``("benchmark", name)`` for suite programs,
+  ``("factory", "module:qualname")`` for programs compiled from a
+  module-level transform factory), so a loader can recompile the
+  program instead of shipping code;
 * **per-bin configurations** — the discretized optimal frontier of
   Section 5.5.4, one choice configuration per declared accuracy bin;
 * **per-bin guarantees** — the off-line

@@ -31,7 +31,6 @@ trail.
 
 from __future__ import annotations
 
-import os
 import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
@@ -59,6 +58,11 @@ __all__ = ["RetuneController", "RetuneStatus"]
 #: generator should reflect *current* traffic, not the original
 #: training distribution).
 HarnessFactory = Callable[[str, "CompiledProgram"], "ProgramTestHarness"]
+
+#: Resolves per-program retune settings.  Same call signature as
+#: :data:`HarnessFactory`; lets callers adapt knobs (e.g. training
+#: input sizes) to each program instead of sharing one fixed bundle.
+SettingsFactory = Callable[[str, "CompiledProgram"], TunerSettings]
 
 
 @dataclass
@@ -94,12 +98,14 @@ class RetuneController:
     ``telemetry`` defaults to the engine's own; the engine must record
     telemetry for drift to ever be observed.  ``settings`` are the
     tuner knobs for retune sessions (scale them down: a retune refines
-    a seeded population, it does not explore from scratch).
+    a seeded population, it does not explore from scratch) — either
+    one fixed ``TunerSettings``, or a callable ``(name, compiled) ->
+    TunerSettings`` resolving them per program.
     """
 
     def __init__(self, engine: "ServingEngine", store: ArtifactStore, *,
                  harness_factory: HarnessFactory,
-                 settings: TunerSettings,
+                 settings: "TunerSettings | SettingsFactory",
                  telemetry: ServingTelemetry | None = None,
                  tag: str = DEFAULT_TAG,
                  slice_trials: int = 48,
@@ -301,8 +307,7 @@ class RetuneController:
         # The version is the one *this* save wrote (parsed from its
         # path) — never versions()[-1], which a concurrent saver of
         # the same tag could have appended to in between.
-        state.candidate_version = int(
-            os.path.basename(path)[1:-len(".json")])
+        state.candidate_version = ArtifactStore.parse_version(path)
         candidate = result.tuned_program()
         self.engine.start_shadow(name, candidate,
                                  fraction=self.shadow_fraction)
@@ -328,10 +333,19 @@ class RetuneController:
     def _launch_retunes(self) -> None:
         for name, events in self.check_drift().items():
             tuned = self.engine.program_for(name)
+            # Resolve settings *before* building the harness: a
+            # failing resolver must not leak a fresh backend on every
+            # poll tick while the drift stays pending.
+            settings = (self.settings(name, tuned.program)
+                        if callable(self.settings) else self.settings)
             harness = self.harness_factory(name, tuned.program)
-            tuner = Autotuner(tuned.program, harness, self.settings)
-            session = tuner.session(
-                seed_configs=tuple(tuned.bin_configs.values()))
+            try:
+                tuner = Autotuner(tuned.program, harness, settings)
+                session = tuner.session(
+                    seed_configs=tuple(tuned.bin_configs.values()))
+            except BaseException:
+                harness.close()
+                raise
             # Judge the shadow on the most accurate drifted bin — the
             # strongest promise currently being broken.
             state = _Retune(program=name, events=list(events),

@@ -109,6 +109,24 @@ class ArtifactStore:
         return os.path.join(self._history_dir(program, tag),
                             f"v{version:0{_VERSION_WIDTH}d}.json")
 
+    @staticmethod
+    def parse_version(path: str | os.PathLike) -> int:
+        """The version number a ``vNNNNNN.json`` history path names.
+
+        The race-free way to learn which version a
+        ``save(..., set_latest=False)`` call wrote: the returned path
+        is authoritative, whereas ``versions()[-1]`` or the latest
+        pointer could already reflect a concurrent saver.
+        """
+        name = os.path.basename(os.fspath(path))
+        if not (name.startswith("v") and name.endswith(".json")):
+            raise ArtifactError(f"{path!r} is not a version-file path")
+        try:
+            return int(name[1:-len(".json")])
+        except ValueError:
+            raise ArtifactError(
+                f"{path!r} is not a version-file path") from None
+
     # ------------------------------------------------------------------
     # Versions
     # ------------------------------------------------------------------

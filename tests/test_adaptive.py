@@ -111,10 +111,9 @@ def make_requests(sigma: float, count: int, *, first_seed: int = 0
 def build_world(tmp_path, retune_sigma: float, *, backend=None):
     """Tune on calm traffic, deploy, and wire the adaptive stack."""
     program, _ = compile_program(make_adaptmean_transform())
-    harness = ProgramTestHarness(program, make_generator(CALM_SIGMA),
-                                 base_seed=3)
-    result = Autotuner(program, harness, TUNE).tune()
-    harness.close()
+    with ProgramTestHarness(program, make_generator(CALM_SIGMA),
+                            base_seed=3) as harness:
+        result = Autotuner(program, harness, TUNE).tune()
     assert result.unmet_bins == ()
     # Guarantees at the same confidence the tuner enforced, so the
     # deployed artifact really does promise 0.99.

@@ -1,0 +1,577 @@
+"""The repro.api lifecycle façade.
+
+Two contracts matter:
+
+1. **Delegation, not divergence** — `Project.tune()` must be the
+   hand-wired `compile → harness → Autotuner` path, trial for trial:
+   same seed, identical frontier, identical artifact JSON (digest),
+   on both serial and process backend specs.
+2. **Up-front validation** — malformed `TunerSettings`, backend
+   specs, and preset names fail at construction with `ConfigError`,
+   not deep inside the tuning loop.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import PRESETS, Project, Service, ServicePolicy, settings_for
+from repro.autotuner import Autotuner, ProgramTestHarness, TunerSettings
+from repro.compiler.compile import (
+    compile_program,
+    compiled_from_factory,
+    factory_spec,
+)
+from repro.errors import CompileError, ConfigError
+from repro.lang.transform import Transform
+from repro.lang.tunables import accuracy_variable
+from repro.runtime.backends import (
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    backend_from_spec,
+)
+from repro.serving import ArtifactStore
+
+# ----------------------------------------------------------------------
+# A cheap variable-accuracy transform built by a module-level factory,
+# so both the façade and the hand-wired path share ("factory", ...)
+# provenance (and process workers can rebuild the program).
+# ----------------------------------------------------------------------
+
+
+def _apimean_metric(outputs, inputs):
+    estimate = float(outputs["est"])
+    truth = float(np.mean(inputs["xs"]))
+    return max(0.0, 1.0 - abs(estimate - truth) / (abs(truth) + 1e-9))
+
+
+def _apimean_sub(ctx, xs):
+    m = min(len(xs), int(ctx.param("m")))
+    indices = ctx.rng.integers(0, len(xs), size=m)
+    ctx.add_cost(m)
+    return float(np.mean(xs[indices]))
+
+
+def _apimean_full(ctx, xs):
+    ctx.add_cost(2 * len(xs))
+    return float(np.mean(xs))
+
+
+def make_apimean() -> Transform:
+    transform = Transform(
+        "apimean", inputs=("xs",), outputs=("est",),
+        accuracy_metric=_apimean_metric, accuracy_bins=(0.5, 0.9),
+        tunables=[accuracy_variable("m", lo=1, hi=100000, default=4,
+                                    direction=+1)])
+    transform.rule(outputs=("est",), inputs=("xs",),
+                   name="sub")(_apimean_sub)
+    transform.rule(outputs=("est",), inputs=("xs",),
+                   name="full")(_apimean_full)
+    return transform
+
+
+def apimean_inputs(n, rng):
+    return {"xs": rng.normal(10.0, 1.0, size=max(2, int(n)))}
+
+
+QUICK = dict(input_sizes=(4.0, 8.0), rounds_per_size=1,
+             mutation_attempts=3, min_trials=2, max_trials=3,
+             initial_random=1, guided_max_evaluations=6,
+             accuracy_confidence=None, seed=5)
+
+BASE_SEED = 3
+
+
+def artifact_digest(artifact) -> str:
+    payload = json.dumps(artifact.to_json(), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Façade / hand-wired equivalence
+# ----------------------------------------------------------------------
+class TestFacadeEquivalence:
+    @pytest.mark.parametrize("spec, backend_factory", [
+        ("serial", SerialBackend),
+        ("process:2", lambda: ProcessPoolBackend(max_workers=2)),
+    ])
+    def test_tune_matches_hand_wired_path(self, spec, backend_factory):
+        """Same seed through Project.tune() and the hand-wired
+        Autotuner yields identical frontiers and artifact digests."""
+        program, _ = compiled_from_factory(factory_spec(make_apimean))
+        with ProgramTestHarness(program, apimean_inputs,
+                                base_seed=BASE_SEED,
+                                backend=backend_factory()) as harness:
+            manual = Autotuner(program, harness,
+                               TunerSettings(**QUICK)).tune()
+
+        with Project.from_transform(make_apimean, apimean_inputs,
+                                    backend=spec,
+                                    base_seed=BASE_SEED) as project:
+            facade = project.tune(**QUICK)
+
+        assert facade.frontier() == manual.frontier()
+        assert facade.result.trials_run == manual.trials_run
+        assert facade.unmet_bins == manual.unmet_bins
+        assert artifact_digest(facade.artifact()) == \
+            artifact_digest(manual.to_artifact())
+
+    def test_run_matches_tuned_program(self):
+        with Project.from_transform(make_apimean, apimean_inputs,
+                                    base_seed=BASE_SEED) as project:
+            handle = project.tune(**QUICK)
+        tuned = handle.tuned_program()
+        xs = {"xs": np.random.default_rng(0).normal(10.0, 1.0, size=64)}
+        direct = tuned.run(xs, 64, accuracy=0.9, seed=4)
+        via_handle = handle.run(xs, 64, accuracy=0.9, seed=4)
+        assert via_handle.outputs == direct.outputs
+        assert via_handle.bin_target == direct.bin_target
+
+
+# ----------------------------------------------------------------------
+# Project construction & ownership
+# ----------------------------------------------------------------------
+class TestProject:
+    def test_benchmark_sizes_resolve_within_bounds(self):
+        with Project.from_benchmark("poisson") as project:
+            settings = project.settings("smoke", max_input_size=15)
+            # Poisson grids are 2^k - 1: the benchmark's own sizes are
+            # used, bounded by the preset's max_input_size.
+            assert settings.sizes() == (3.0, 7.0, 15.0)
+
+    def test_explicit_sizes_win_over_benchmark(self):
+        with Project.from_benchmark("poisson") as project:
+            settings = project.settings("smoke", input_sizes=(7.0,))
+            assert settings.sizes() == (7.0,)
+
+    def test_bounds_excluding_every_size_raise(self):
+        with Project.from_benchmark("poisson") as project:
+            with pytest.raises(ConfigError, match="training size"):
+                project.settings(max_input_size=2.0)
+
+    def test_close_shuts_backend_and_is_idempotent(self):
+        project = Project.from_transform(make_apimean, apimean_inputs,
+                                         backend="threads:2")
+        _ = project.harness
+        project.close()
+        project.close()
+        with pytest.raises(ConfigError, match="closed"):
+            _ = project.harness
+
+    def test_owned_cache_persists_on_close(self, tmp_path):
+        cache_path = tmp_path / "trials.json"
+        with Project.from_transform(make_apimean, apimean_inputs,
+                                    cache=cache_path,
+                                    base_seed=BASE_SEED) as project:
+            project.tune(**QUICK)
+            executed = project.trials_executed
+        assert executed > 0
+        assert cache_path.exists()
+        with Project.from_transform(make_apimean, apimean_inputs,
+                                    cache=cache_path,
+                                    base_seed=BASE_SEED) as warm:
+            warm.tune(**QUICK)
+            assert warm.trials_executed == 0
+
+    def test_explicit_settings_log_wins_over_project_log(self):
+        ambient, explicit = [], []
+        with Project.from_transform(make_apimean, apimean_inputs,
+                                    base_seed=BASE_SEED,
+                                    log=ambient.append) as project:
+            project.tune(TunerSettings(**QUICK,
+                                       log=explicit.append))
+            assert explicit and not ambient
+            project.tune(**QUICK)   # no explicit log: ambient wins
+            assert ambient
+
+    def test_factory_gives_provenance(self):
+        with Project.from_transform(make_apimean,
+                                    apimean_inputs) as project:
+            assert project.program.provenance == \
+                ("factory", f"{make_apimean.__module__}:make_apimean")
+
+    def test_project_objective_threads_into_settings(self):
+        with Project.from_transform(make_apimean, apimean_inputs,
+                                    objective="time",
+                                    base_seed=BASE_SEED) as project:
+            assert project.settings(**QUICK).objective == "time"
+            handle = project.tune(**QUICK)     # no redundant override
+            assert handle.result.settings.objective == "time"
+            # An explicit conflicting choice still fails loudly.
+            from repro.errors import TrainingError
+            with pytest.raises(TrainingError, match="objective"):
+                project.tune(objective="cost", **QUICK)
+
+    def test_non_importable_factory_rejected(self):
+        with pytest.raises(CompileError, match="module-level"):
+            factory_spec(lambda: None)
+
+    def test_rebound_factory_name_rejected(self, monkeypatch):
+        import sys
+        module = sys.modules[make_apimean.__module__]
+        monkeypatch.setattr(module, "make_apimean", make_apimean)
+        alias = make_apimean
+        monkeypatch.setattr(module, "make_apimean", lambda: None)
+        with pytest.raises(CompileError, match="resolve back"):
+            factory_spec(alias)
+
+    def test_missing_generator_rejected(self):
+        with pytest.raises(ConfigError, match="training-input"):
+            Project.from_transform(make_apimean, None)
+
+
+# ----------------------------------------------------------------------
+# Backend spec strings (the one shared parser)
+# ----------------------------------------------------------------------
+class TestBackendSpec:
+    @pytest.mark.parametrize("spec, kind, workers", [
+        ("serial", SerialBackend, None),
+        ("threads", ThreadPoolBackend, None),
+        ("threads:8", ThreadPoolBackend, 8),
+        ("thread:2", ThreadPoolBackend, 2),
+        ("process:4", ProcessPoolBackend, 4),
+        ("processes:3", ProcessPoolBackend, 3),
+    ])
+    def test_specs_parse(self, spec, kind, workers):
+        backend = backend_from_spec(spec)
+        assert isinstance(backend, kind)
+        if workers is not None:
+            assert backend.max_workers == workers
+
+    def test_instance_passes_through(self):
+        backend = SerialBackend()
+        assert backend_from_spec(backend) is backend
+
+    @pytest.mark.parametrize("spec, match", [
+        ("warp:4", "unknown execution backend"),
+        ("serial:2", "no worker count"),
+        ("threads:many", "not an integer"),
+        ("threads:0", ">= 1"),
+        ("threads:", "without a worker count"),
+        ("serial:", "without a worker count"),
+    ])
+    def test_bad_specs_raise_config_error(self, spec, match):
+        with pytest.raises(ConfigError, match=match):
+            backend_from_spec(spec)
+
+    def test_non_string_rejected(self):
+        with pytest.raises(ConfigError, match="spec"):
+            backend_from_spec(7)
+
+
+# ----------------------------------------------------------------------
+# Settings presets
+# ----------------------------------------------------------------------
+class TestPresets:
+    def test_known_presets_resolve(self):
+        for name in PRESETS:
+            assert isinstance(settings_for(name), TunerSettings)
+
+    def test_overrides_win(self):
+        settings = settings_for("smoke", max_trials=9)
+        assert settings.max_trials == 9
+        assert settings.rounds_per_size == \
+            PRESETS["smoke"]["rounds_per_size"]
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ConfigError, match="unknown settings preset"):
+            settings_for("warp-speed")
+
+    def test_settings_instance_passes_through(self):
+        settings = TunerSettings(seed=11)
+        assert settings_for(settings) is settings
+        assert settings_for(settings, seed=12).seed == 12
+
+
+# ----------------------------------------------------------------------
+# TunerSettings construction-time validation
+# ----------------------------------------------------------------------
+class TestSettingsValidation:
+    @pytest.mark.parametrize("kwargs, match", [
+        (dict(input_sizes=()), "empty"),
+        (dict(input_sizes=(8.0, 4.0)), "strictly increasing"),
+        (dict(input_sizes=(4.0, 4.0)), "strictly increasing"),
+        (dict(input_sizes=(0.0, 4.0)), "positive"),
+        (dict(min_input_size=128.0, max_input_size=64.0),
+         "exceeds max_input_size"),
+        (dict(min_input_size=0.0), "positive"),
+        (dict(min_input_size=-2.0), "positive"),
+        (dict(objective="energy"), "objective"),
+        (dict(require_targets="explode"), "require_targets"),
+        (dict(rounds_per_size=-1), "rounds_per_size"),
+        (dict(min_trials=0), "min_trials"),
+        (dict(min_trials=5, max_trials=4), "max_trials"),
+        (dict(mutation_attempts=-1), "mutation_attempts"),
+        (dict(k_per_bin=0), "k_per_bin"),
+        (dict(initial_random=-1), "initial_random"),
+        (dict(accuracy_confidence=1.0), "accuracy_confidence"),
+        (dict(accuracy_confidence=0.0), "accuracy_confidence"),
+        (dict(guided_max_evaluations=0), "guided_max_evaluations"),
+    ])
+    def test_invalid_settings_raise_config_error(self, kwargs, match):
+        with pytest.raises(ConfigError, match=match):
+            TunerSettings(**kwargs)
+
+    def test_valid_edge_cases_pass(self):
+        # Zero rounds (test-only tuning) and None confidence are legal.
+        TunerSettings(rounds_per_size=0, accuracy_confidence=None)
+        TunerSettings(input_sizes=(7.0,))
+        TunerSettings(min_input_size=64.0, max_input_size=64.0)
+
+
+# ----------------------------------------------------------------------
+# Harness context manager
+# ----------------------------------------------------------------------
+class TestHarnessContextManager:
+    def test_with_block_closes_backend(self):
+        program, _ = compile_program(make_apimean())
+        backend = ThreadPoolBackend(max_workers=2)
+        with ProgramTestHarness(program, apimean_inputs,
+                                backend=backend) as harness:
+            assert harness.backend is backend
+            # Force the pool into existence so close() has work to do.
+            backend._ensure_pool()
+        assert backend._pool is None  # close() ran
+
+
+# ----------------------------------------------------------------------
+# Service assembly
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def deployed_store(tmp_path_factory):
+    root = tmp_path_factory.mktemp("store")
+    with Project.from_transform(make_apimean, apimean_inputs,
+                                base_seed=BASE_SEED) as project:
+        handle = project.tune(**QUICK)
+        deployment = handle.deploy(root)
+    return deployment.store, handle
+
+
+class TestService:
+    def test_load_serves_and_matches_single_call(self, deployed_store):
+        store, handle = deployed_store
+        tuned = handle.tuned_program()
+        rng = np.random.default_rng(1)
+        with Service.load(store, program="apimean") as service:
+            inputs = {"xs": rng.normal(10.0, 1.0, size=32)}
+            response = service.serve_one(service.request(
+                inputs, 32, accuracy=0.9, seed=6))
+            assert response.ok
+            direct = tuned.run(inputs, 32, accuracy=0.9, seed=6)
+            assert response.outputs == direct.outputs
+            assert response.bin_target == direct.bin_target
+
+    def test_load_defaults_to_every_stored_program(self, deployed_store):
+        store, _ = deployed_store
+        with Service.load(store) as service:
+            assert service.programs == ("apimean",)
+
+    def test_empty_store_raises(self, tmp_path):
+        with pytest.raises(ConfigError, match="no programs"):
+            Service.load(tmp_path / "empty")
+
+    def test_tag_only_store_names_the_tag_mismatch(self, tmp_path,
+                                                   deployed_store):
+        _, handle = deployed_store
+        deployment = handle.deploy(tmp_path / "canary-only",
+                                   tag="canary")
+        with pytest.raises(ConfigError, match="tag 'default'"):
+            Service.load(deployment.store)
+        # Naming the tag in the policy makes the same store loadable.
+        with Service.load(deployment.store,
+                          policy=ServicePolicy(tag="canary")) as svc:
+            assert svc.programs == ("apimean",)
+
+    def test_request_needs_program_when_ambiguous(self, deployed_store):
+        store, handle = deployed_store
+        with Service.load(store) as service:
+            request = service.request({"xs": np.zeros(4)}, 4)
+            assert request.program == "apimean"
+            # A second hosted program makes the default ambiguous.
+            service.engine.register("other", handle.tuned_program())
+            with pytest.raises(ConfigError, match="name the program"):
+                service.request({"xs": np.zeros(4)}, 4)
+            still_fine = service.request({"xs": np.zeros(4)}, 4,
+                                         program="apimean")
+            assert still_fine.program == "apimean"
+
+    def test_retune_backend_instance_rejected(self):
+        with pytest.raises(ConfigError, match="spec string"):
+            ServicePolicy(retune_backend=SerialBackend())
+
+    def test_time_objective_retunes_propagate_to_harness(self,
+                                                         tmp_path):
+        program, _ = compiled_from_factory(factory_spec(make_apimean))
+        time_settings = TunerSettings(objective="time", **QUICK)
+        service = Service(ArtifactStore(tmp_path), engine=None,
+                          telemetry=None,
+                          policy=ServicePolicy(retune=time_settings),
+                          training_inputs=apimean_inputs)
+        with service._harness_factory("apimean", program) as harness:
+            assert harness.objective == "time"
+
+    def test_time_objective_rejects_parallel_retune_backend(
+            self, deployed_store):
+        store, _ = deployed_store
+        policy = ServicePolicy(
+            retune=TunerSettings(objective="time", **QUICK),
+            retune_backend="threads:2")
+        with Service.load(store, program="apimean", policy=policy,
+                          training_inputs=apimean_inputs) as service:
+            with pytest.raises(ConfigError, match="serial"):
+                service.poll()
+
+    def test_deploy_retain_needs_a_path_created_store(
+            self, deployed_store):
+        store, handle = deployed_store
+        with pytest.raises(ConfigError, match="retain"):
+            handle.deploy(store, retain=5)
+
+    def test_adaptive_needs_retune_settings(self, deployed_store):
+        store, _ = deployed_store
+        with Service.load(store, program="apimean") as service:
+            with pytest.raises(ConfigError, match="retune"):
+                service.poll()
+
+    def test_adaptive_controller_assembles_from_policy(
+            self, deployed_store):
+        store, handle = deployed_store
+        policy = ServicePolicy(retune="smoke",
+                               retune_overrides={"seed": 21},
+                               slice_trials=10)
+        with Service.load(store, program="apimean", policy=policy,
+                          training_inputs=apimean_inputs) as service:
+            assert service.poll() == []       # no traffic, no drift
+            assert service.check_drift() == {}
+            assert service.events == []
+            controller = service.controller
+            assert controller.slice_trials == 10
+            resolved = controller.settings(
+                "apimean", handle.result.program)
+            assert resolved.seed == 21
+
+    def test_retune_settings_respect_benchmark_sizes(self, tmp_path):
+        """A preset-based retune of a size-constrained benchmark must
+        train on the benchmark's own sizes, not the generic sweep
+        (which would crash poisson's generator on n=2)."""
+        from repro.suite import get_benchmark
+        spec = get_benchmark("poisson")
+        program, _ = spec.compile()
+        service = Service(ArtifactStore(tmp_path), engine=None,
+                          telemetry=None,
+                          policy=ServicePolicy(retune="smoke"))
+        settings = service._settings_factory("poisson", program)
+        assert settings.input_sizes == (3.0, 7.0, 15.0)
+        with service._harness_factory("poisson", program) as harness:
+            # The retune harness inherits the spec's per-trial budget.
+            assert harness.cost_limit == spec.cost_limit
+
+    def test_duplicate_program_names_collapse(self, deployed_store):
+        store, handle = deployed_store
+        with Service.load(store, program="apimean",
+                          programs=("apimean",),
+                          compiled=handle.result.program) as service:
+            assert service.programs == ("apimean",)
+
+    def test_deploy_reports_the_version_it_wrote(self, tmp_path,
+                                                 deployed_store):
+        _, handle = deployed_store
+        first = handle.deploy(tmp_path / "store")
+        second = handle.deploy(first.store)
+        assert (first.version, second.version) == (1, 2)
+        assert first.store.latest_version("apimean") == 2
+        unserved = handle.deploy(first.store, set_latest=False)
+        assert unserved.version == 3
+        assert first.store.latest_version("apimean") == 2
+        assert ArtifactStore.parse_version(unserved.path) == 3
+
+    def test_parse_version_rejects_non_version_paths(self):
+        from repro.errors import ArtifactError
+        with pytest.raises(ArtifactError, match="version-file"):
+            ArtifactStore.parse_version("default.json")
+
+    def test_discovery_skips_programs_without_the_tag(
+            self, tmp_path, deployed_store):
+        _, handle = deployed_store
+        deployment = handle.deploy(tmp_path / "mixed")
+        handle.deploy(deployment.store, tag="canary")
+        # Fake a second program stored only under the canary tag.
+        import shutil
+        source = str(tmp_path / "mixed" / "apimean")
+        shutil.copytree(source, str(tmp_path / "mixed" / "ghost"))
+        import os
+        os.unlink(str(tmp_path / "mixed" / "ghost" / "default.json"))
+        shutil.rmtree(str(tmp_path / "mixed" / "ghost" / ".history" /
+                          "default"))
+        with Service.load(deployment.store) as service:
+            assert service.programs == ("apimean",)
+
+    def test_failing_settings_resolution_never_builds_a_harness(
+            self, deployed_store):
+        """A raising settings resolver must not leak a fresh harness
+        (and backend) on every poll tick (controller launch order)."""
+        from repro.serving import ServingTelemetry
+        from repro.serving.controller import RetuneController
+        from repro.serving.telemetry import DriftEvent
+        store, handle = deployed_store
+        tuned = handle.tuned_program()
+
+        class StubEngine:
+            telemetry = ServingTelemetry()
+            programs = ("apimean",)
+
+            def program_for(self, name):
+                return tuned
+
+        class ClosingBackend(SerialBackend):
+            def __init__(self):
+                super().__init__()
+                self.closed = False
+
+            def close(self):
+                self.closed = True
+
+        built = []
+
+        def harness_factory(name, compiled):
+            harness = ProgramTestHarness(compiled, apimean_inputs,
+                                         backend=ClosingBackend())
+            built.append(harness)
+            return harness
+
+        def raising_settings(name, compiled):
+            raise ConfigError("no sizes fit")
+
+        controller = RetuneController(
+            StubEngine(), store, harness_factory=harness_factory,
+            settings=raising_settings)
+        controller.check_drift = lambda: {"apimean": [DriftEvent(
+            program="apimean", target=0.9, observed=None,
+            stored=None)]}
+        with pytest.raises(ConfigError, match="no sizes"):
+            controller.poll()
+        assert built == []   # settings resolved before harness build
+
+        # And when construction fails *after* the harness exists (an
+        # objective mismatch), the harness's backend is closed.
+        controller.settings = TunerSettings(objective="time", **QUICK)
+        with pytest.raises(Exception, match="objective"):
+            controller.poll()
+        assert len(built) == 1
+        assert built[0].backend.closed
+
+    def test_telemetry_snapshot_reflects_traffic(self, deployed_store):
+        store, _ = deployed_store
+        rng = np.random.default_rng(2)
+        with Service.load(store, program="apimean") as service:
+            service.serve([service.request(
+                {"xs": rng.normal(10.0, 1.0, size=16)}, 16,
+                accuracy=0.9, seed=i) for i in range(5)])
+            snap = service.snapshot(0.9)
+            assert snap.served == 5
+            assert snap.samples == 5

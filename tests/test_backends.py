@@ -23,7 +23,7 @@ import pytest
 from repro.autotuner import Autotuner, ProgramTestHarness, TunerSettings
 from repro.autotuner.candidate import Candidate
 from repro.compiler.compile import compile_program
-from repro.errors import TrainingError
+from repro.errors import ConfigError, TrainingError
 from repro.lang.transform import Transform
 from repro.lang.tunables import accuracy_variable
 from repro.runtime.backends import (
@@ -93,13 +93,10 @@ def quick_settings(**overrides) -> TunerSettings:
 
 def tune_pickmean(backend=None, cache=None, **overrides):
     program, _ = compile_program(make_pickmean_transform())
-    harness = ProgramTestHarness(program, pickmean_inputs, base_seed=3,
-                                 backend=backend, cache=cache)
-    try:
+    with ProgramTestHarness(program, pickmean_inputs, base_seed=3,
+                            backend=backend, cache=cache) as harness:
         result = Autotuner(program, harness,
                            quick_settings(**overrides)).tune()
-    finally:
-        harness.close()
     return harness, result
 
 
@@ -421,11 +418,10 @@ class TestHarness:
                       quick_settings(objective="time"))
 
     def test_unknown_settings_objective_raises(self):
-        program, _ = compile_program(make_pickmean_transform())
-        harness = ProgramTestHarness(program, pickmean_inputs)
-        with pytest.raises(TrainingError):
-            Autotuner(program, harness,
-                      quick_settings(objective="energy"))
+        # Malformed settings now fail at construction (ConfigError),
+        # before any tuner or harness exists.
+        with pytest.raises(ConfigError, match="objective"):
+            quick_settings(objective="energy")
 
     def test_time_objective_rejects_parallel_backends(self):
         program, _ = compile_program(make_pickmean_transform())
