@@ -22,8 +22,8 @@ import numpy as np
 
 from repro.api import Project, Service, ServicePolicy
 from repro.autotuner import TunerSettings
+from repro.lang import accuracy_metric, accuracy_variable, rule, transform
 from repro.lang.transform import Transform
-from repro.lang.tunables import accuracy_variable
 
 CALM_SIGMA, SHIFT_SIGMA = 0.5, 6.0
 TARGET = 0.99
@@ -62,16 +62,18 @@ def _full_scan(ctx, xs):
 
 
 def make_transform() -> Transform:
-    transform = Transform(
-        "adaptmean", inputs=("xs",), outputs=("est",),
-        accuracy_metric=_metric, accuracy_bins=(0.5, 0.9, TARGET),
-        tunables=[accuracy_variable("m", lo=1, hi=100000, default=4,
-                                    direction=+1)])
-    transform.rule(outputs=("est",), inputs=("xs",),
-                   name="subsample")(_subsample)
-    transform.rule(outputs=("est",), inputs=("xs",),
-                   name="full_scan")(_full_scan)
-    return transform
+    # The DSL also lowers declarations over pre-existing module-level
+    # functions: the attribute names name the rules, the signatures
+    # name the inputs.
+    @transform(inputs=("xs",), outputs=("est",),
+               accuracy_bins=(0.5, 0.9, TARGET))
+    class adaptmean:
+        m = accuracy_variable(lo=1, hi=100000, default=4, direction=+1)
+        metric = accuracy_metric(_metric)
+        subsample = rule(_subsample)
+        full_scan = rule(_full_scan)
+
+    return adaptmean
 
 
 def generator(sigma):

@@ -162,9 +162,10 @@ def main():
                     + count_code_lines(ManualPoissonLibrary.solve)
                     + count_code_lines(ManualPoissonLibrary._vcycle)
                     + count_code_lines(ManualPoissonLibrary._accuracy))
-    # DSL plumbing: the declaration block of the transform (metric,
-    # bins, tunables, call sites) — everything before the first rule.
-    build_source = inspect.getsource(dsl_module.build).split("@transform")[0]
+    # DSL plumbing: the declaration block of the transform class
+    # (metric, bins, tunables, call sites) — everything before the
+    # first @rule method.
+    build_source = inspect.getsource(dsl_module.build).split("@rule")[0]
     dsl_lines = sum(1 for line in build_source.splitlines()
                     if line.strip() and not line.strip().startswith("#"))
     print(f"\ncode devoted to variable-accuracy plumbing:")

@@ -11,43 +11,39 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import Transform, accuracy_variable
+from repro.lang import accuracy_metric, accuracy_variable, rule, transform
 from repro.api import Project
 
 
 # ----------------------------------------------------------------------
-# 1. The library writer declares the transform.
+# 1. The library writer declares the transform: the class body *is*
+#    the declaration.  Tunable and rule names are inferred; rule
+#    inputs come from the method signatures.
 # ----------------------------------------------------------------------
-def relative_accuracy(outputs, inputs):
-    """accuracy_metric: 1 - relative error of the estimate."""
-    truth = float(np.mean(inputs["xs"]))
-    error = abs(float(outputs["est"]) - truth) / (abs(truth) + 1e-12)
-    return max(0.0, 1.0 - error)
+@transform(inputs=("xs",), outputs=("est",),
+           accuracy_bins=(0.5, 0.9, 0.99))   # "accuracy_bins" keyword
+class approxmean:
+    # "accuracy_variable": the sample count, trained per input size.
+    m = accuracy_variable(lo=1, hi=1_000_000, default=4, direction=+1)
 
+    @accuracy_metric
+    def relative_accuracy(outputs, inputs):
+        """1 - relative error of the estimate."""
+        truth = float(np.mean(inputs["xs"]))
+        error = abs(float(outputs["est"]) - truth) / (abs(truth) + 1e-12)
+        return max(0.0, 1.0 - error)
 
-approxmean = Transform(
-    "approxmean",
-    inputs=("xs",),
-    outputs=("est",),
-    accuracy_metric=relative_accuracy,
-    accuracy_bins=(0.5, 0.9, 0.99),          # "accuracy_bins" keyword
-    tunables=[accuracy_variable("m", lo=1, hi=1_000_000, default=4,
-                                direction=+1)],  # "accuracy_variable"
-)
+    @rule
+    def subsample(ctx, xs):
+        m = min(len(xs), int(ctx.param("m")))
+        indices = ctx.rng.integers(0, len(xs), size=m)
+        ctx.add_cost(m)
+        return float(np.mean(xs[indices]))
 
-
-@approxmean.rule(outputs=("est",), inputs=("xs",), name="subsample")
-def subsample(ctx, xs):
-    m = min(len(xs), int(ctx.param("m")))
-    indices = ctx.rng.integers(0, len(xs), size=m)
-    ctx.add_cost(m)
-    return float(np.mean(xs[indices]))
-
-
-@approxmean.rule(outputs=("est",), inputs=("xs",), name="exact")
-def exact(ctx, xs):
-    ctx.add_cost(2 * len(xs))
-    return float(np.mean(xs))
+    @rule
+    def exact(ctx, xs):
+        ctx.add_cost(2 * len(xs))
+        return float(np.mean(xs))
 
 
 def training_inputs(n, rng):

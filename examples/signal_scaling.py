@@ -12,31 +12,33 @@ Run:  python examples/signal_scaling.py
 
 import numpy as np
 
-from repro import Transform, compile_program, scaled_by
+from repro import compile_program, scaled_by
+from repro.lang import Transform, accuracy_metric, rule, transform
 from repro.autotuner import Autotuner, ProgramTestHarness, TunerSettings
 
 
 def make_smoother() -> Transform:
-    def metric(outputs, inputs):
-        # How well did we recover the clean signal under the noise?
-        # (The generator supplies "clean" for the metric only, like the
-        # exact solutions in the PDE benchmarks.)
-        clean = np.asarray(inputs["clean"], dtype=float)
-        smooth = np.asarray(outputs["smooth"], dtype=float)
-        scale = float(np.abs(clean).max()) + 1e-12
-        return max(0.0, 1.0 - float(np.abs(smooth - clean).mean())
-                   / scale)
+    @transform(inputs=("signal",), outputs=("smooth",),
+               accuracy_bins=(0.9, 0.95, 0.97))
+    class smoother:
+        @accuracy_metric
+        def recovery(outputs, inputs):
+            # How well did we recover the clean signal under the noise?
+            # (The generator supplies "clean" for the metric only, like
+            # the exact solutions in the PDE benchmarks.)
+            clean = np.asarray(inputs["clean"], dtype=float)
+            smooth = np.asarray(outputs["smooth"], dtype=float)
+            scale = float(np.abs(clean).max()) + 1e-12
+            return max(0.0, 1.0 - float(np.abs(smooth - clean).mean())
+                       / scale)
 
-    smoother = Transform("smoother", inputs=("signal",),
-                         outputs=("smooth",), accuracy_metric=metric,
-                         accuracy_bins=(0.9, 0.95, 0.97))
-
-    @smoother.rule(outputs=("smooth",), inputs=("signal",))
-    def moving_average(ctx, signal):
-        padded = np.pad(np.asarray(signal, dtype=float), 2, mode="edge")
-        ctx.add_cost(5 * len(signal))
-        return (padded[:-4] + padded[1:-3] + padded[2:-2]
-                + padded[3:-1] + padded[4:]) / 5.0
+        @rule
+        def moving_average(ctx, signal):
+            padded = np.pad(np.asarray(signal, dtype=float), 2,
+                            mode="edge")
+            ctx.add_cost(5 * len(signal))
+            return (padded[:-4] + padded[1:-3] + padded[2:-2]
+                    + padded[3:-1] + padded[4:]) / 5.0
 
     return smoother
 

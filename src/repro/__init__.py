@@ -13,10 +13,15 @@ Public API highlights
   (declare + tune + deploy, with backend spec strings and settings
   presets) and ``Service`` (policy-driven serving with drift detection
   and background retuning).  Start here.
-- :class:`repro.lang.Transform`, :class:`repro.lang.CallSite` — declare
-  variable-accuracy programs.
+- :func:`repro.lang.transform`, :func:`repro.lang.rule`,
+  :func:`repro.lang.accuracy_metric`, :func:`repro.lang.call` — the
+  declarative class-based DSL (lowers to
+  :class:`repro.lang.Transform`, the imperative form).
 - :func:`repro.lang.accuracy_variable`, :func:`repro.lang.for_enough`,
-  :func:`repro.lang.cutoff`, :func:`repro.lang.switch` — tunables.
+  :func:`repro.lang.cutoff`, :func:`repro.lang.switch` — tunables
+  (names inferred inside a DSL class body).
+- :func:`repro.lang.check`, :func:`repro.lang.describe` — batched
+  declaration diagnostics and program introspection.
 - :func:`repro.compiler.compile_program` — compile to an executable
   program + training info.
 - :class:`repro.autotuner.Autotuner` — the accuracy-aware genetic tuner.
@@ -31,12 +36,20 @@ Public API highlights
 from repro.lang import (
     AccuracyMetric,
     CallSite,
+    Diagnostics,
     Transform,
+    accuracy_metric,
     accuracy_variable,
+    allocator,
+    call,
+    check,
     cutoff,
+    describe,
     for_enough,
+    rule,
     scaled_by,
     switch,
+    transform,
 )
 from repro.compiler import compile_program
 from repro.errors import (
@@ -55,11 +68,19 @@ __all__ = [
     "Transform",
     "CallSite",
     "AccuracyMetric",
+    "transform",
+    "rule",
+    "accuracy_metric",
+    "call",
+    "allocator",
     "accuracy_variable",
     "for_enough",
     "cutoff",
     "switch",
     "scaled_by",
+    "check",
+    "describe",
+    "Diagnostics",
     "compile_program",
     "ReproError",
     "LanguageError",

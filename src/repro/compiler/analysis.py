@@ -21,35 +21,48 @@ from repro.config.parameters import (
     SwitchParam,
 )
 from repro.errors import CompileError
+from repro.lang.diagnostics import Diagnostics
 from repro.lang.transform import Transform
 
 __all__ = ["gather_transforms", "build_instances", "build_parameter_space"]
 
 
 def gather_transforms(root: Transform,
-                      registry: Mapping[str, Transform]
+                      registry: Mapping[str, Transform],
+                      diagnostics: Diagnostics | None = None
                       ) -> dict[str, Transform]:
-    """All transforms reachable from ``root`` through call sites."""
+    """All transforms reachable from ``root`` through call sites.
+
+    An unknown call-site target raises :class:`CompileError` directly;
+    with a ``diagnostics`` collector every unresolved target is
+    recorded (naming the declaring transform and call site) and the
+    remaining graph is still gathered, so one compile pass reports all
+    of them.
+    """
     known = dict(registry)
     known.setdefault(root.name, root)
     if known[root.name] is not root:
         raise CompileError(
             f"registry maps {root.name!r} to a different transform object")
     reachable: dict[str, Transform] = {}
-    worklist = [root.name]
+    worklist = [(root.name, root.name, None)]
     while worklist:
-        name = worklist.pop()
+        name, caller, site_name = worklist.pop()
         if name in reachable:
             continue
         try:
             transform = known[name]
         except KeyError:
-            raise CompileError(
-                f"call site targets unknown transform {name!r}; pass it to "
-                f"compile_program(transforms=...)") from None
+            message = (f"call site {site_name!r} targets unknown "
+                       f"transform {name!r}; pass it to "
+                       f"compile_program(transforms=...)")
+            if diagnostics is None:
+                raise CompileError(message) from None
+            diagnostics.error(message, transform=caller)
+            continue
         reachable[name] = transform
         for site in transform.call_sites.values():
-            worklist.append(site.target)
+            worklist.append((site.target, name, site.name))
     return reachable
 
 

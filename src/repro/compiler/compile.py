@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import functools
 import importlib
+import math
 import sys
 from typing import Callable, Iterable
 
@@ -22,9 +23,42 @@ from repro.compiler.analysis import (
 from repro.compiler.program import CompiledProgram
 from repro.compiler.training_info import TrainingInfo, build_training_info
 from repro.errors import CompileError
+from repro.lang.diagnostics import Diagnostics
 from repro.lang.transform import Transform
 
 __all__ = ["compile_program", "compiled_from_factory", "factory_spec"]
+
+
+def _validate_call_accuracies(reachable: dict[str, Transform],
+                              diagnostics: Diagnostics) -> None:
+    """Check every explicit call-site accuracy against its callee.
+
+    An explicit accuracy on a fixed-accuracy callee used to be silently
+    ignored (the call ran at the callee's only instance, whatever the
+    caller asked for); a non-finite accuracy would corrupt bin
+    inference.  Both are now compile errors, reported together with
+    everything else the pass finds.
+    """
+    for transform in reachable.values():
+        for site in transform.call_sites.values():
+            if site.accuracy is None:
+                continue
+            callee = reachable.get(site.target)
+            if callee is None:  # unknown target, already reported
+                continue
+            if not callee.is_variable_accuracy:
+                diagnostics.error(
+                    f"call site {site.name!r} requests accuracy "
+                    f"{site.accuracy:g} but callee {callee.name!r} "
+                    f"declares no accuracy metric (it has no accuracy "
+                    f"bins to dispatch to)",
+                    transform=transform.name)
+                continue
+            if not math.isfinite(float(site.accuracy)):
+                diagnostics.error(
+                    f"call site {site.name!r}: accuracy "
+                    f"{site.accuracy!r} is not a finite number",
+                    transform=transform.name)
 
 
 def compile_program(root: Transform,
@@ -35,11 +69,21 @@ def compile_program(root: Transform,
     ``transforms`` must contain every transform referenced by call
     sites that is not ``root`` itself.  Returns the executable program
     together with its training information file.
+
+    Validation is batched: unknown call targets, unproducible data,
+    overlapping choice groups and invalid call-site accuracies across
+    *all* reachable transforms are collected into one
+    :class:`~repro.lang.diagnostics.Diagnostics` pass and raised as a
+    single :class:`CompileError` (``exc.diagnostics`` holds the
+    entries).
     """
+    diagnostics = Diagnostics()
     registry = {t.name: t for t in transforms}
-    reachable = gather_transforms(root, registry)
+    reachable = gather_transforms(root, registry, diagnostics)
     for transform in reachable.values():
-        transform.validate()
+        transform.validate(diagnostics)
+    _validate_call_accuracies(reachable, diagnostics)
+    diagnostics.raise_if_errors(CompileError)
     # Bin inference (Section 4.2): an explicit call-site accuracy
     # becomes an extra bin boundary of the callee, so the call
     # dispatches to an instance tuned for exactly that accuracy.

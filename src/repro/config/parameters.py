@@ -205,6 +205,20 @@ class ParameterSpace:
     def names(self) -> tuple[str, ...]:
         return tuple(self._params)
 
+    def digest(self) -> str:
+        """Stable content digest of the whole configuration space.
+
+        Two programs with the same digest expose the same tunables
+        with the same domains and defaults — the compile-time
+        equivalence check behind the DSL-vs-imperative lowering tests
+        and the ``repro.lang.check`` CI gate.  Order-insensitive (the
+        space is keyed by name).
+        """
+        import hashlib
+        text = "\n".join(repr(self._params[name])
+                         for name in sorted(self._params))
+        return hashlib.sha256(text.encode()).hexdigest()[:16]
+
     def choice_sites(self) -> list[ChoiceSiteParam]:
         return [p for p in self if isinstance(p, ChoiceSiteParam)]
 

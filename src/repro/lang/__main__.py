@@ -1,0 +1,14 @@
+"""``python -m repro.lang`` — the declaration checker CLI.
+
+Runs :func:`repro.lang.check` over every registered suite benchmark
+(or the benchmark names passed as arguments) and exits non-zero when
+any declaration fails, so CI catches language-frontend regressions
+before a single trial runs.
+"""
+
+import sys
+
+from repro.lang.check import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,178 @@
+"""Program introspection (``describe``) and declaration checking
+(``check``) — plus the ``python -m repro.lang.check`` CI gate.
+
+``describe()`` renders what the compiler extracted from a declaration:
+the algorithmic choice sites, every tunable with its domain and
+guided-mutation hints, the accuracy bins, the call graph and the
+per-bin instances — the human-readable face of the training-info file.
+
+``check()`` runs the full declaration + compile validation over a
+transform, a factory, or a registered benchmark and returns the
+:class:`~repro.lang.diagnostics.Diagnostics` collector instead of
+raising, so tools can report every problem in one pass.  Running this
+module as a script checks every registered suite benchmark and exits
+non-zero if any declaration regressed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.errors import ReproError
+from repro.lang.diagnostics import Diagnostics
+from repro.lang.transform import Transform
+
+__all__ = ["describe", "check", "main"]
+
+
+def _resolve_program(target, extras: Sequence[Transform] = ()):
+    """Compile ``target`` into a program, whatever form it takes.
+
+    Accepts an already-compiled
+    :class:`~repro.compiler.program.CompiledProgram`, a (DSL-lowered or
+    imperative) :class:`Transform`, a zero-argument factory returning a
+    transform or ``(root, extras)`` tuple, or a registered benchmark
+    name.
+    """
+    from repro.compiler.compile import compile_program
+    from repro.compiler.program import CompiledProgram
+
+    if isinstance(target, CompiledProgram):
+        return target
+    if isinstance(target, Transform):
+        return compile_program(target, extras)[0]
+    if isinstance(target, str):
+        from repro.suite.registry import get_benchmark
+        return get_benchmark(target).compile()[0]
+    if callable(target):
+        built = target()
+        if isinstance(built, tuple):
+            root, factory_extras = built
+        else:
+            root, factory_extras = built, ()
+        return compile_program(root, tuple(factory_extras) + tuple(extras))[0]
+    raise TypeError(
+        f"describe/check take a CompiledProgram, Transform, factory "
+        f"callable or benchmark name; got {type(target).__name__}")
+
+
+def _describe_tunable(param) -> str:
+    from repro.config.parameters import (ScalarParam, SizeValueParam,
+                                         SwitchParam)
+    if isinstance(param, SizeValueParam):
+        kind = ("accuracy variable" if param.is_accuracy_variable
+                else "size value")
+        hint = {1: ", direction +1", -1: ", direction -1"}.get(
+            param.accuracy_direction, "")
+        return (f"{kind} in [{param.lo:g}, {param.hi:g}], "
+                f"default {param.default:g}{hint}")
+    if isinstance(param, ScalarParam):
+        return (f"cutoff in [{param.lo:g}, {param.hi:g}], "
+                f"default {param.default:g}")
+    if isinstance(param, SwitchParam):
+        return f"switch over {list(param.choices)!r}"
+    return repr(param)
+
+
+def describe(target, extras: Sequence[Transform] = ()) -> str:
+    """Human-readable summary of a program's tuning surface.
+
+    Shows, per transform: data flow, accuracy metric and bins, every
+    algorithmic choice site with its candidate rules, every tunable
+    with its domain, and the declared call sites; then the instance
+    list and the config-space digest.  ``target`` is anything
+    :func:`check` accepts.
+    """
+    program = _resolve_program(target, extras)
+    lines: list[str] = []
+    space = program.space
+    lines.append(f"program {program.root}: "
+                 f"{len(program.instances)} instances, "
+                 f"{len(space)} parameters")
+    lines.append(f"config-space digest: {space.digest()}")
+    for name in sorted(program.transforms):
+        transform = program.transforms[name]
+        kind = ("variable accuracy" if transform.is_variable_accuracy
+                else "fixed accuracy")
+        lines.append(f"transform {name} ({kind})")
+        lines.append(f"  data: {', '.join(transform.inputs) or '()'} -> "
+                     f"{', '.join(transform.outputs)}"
+                     + (f" (through: {', '.join(transform.through)})"
+                        if transform.through else ""))
+        metric = transform.accuracy_metric
+        if metric is not None:
+            direction = ("higher" if metric.higher_is_better else "lower")
+            lines.append(f"  accuracy metric: {metric.name} "
+                         f"({direction} is better)")
+            lines.append("  accuracy bins: "
+                         + ", ".join(transform.bin_labels()))
+        for outputs, rules in transform.choice_groups():
+            if len(rules) > 1:
+                lines.append(f"  choice site {'+'.join(outputs)}: "
+                             + " | ".join(r.name for r in rules))
+        for param in transform.tunables:
+            lines.append(f"  tunable {param.name}: "
+                         + _describe_tunable(param))
+        for site in transform.call_sites.values():
+            accuracy = ("auto accuracy" if site.accuracy is None
+                        else f"accuracy {site.accuracy:g}")
+            lines.append(f"  call {site.name} -> {site.target} "
+                         f"({accuracy})")
+    lines.append("instances: " + " ".join(sorted(program.instances)))
+    return "\n".join(lines)
+
+
+def _checked_resolve(target, extras: Sequence[Transform] = ()):
+    """``(program | None, diagnostics)`` for one validation pass."""
+    try:
+        program = _resolve_program(target, extras)
+    except ReproError as exc:
+        collected = getattr(exc, "diagnostics", None)
+        if isinstance(collected, Diagnostics):
+            return None, collected
+        fallback = Diagnostics()
+        fallback.error(str(exc))
+        return None, fallback
+    return program, Diagnostics()
+
+
+def check(target, extras: Sequence[Transform] = ()) -> Diagnostics:
+    """Run declaration + compile validation; return the diagnostics.
+
+    Returns an *empty* collector when the program is clean.  Library
+    errors that predate the batched-diagnostics machinery are wrapped
+    into a single-entry collector, so callers always get the same
+    shape back.
+    """
+    return _checked_resolve(target, extras)[1]
+
+
+def main(argv: "Sequence[str] | None" = None,
+         log: Callable[[str], None] = print) -> int:
+    """Check every registered benchmark (or the ones named in argv).
+
+    The CI ``check`` smoke step: prints one summary line per clean
+    benchmark, the full rendered diagnostics for a broken one, and
+    returns the number of failures.
+    """
+    from repro.suite.registry import all_benchmarks
+
+    names = list(argv) if argv else sorted(all_benchmarks())
+    failures = 0
+    for name in names:
+        program, diagnostics = _checked_resolve(name)
+        if diagnostics:
+            failures += 1
+            log(f"{name}: FAILED")
+            for line in diagnostics.render().splitlines():
+                log(f"  {line}")
+            continue
+        log(f"{name}: ok ({len(program.instances)} instances, "
+            f"{len(program.space)} parameters, digest "
+            f"{program.space.digest()})")
+    return failures
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    import sys
+    sys.exit(main(sys.argv[1:]))

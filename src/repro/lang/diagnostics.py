@@ -1,0 +1,147 @@
+"""Batched declaration and compile diagnostics.
+
+The original frontend failed fast: the first malformed rule raised a
+:class:`~repro.errors.LanguageError` and every other mistake stayed
+hidden until the next run.  Real compilers do better, and so does this
+one now: declaration checks (the :mod:`repro.lang.dsl` lowering) and
+compile checks (:func:`repro.compiler.compile.compile_program`)
+accumulate *every* error into a :class:`Diagnostics` collector, each
+entry tagged with the transform/rule it belongs to and — whenever a
+decorated function or a DSL class-attribute declaration is involved —
+the Python source location it came from.  The collector renders all of
+them in one message and attaches itself to the raised exception as
+``exc.diagnostics`` so tools (``repro.lang.check``, CI) can inspect
+entries programmatically.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.errors import LanguageError, ReproError
+
+__all__ = ["SourceLocation", "Diagnostic", "Diagnostics"]
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """A ``file:line`` pointer into the user's declaration code."""
+
+    filename: str
+    lineno: int
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.lineno}"
+
+    @classmethod
+    def of_callable(cls, fn: Callable) -> "SourceLocation | None":
+        """Location of a decorated function, from its code object."""
+        code = getattr(fn, "__code__", None)
+        if code is None:
+            return None
+        return cls(code.co_filename, code.co_firstlineno)
+
+    @classmethod
+    def of_caller(cls, depth: int = 1) -> "SourceLocation | None":
+        """Location of the calling frame ``depth`` levels up.
+
+        ``depth=1`` is the immediate caller of the function that calls
+        :meth:`of_caller`.  Used by declaration constructors (tunables,
+        call sites) that have no code object of their own.
+        """
+        try:
+            frame = sys._getframe(depth + 1)
+        except ValueError:  # pragma: no cover - shallow stack
+            return None
+        return cls(frame.f_code.co_filename, frame.f_lineno)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One recorded error: message plus declaration context."""
+
+    message: str
+    transform: str | None = None
+    rule: str | None = None
+    location: SourceLocation | None = None
+
+    def render(self) -> str:
+        parts = []
+        if self.location is not None:
+            parts.append(f"{self.location}: ")
+        subject = ".".join(p for p in (self.transform, self.rule) if p)
+        if subject:
+            parts.append(f"[{subject}] ")
+        parts.append(self.message)
+        return "".join(parts)
+
+
+class Diagnostics:
+    """An ordered collector of declaration/compile errors.
+
+    Truthiness reports whether any error was recorded, so validation
+    passes read naturally: run every check, then
+    ``diagnostics.raise_if_errors()`` once.
+    """
+
+    def __init__(self) -> None:
+        self._entries: list[Diagnostic] = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def error(self, message: str, *, transform: str | None = None,
+              rule: str | None = None,
+              location: SourceLocation | None = None) -> Diagnostic:
+        entry = Diagnostic(message=message, transform=transform,
+                           rule=rule, location=location)
+        self._entries.append(entry)
+        return entry
+
+    def extend(self, other: "Diagnostics") -> None:
+        self._entries.extend(other._entries)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def entries(self) -> tuple[Diagnostic, ...]:
+        return tuple(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self._entries)
+
+    def render(self) -> str:
+        """All errors as one numbered, readable block."""
+        if not self._entries:
+            return "no errors"
+        count = len(self._entries)
+        noun = "error" if count == 1 else "errors"
+        lines = [f"{count} declaration {noun}:"]
+        for index, entry in enumerate(self._entries, start=1):
+            lines.append(f"  {index}. {entry.render()}")
+        return "\n".join(lines)
+
+    def raise_if_errors(self, exc_type: type[ReproError] = LanguageError
+                        ) -> None:
+        """Raise ``exc_type`` carrying every recorded error.
+
+        The raised exception exposes the collector as
+        ``exc.diagnostics`` for programmatic inspection.
+        """
+        if not self._entries:
+            return
+        exc = exc_type(self.render())
+        exc.diagnostics = self
+        raise exc
+
+    def __repr__(self) -> str:
+        return f"<Diagnostics: {len(self._entries)} errors>"

@@ -19,8 +19,10 @@ from repro.config.parameters import (
     SwitchParam,
 )
 from repro.errors import LanguageError
+from repro.lang.diagnostics import Diagnostics
 from repro.lang.metrics import AccuracyMetric
 from repro.lang.rule import Rule
+from repro.lang.tunables import TunableDecl
 
 __all__ = ["Transform", "CallSite", "DEFAULT_ACCURACY_BINS"]
 
@@ -99,6 +101,11 @@ class Transform:
         self.tunables: list[SizeValueParam | ScalarParam | SwitchParam] = []
         seen: set[str] = set()
         for tunable in tunables:
+            if isinstance(tunable, TunableDecl):
+                # A DSL declaration passed to the imperative API:
+                # resolve it (build() raises, pointing at the
+                # declaration site, when it never received a name).
+                tunable = tunable.build()
             if tunable.name in seen:
                 raise LanguageError(
                     f"transform {name!r}: duplicate tunable {tunable.name!r}")
@@ -157,6 +164,8 @@ class Transform:
 
     def add_tunable(self, tunable: SizeValueParam | ScalarParam | SwitchParam
                     ) -> None:
+        if isinstance(tunable, TunableDecl):
+            tunable = tunable.build()
         if any(t.name == tunable.name for t in self.tunables):
             raise LanguageError(
                 f"transform {self.name!r}: duplicate tunable "
@@ -199,16 +208,33 @@ class Transform:
                 produced[data_name] = outputs
         return sorted(groups.items(), key=lambda item: item[0])
 
-    def validate(self) -> None:
-        """Check every through/output datum has at least one producer."""
+    def validate(self, diagnostics: Diagnostics | None = None) -> None:
+        """Check every through/output datum has at least one producer.
+
+        Standalone calls fail fast with a :class:`LanguageError`
+        carrying every problem found; when the compiler passes its own
+        :class:`~repro.lang.diagnostics.Diagnostics` collector the
+        errors accumulate there instead (so one compile pass reports
+        the problems of *every* reachable transform together).
+        """
+        collected = diagnostics if diagnostics is not None \
+            else Diagnostics()
         if not self.rules:
-            raise LanguageError(f"transform {self.name!r} has no rules")
+            collected.error(f"transform {self.name!r} has no rules",
+                            transform=self.name)
         for data_name in self.through + self.outputs:
-            if not self.producers(data_name):
-                raise LanguageError(
-                    f"transform {self.name!r}: no rule produces "
-                    f"{data_name!r}")
-        self.choice_groups()
+            if self.rules and not self.producers(data_name):
+                producers = sorted({r.name for r in self.rules})
+                collected.error(
+                    f"no rule produces {data_name!r} (rules: "
+                    f"{producers})",
+                    transform=self.name)
+        try:
+            self.choice_groups()
+        except LanguageError as exc:
+            collected.error(str(exc), transform=self.name)
+        if diagnostics is None:
+            collected.raise_if_errors(LanguageError)
 
     # ------------------------------------------------------------------
     # Accuracy-bin helpers

@@ -104,7 +104,8 @@ def backend_from_spec(spec: "str | ExecutionBackend"
     if factory is None:
         raise ConfigError(
             f"unknown execution backend {name!r} in spec {spec!r}; "
-            f"choose from {_choices()}")
+            f"valid specs are 'serial', 'threads[:N]' or 'process[:N]' "
+            f"(accepted names: {', '.join(_choices())})")
     if not sep:
         return factory()
     if not count:

@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.binpacking.algorithms import ALGORITHMS
 from repro.binpacking.datagen import generate_items_with_known_optimal
-from repro.lang.metrics import AccuracyMetric
+from repro.lang.dsl import accuracy_metric, transform
 from repro.lang.transform import Transform
 from repro.lang.tunables import accuracy_variable
 from repro.suite.registry import BenchmarkSpec
@@ -28,26 +28,25 @@ def _metric(outputs, inputs) -> float:
 
 
 def build() -> tuple[Transform, tuple[Transform, ...]]:
-    transform = Transform(
-        "binpacking",
-        inputs=("items",),
-        outputs=("assignment", "num_bins"),
-        accuracy_metric=AccuracyMetric(_metric, "bins_over_optimal",
-                                       higher_is_better=False),
-        accuracy_bins=ACCURACY_BINS,
-        tunables=[
-            # The paper's AlmostWorstFit "supports a variable
-            # compiler-set k"; direction unknown.
-            accuracy_variable("awf_k", lo=2, hi=16, default=2,
-                              direction=0),
-        ],
-    )
+    # The thirteen packing rules are templated over ALGORITHMS, so the
+    # class body declares only the data/metric/tunable surface and the
+    # rules are registered in a loop on the lowered Transform — the
+    # documented imperative escape hatch under the DSL.
+    @transform(inputs=("items",), outputs=("assignment", "num_bins"),
+               accuracy_bins=ACCURACY_BINS)
+    class binpacking:
+        # The paper's AlmostWorstFit "supports a variable compiler-set
+        # k"; direction unknown.
+        awf_k = accuracy_variable(lo=2, hi=16, default=2, direction=0)
+
+        metric = accuracy_metric(_metric, name="bins_over_optimal",
+                                 higher_is_better=False)
 
     def make_rule(algorithm_name: str):
         algorithm = ALGORITHMS[algorithm_name]
         takes_kth = algorithm_name.startswith("AlmostWorstFit")
 
-        def rule(ctx, items):
+        def pack(ctx, items):
             if takes_kth:
                 packing = algorithm(items, kth=int(ctx.param("awf_k")))
             else:
@@ -57,14 +56,14 @@ def build() -> tuple[Transform, tuple[Transform, ...]]:
                        num_bins=packing.num_bins)
             return packing.assignment, packing.num_bins
 
-        rule.__name__ = algorithm_name
-        return rule
+        pack.__name__ = algorithm_name
+        return pack
 
     for algorithm_name in ALGORITHMS:
-        transform.rule(outputs=("assignment", "num_bins"),
-                       inputs=("items",), name=algorithm_name)(
+        binpacking.rule(outputs=("assignment", "num_bins"),
+                        inputs=("items",), name=algorithm_name)(
             make_rule(algorithm_name))
-    return transform, ()
+    return binpacking, ()
 
 
 def generate(n: int, rng: np.random.Generator):

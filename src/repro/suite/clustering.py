@@ -22,7 +22,7 @@ from repro.clustering.datagen import generate_clustered_points
 from repro.clustering.kernels import lloyd_iterations
 from repro.clustering.metrics import kmeans_accuracy
 from repro.clustering.seeding import kmeans_plus_plus
-from repro.lang.metrics import AccuracyMetric
+from repro.lang.dsl import accuracy_metric, allocator, rule, transform
 from repro.lang.transform import Transform
 from repro.lang.tunables import accuracy_variable, for_enough, switch
 from repro.suite.registry import BenchmarkSpec
@@ -46,70 +46,63 @@ def _clamped_k(ctx, points: np.ndarray) -> int:
 
 
 def build() -> tuple[Transform, tuple[Transform, ...]]:
-    transform = Transform(
-        "kmeans",
-        inputs=("points",),
-        through=("centroids",),
-        outputs=("assignments",),
-        accuracy_metric=AccuracyMetric(_metric, "kmeansaccuracy"),
-        accuracy_bins=ACCURACY_BINS,
-        tunables=[
-            accuracy_variable("k", lo=1, hi=MAX_CLUSTERS, default=2,
-                              direction=+1),
-            for_enough("lloyd_iters", max_iters=100, default=20),
-            switch("iter_mode", ITERATION_MODES, default="fixpoint",
-                   affects_accuracy=True),
-            accuracy_variable("change_threshold", lo=0.0, hi=0.9,
-                              default=0.25, integer=False, direction=-1,
-                              scaling="uniform"),
-        ],
+    @transform(inputs=("points",), through=("centroids",),
+               outputs=("assignments",), accuracy_bins=ACCURACY_BINS)
+    class kmeans:
+        k = accuracy_variable(lo=1, hi=MAX_CLUSTERS, default=2,
+                              direction=+1)
+        lloyd_iters = for_enough(max_iters=100, default=20)
+        iter_mode = switch(choices=ITERATION_MODES, default="fixpoint",
+                           affects_accuracy=True)
+        change_threshold = accuracy_variable(lo=0.0, hi=0.9,
+                                             default=0.25, integer=False,
+                                             direction=-1,
+                                             scaling="uniform")
+
+        metric = accuracy_metric(_metric, name="kmeansaccuracy")
+
         # Centroids[2, k]: the accuracy variable k sizes the
         # through-data, as in the paper's transform header.
-        allocators={
-            "centroids": lambda ctx, data:
-                np.empty((2, _clamped_k(ctx, data["points"]))),
-        },
-    )
+        @allocator("centroids")
+        def centroids(ctx, data):
+            return np.empty((2, _clamped_k(ctx, data["points"])))
 
-    # Rule 1: random initial centers, one centroid column per call —
-    # the compiler synthesizes the outer loop (Section 2.1).
-    @transform.rule(outputs=("centroids",), inputs=("points",),
-                    name="random_init", granularity="column")
-    def random_init(ctx, j, out, points):
-        index = int(ctx.rng.integers(0, points.shape[0]))
-        out[:, j] = points[index]
-        ctx.add_cost(1)
+        # Rule 1: random initial centers, one centroid column per call
+        # — the compiler synthesizes the outer loop (Section 2.1).
+        @rule(outputs=("centroids",), granularity="column")
+        def random_init(ctx, j, out, points):
+            index = int(ctx.rng.integers(0, points.shape[0]))
+            out[:, j] = points[index]
+            ctx.add_cost(1)
 
-    # Rule 2: CenterPlus (k-means++) initial centers.
-    @transform.rule(outputs=("centroids",), inputs=("points",),
-                    name="center_plus")
-    def center_plus(ctx, points):
-        centers, ops = kmeans_plus_plus(points, _clamped_k(ctx, points),
-                                        ctx.rng)
-        ctx.add_cost(ops)
-        return centers.T.copy()
+        # Rule 2: CenterPlus (k-means++) initial centers.
+        @rule(outputs=("centroids",))
+        def center_plus(ctx, points):
+            centers, ops = kmeans_plus_plus(
+                points, _clamped_k(ctx, points), ctx.rng)
+            ctx.add_cost(ops)
+            return centers.T.copy()
 
-    # Rule 3: the iterative kmeans solver.
-    @transform.rule(outputs=("assignments",),
-                    inputs=("points", "centroids"), name="lloyd")
-    def lloyd(ctx, points, centroids):
-        mode = ctx.param("iter_mode")
-        cap = int(ctx.param("lloyd_iters"))
-        if mode == "once":
-            max_iterations, fraction = 1, 1.0
-        elif mode == "threshold":
-            max_iterations = cap
-            fraction = float(ctx.param("change_threshold"))
-        else:  # fixpoint: iterate until change == 0
-            max_iterations, fraction = cap, 0.0
-        assignments, _, iterations = lloyd_iterations(
-            points, centroids.T, max_iterations=max_iterations,
-            change_fraction=fraction, on_cost=ctx.add_cost)
-        ctx.record("lloyd", mode=mode, iterations=iterations,
-                   k=centroids.shape[1])
-        return assignments
+        # Rule 3: the iterative kmeans solver.
+        @rule
+        def lloyd(ctx, points, centroids):
+            mode = ctx.param("iter_mode")
+            cap = int(ctx.param("lloyd_iters"))
+            if mode == "once":
+                max_iterations, fraction = 1, 1.0
+            elif mode == "threshold":
+                max_iterations = cap
+                fraction = float(ctx.param("change_threshold"))
+            else:  # fixpoint: iterate until change == 0
+                max_iterations, fraction = cap, 0.0
+            assignments, _, iterations = lloyd_iterations(
+                points, centroids.T, max_iterations=max_iterations,
+                change_fraction=fraction, on_cost=ctx.add_cost)
+            ctx.record("lloyd", mode=mode, iterations=iterations,
+                       k=centroids.shape[1])
+            return assignments
 
-    return transform, ()
+    return kmeans, ()
 
 
 def generate(n: int, rng: np.random.Generator):

@@ -15,8 +15,8 @@ import math
 import numpy as np
 
 from repro.errors import ExecutionError
-from repro.lang.metrics import AccuracyMetric
-from repro.lang.transform import CallSite, Transform
+from repro.lang.dsl import accuracy_metric, call, rule, transform
+from repro.lang.transform import Transform
 from repro.lang.tunables import accuracy_variable, cutoff, for_enough
 from repro.linalg.banded import banded_cholesky_factor, banded_cholesky_solve
 from repro.multigrid.grids import (
@@ -110,88 +110,81 @@ def _vcycle_pass(ctx, phi, f, a, b, faces, n):
 
 
 def build() -> tuple[Transform, tuple[Transform, ...]]:
-    transform = Transform(
-        "helmholtz",
-        inputs=("f", "a", "b_coef"),
-        outputs=("phi",),
-        accuracy_metric=AccuracyMetric(_metric, "rms_improvement"),
-        accuracy_bins=ACCURACY_BINS,
-        tunables=[
-            for_enough("vcycles", max_iters=6, default=2),
-            for_enough("sor_iters", max_iters=800, default=40),
-            accuracy_variable("pre_iters", lo=0, hi=12, default=2,
-                              direction=+1),
-            accuracy_variable("post_iters", lo=0, hi=12, default=2,
-                              direction=+1),
-            cutoff("omega", lo=1.0, hi=1.9, default=1.4, integer=False,
-                   affects_accuracy=True),
-        ],
-        calls=[CallSite("coarse", "helmholtz"),
-               CallSite("estimate", "helmholtz")],
-    )
+    @transform(inputs=("f", "a", "b_coef"), outputs=("phi",),
+               accuracy_bins=ACCURACY_BINS)
+    class helmholtz:
+        vcycles = for_enough(max_iters=6, default=2)
+        sor_iters = for_enough(max_iters=800, default=40)
+        pre_iters = accuracy_variable(lo=0, hi=12, default=2,
+                                      direction=+1)
+        post_iters = accuracy_variable(lo=0, hi=12, default=2,
+                                       direction=+1)
+        omega = cutoff(lo=1.0, hi=1.9, default=1.4, integer=False,
+                       affects_accuracy=True)
+        coarse = call("helmholtz")
+        estimate = call("helmholtz")
 
-    @transform.rule(outputs=("phi",), inputs=("f", "a", "b_coef"),
-                    name="multigrid")
-    def multigrid(ctx, f, a, b_coef):
-        n = f.shape[0]
-        faces = face_coefficients(b_coef)
-        phi = np.zeros_like(f)
-        for _ in ctx.for_enough("vcycles"):
-            phi = _vcycle_pass(ctx, phi, f, a, b_coef, faces, n)
-        return phi
+        metric = accuracy_metric(_metric, name="rms_improvement")
 
-    @transform.rule(outputs=("phi",), inputs=("f", "a", "b_coef"),
-                    name="full_multigrid")
-    def full_multigrid(ctx, f, a, b_coef):
-        n = f.shape[0]
-        faces = face_coefficients(b_coef)
-        if n >= 3 and is_grid_size(n):
-            nc = coarse_size(n)
-            coarse_f, ops = restrict_full_weighting(f)
-            ctx.add_cost(ops)
-            coarse_a, coarse_b = _coarsen_fields(ctx, a, b_coef)
-            ctx.record("mg", action="estimate", n=nc)
-            estimate = ctx.call(
-                "estimate",
-                {"f": coarse_f, "a": coarse_a, "b_coef": coarse_b},
-                n=nc)["phi"]
-            ctx.record("mg", action="ascend", n=n)
-            phi, ops = prolong(estimate)
-            ctx.add_cost(ops)
-        else:
+        @rule
+        def multigrid(ctx, f, a, b_coef):
+            n = f.shape[0]
+            faces = face_coefficients(b_coef)
             phi = np.zeros_like(f)
-        for _ in ctx.for_enough("vcycles"):
-            phi = _vcycle_pass(ctx, phi, f, a, b_coef, faces, n)
-        return phi
+            for _ in ctx.for_enough("vcycles"):
+                phi = _vcycle_pass(ctx, phi, f, a, b_coef, faces, n)
+            return phi
 
-    @transform.rule(outputs=("phi",), inputs=("f", "a", "b_coef"),
-                    name="direct")
-    def direct(ctx, f, a, b_coef):
-        n = f.shape[0]
-        if n > DIRECT_MAX_SIZE:
-            raise ExecutionError(
-                f"direct solver limited to n <= {DIRECT_MAX_SIZE}, "
-                f"got {n}")
-        band = helmholtz_banded(a, b_coef, _grid_spacing(n),
-                                alpha=ALPHA, beta=BETA)
-        factor, factor_ops = banded_cholesky_factor(band)
-        solution, solve_ops = banded_cholesky_solve(factor, f.reshape(-1))
-        ctx.add_cost(factor_ops + solve_ops)
-        ctx.record("mg", action="direct", n=n)
-        return solution.reshape(f.shape)
+        @rule
+        def full_multigrid(ctx, f, a, b_coef):
+            n = f.shape[0]
+            faces = face_coefficients(b_coef)
+            if n >= 3 and is_grid_size(n):
+                nc = coarse_size(n)
+                coarse_f, ops = restrict_full_weighting(f)
+                ctx.add_cost(ops)
+                coarse_a, coarse_b = _coarsen_fields(ctx, a, b_coef)
+                ctx.record("mg", action="estimate", n=nc)
+                estimate = ctx.call(
+                    "estimate",
+                    {"f": coarse_f, "a": coarse_a, "b_coef": coarse_b},
+                    n=nc)["phi"]
+                ctx.record("mg", action="ascend", n=n)
+                phi, ops = prolong(estimate)
+                ctx.add_cost(ops)
+            else:
+                phi = np.zeros_like(f)
+            for _ in ctx.for_enough("vcycles"):
+                phi = _vcycle_pass(ctx, phi, f, a, b_coef, faces, n)
+            return phi
 
-    @transform.rule(outputs=("phi",), inputs=("f", "a", "b_coef"),
-                    name="iterative")
-    def iterative(ctx, f, a, b_coef):
-        n = f.shape[0]
-        faces = face_coefficients(b_coef)
-        phi = np.zeros_like(f)
-        iterations = int(ctx.param("sor_iters"))
-        phi = _relax(ctx, phi, f, a, faces, n, iterations,
-                     action="iterative")
-        return phi
+        @rule
+        def direct(ctx, f, a, b_coef):
+            n = f.shape[0]
+            if n > DIRECT_MAX_SIZE:
+                raise ExecutionError(
+                    f"direct solver limited to n <= {DIRECT_MAX_SIZE}, "
+                    f"got {n}")
+            band = helmholtz_banded(a, b_coef, _grid_spacing(n),
+                                    alpha=ALPHA, beta=BETA)
+            factor, factor_ops = banded_cholesky_factor(band)
+            solution, solve_ops = banded_cholesky_solve(
+                factor, f.reshape(-1))
+            ctx.add_cost(factor_ops + solve_ops)
+            ctx.record("mg", action="direct", n=n)
+            return solution.reshape(f.shape)
 
-    return transform, ()
+        @rule
+        def iterative(ctx, f, a, b_coef):
+            n = f.shape[0]
+            faces = face_coefficients(b_coef)
+            phi = np.zeros_like(f)
+            iterations = int(ctx.param("sor_iters"))
+            phi = _relax(ctx, phi, f, a, faces, n, iterations,
+                         action="iterative")
+            return phi
+
+    return helmholtz, ()
 
 
 def generate(n: int, rng: np.random.Generator):

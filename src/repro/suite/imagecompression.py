@@ -18,7 +18,7 @@ import math
 
 import numpy as np
 
-from repro.lang.metrics import AccuracyMetric
+from repro.lang.dsl import accuracy_metric, rule, transform
 from repro.lang.transform import Transform
 from repro.lang.tunables import accuracy_variable
 from repro.linalg.svd import (
@@ -52,42 +52,36 @@ def _clamped_k(ctx, matrix: np.ndarray) -> int:
 
 
 def build() -> tuple[Transform, tuple[Transform, ...]]:
-    transform = Transform(
-        "imagecompression",
-        inputs=("matrix",),
-        outputs=("approx",),
-        accuracy_metric=AccuracyMetric(_metric, "log_rms_ratio"),
-        accuracy_bins=ACCURACY_BINS,
-        tunables=[
-            accuracy_variable("k", lo=1, hi=MAX_RANK, default=1,
-                              direction=+1),
-        ],
-    )
+    @transform(inputs=("matrix",), outputs=("approx",),
+               accuracy_bins=ACCURACY_BINS)
+    class imagecompression:
+        k = accuracy_variable(lo=1, hi=MAX_RANK, default=1,
+                              direction=+1)
 
-    @transform.rule(outputs=("approx",), inputs=("matrix",),
-                    name="hybrid_qr")
-    def hybrid_qr(ctx, matrix):
-        k = _clamped_k(ctx, matrix)
-        sigma, left, right, ops = singular_triplets_full(matrix, k)
-        approx, reconstruction_ops = rank_k_reconstruction(
-            sigma, left, right)
-        ctx.add_cost(ops + reconstruction_ops)
-        ctx.record("svd", algorithm="hybrid_qr", k=k)
-        return approx
+        metric = accuracy_metric(_metric, name="log_rms_ratio")
 
-    @transform.rule(outputs=("approx",), inputs=("matrix",),
-                    name="bisection_topk")
-    def bisection_topk(ctx, matrix):
-        k = _clamped_k(ctx, matrix)
-        sigma, left, right, ops = singular_triplets_topk(matrix, k,
-                                                         ctx.rng)
-        approx, reconstruction_ops = rank_k_reconstruction(
-            sigma, left, right)
-        ctx.add_cost(ops + reconstruction_ops)
-        ctx.record("svd", algorithm="bisection_topk", k=k)
-        return approx
+        @rule
+        def hybrid_qr(ctx, matrix):
+            k = _clamped_k(ctx, matrix)
+            sigma, left, right, ops = singular_triplets_full(matrix, k)
+            approx, reconstruction_ops = rank_k_reconstruction(
+                sigma, left, right)
+            ctx.add_cost(ops + reconstruction_ops)
+            ctx.record("svd", algorithm="hybrid_qr", k=k)
+            return approx
 
-    return transform, ()
+        @rule
+        def bisection_topk(ctx, matrix):
+            k = _clamped_k(ctx, matrix)
+            sigma, left, right, ops = singular_triplets_topk(matrix, k,
+                                                             ctx.rng)
+            approx, reconstruction_ops = rank_k_reconstruction(
+                sigma, left, right)
+            ctx.add_cost(ops + reconstruction_ops)
+            ctx.record("svd", algorithm="bisection_topk", k=k)
+            return approx
+
+    return imagecompression, ()
 
 
 def generate(n: int, rng: np.random.Generator):

@@ -20,8 +20,8 @@ import math
 import numpy as np
 
 from repro.errors import ExecutionError
-from repro.lang.metrics import AccuracyMetric
-from repro.lang.transform import CallSite, Transform
+from repro.lang.dsl import accuracy_metric, call, rule, transform
+from repro.lang.transform import Transform
 from repro.lang.tunables import accuracy_variable, cutoff, for_enough
 from repro.linalg.banded import banded_cholesky_factor, banded_cholesky_solve
 from repro.linalg.poisson_ops import apply_laplacian_2d, poisson_2d_banded
@@ -101,75 +101,72 @@ def _vcycle_pass(ctx, u, f, n):
 
 
 def build() -> tuple[Transform, tuple[Transform, ...]]:
-    transform = Transform(
-        "poisson",
-        inputs=("f",),
-        outputs=("u",),
-        accuracy_metric=AccuracyMetric(_metric, "rms_improvement"),
-        accuracy_bins=ACCURACY_BINS,
-        tunables=[
-            for_enough("vcycles", max_iters=6, default=2),
-            for_enough("sor_iters", max_iters=3000, default=60),
-            accuracy_variable("pre_iters", lo=0, hi=16, default=2,
-                              direction=+1),
-            accuracy_variable("post_iters", lo=0, hi=16, default=2,
-                              direction=+1),
-            cutoff("omega", lo=1.0, hi=1.95, default=1.5, integer=False,
-                   affects_accuracy=True),
-        ],
-        calls=[CallSite("coarse", "poisson"),
-               CallSite("estimate", "poisson")],
-    )
+    @transform(inputs=("f",), outputs=("u",), accuracy_bins=ACCURACY_BINS)
+    class poisson:
+        vcycles = for_enough(max_iters=6, default=2)
+        sor_iters = for_enough(max_iters=3000, default=60)
+        pre_iters = accuracy_variable(lo=0, hi=16, default=2,
+                                      direction=+1)
+        post_iters = accuracy_variable(lo=0, hi=16, default=2,
+                                       direction=+1)
+        omega = cutoff(lo=1.0, hi=1.95, default=1.5, integer=False,
+                       affects_accuracy=True)
+        coarse = call("poisson")
+        estimate = call("poisson")
 
-    @transform.rule(outputs=("u",), inputs=("f",), name="multigrid")
-    def multigrid(ctx, f):
-        n = f.shape[0]
-        u = np.zeros_like(f)
-        for _ in ctx.for_enough("vcycles"):
-            u = _vcycle_pass(ctx, u, f, n)
-        return u
+        metric = accuracy_metric(_metric, name="rms_improvement")
 
-    @transform.rule(outputs=("u",), inputs=("f",), name="full_multigrid")
-    def full_multigrid(ctx, f):
-        n = f.shape[0]
-        if n >= 3 and is_grid_size(n):
-            nc = coarse_size(n)
-            coarse_f, ops = restrict_full_weighting(f)
-            ctx.add_cost(ops)
-            ctx.record("mg", action="estimate", n=nc)
-            estimate = ctx.call("estimate", {"f": coarse_f}, n=nc)["u"]
-            ctx.record("mg", action="ascend", n=n)
-            u, ops = prolong(estimate)
-            ctx.add_cost(ops)
-        else:
+        @rule
+        def multigrid(ctx, f):
+            n = f.shape[0]
             u = np.zeros_like(f)
-        for _ in ctx.for_enough("vcycles"):
-            u = _vcycle_pass(ctx, u, f, n)
-        return u
+            for _ in ctx.for_enough("vcycles"):
+                u = _vcycle_pass(ctx, u, f, n)
+            return u
 
-    @transform.rule(outputs=("u",), inputs=("f",), name="direct")
-    def direct(ctx, f):
-        n = f.shape[0]
-        if n > DIRECT_MAX_SIZE:
-            raise ExecutionError(
-                f"direct solver limited to n <= {DIRECT_MAX_SIZE}, "
-                f"got {n}")
-        band = poisson_2d_banded(n, _grid_spacing(n))
-        factor, factor_ops = banded_cholesky_factor(band)
-        solution, solve_ops = banded_cholesky_solve(factor, f.reshape(-1))
-        ctx.add_cost(factor_ops + solve_ops)
-        ctx.record("mg", action="direct", n=n)
-        return solution.reshape(n, n)
+        @rule
+        def full_multigrid(ctx, f):
+            n = f.shape[0]
+            if n >= 3 and is_grid_size(n):
+                nc = coarse_size(n)
+                coarse_f, ops = restrict_full_weighting(f)
+                ctx.add_cost(ops)
+                ctx.record("mg", action="estimate", n=nc)
+                estimate = ctx.call("estimate", {"f": coarse_f},
+                                    n=nc)["u"]
+                ctx.record("mg", action="ascend", n=n)
+                u, ops = prolong(estimate)
+                ctx.add_cost(ops)
+            else:
+                u = np.zeros_like(f)
+            for _ in ctx.for_enough("vcycles"):
+                u = _vcycle_pass(ctx, u, f, n)
+            return u
 
-    @transform.rule(outputs=("u",), inputs=("f",), name="iterative")
-    def iterative(ctx, f):
-        n = f.shape[0]
-        u = np.zeros_like(f)
-        iterations = int(ctx.param("sor_iters"))
-        u = _relax(ctx, u, f, n, iterations, action="iterative")
-        return u
+        @rule
+        def direct(ctx, f):
+            n = f.shape[0]
+            if n > DIRECT_MAX_SIZE:
+                raise ExecutionError(
+                    f"direct solver limited to n <= {DIRECT_MAX_SIZE}, "
+                    f"got {n}")
+            band = poisson_2d_banded(n, _grid_spacing(n))
+            factor, factor_ops = banded_cholesky_factor(band)
+            solution, solve_ops = banded_cholesky_solve(
+                factor, f.reshape(-1))
+            ctx.add_cost(factor_ops + solve_ops)
+            ctx.record("mg", action="direct", n=n)
+            return solution.reshape(n, n)
 
-    return transform, ()
+        @rule
+        def iterative(ctx, f):
+            n = f.shape[0]
+            u = np.zeros_like(f)
+            iterations = int(ctx.param("sor_iters"))
+            u = _relax(ctx, u, f, n, iterations, action="iterative")
+            return u
+
+    return poisson, ()
 
 
 def generate(n: int, rng: np.random.Generator):

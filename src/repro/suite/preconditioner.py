@@ -22,7 +22,7 @@ import math
 
 import numpy as np
 
-from repro.lang.metrics import AccuracyMetric
+from repro.lang.dsl import accuracy_metric, rule, transform
 from repro.lang.transform import Transform
 from repro.lang.tunables import accuracy_variable, for_enough
 from repro.linalg.cg import conjugate_gradient
@@ -61,62 +61,56 @@ def _metric(outputs, inputs) -> float:
                          MAX_ORDERS))
 
 
+def _run_cg(ctx, b, extra, apply_minv=None, preconditioner_cost=0.0):
+    n = len(b)
+    iterations = int(ctx.param("iterations"))
+    x, norms, ops = conjugate_gradient(
+        lambda v: _apply_operator(v, extra), b,
+        iterations=iterations,
+        apply_minv=apply_minv,
+        operator_cost=5.0 * n,
+        preconditioner_cost=preconditioner_cost)
+    ctx.add_cost(ops)
+    ctx.record("cg", iterations=len(norms) - 1,
+               residual_drop=norms[0] / max(norms[-1], 1e-300))
+    return x
+
+
 def build() -> tuple[Transform, tuple[Transform, ...]]:
-    transform = Transform(
-        "preconditioner",
-        inputs=("b_rhs", "extra_diag"),
-        outputs=("x",),
-        accuracy_metric=AccuracyMetric(_metric, "log_residual_drop"),
-        accuracy_bins=ACCURACY_BINS,
-        tunables=[
-            for_enough("iterations", max_iters=3000, default=10),
-            accuracy_variable("degree", lo=1, hi=8, default=2,
-                              direction=0),
-        ],
-    )
+    @transform(inputs=("b_rhs", "extra_diag"), outputs=("x",),
+               accuracy_bins=ACCURACY_BINS)
+    class preconditioner:
+        iterations = for_enough(max_iters=3000, default=10)
+        degree = accuracy_variable(lo=1, hi=8, default=2, direction=0)
 
-    def run_cg(ctx, b, extra, apply_minv=None, preconditioner_cost=0.0):
-        n = len(b)
-        iterations = int(ctx.param("iterations"))
-        x, norms, ops = conjugate_gradient(
-            lambda v: _apply_operator(v, extra), b,
-            iterations=iterations,
-            apply_minv=apply_minv,
-            operator_cost=5.0 * n,
-            preconditioner_cost=preconditioner_cost)
-        ctx.add_cost(ops)
-        ctx.record("cg", iterations=len(norms) - 1,
-                   residual_drop=norms[0] / max(norms[-1], 1e-300))
-        return x
+        metric = accuracy_metric(_metric, name="log_residual_drop")
 
-    @transform.rule(outputs=("x",), inputs=("b_rhs", "extra_diag"),
-                    name="cg")
-    def plain_cg(ctx, b, extra):
-        return run_cg(ctx, b, extra)
+        @rule
+        def cg(ctx, b_rhs, extra_diag):
+            return _run_cg(ctx, b_rhs, extra_diag)
 
-    @transform.rule(outputs=("x",), inputs=("b_rhs", "extra_diag"),
-                    name="jacobi_pcg")
-    def jacobi_pcg(ctx, b, extra):
-        diagonal = laplacian_1d_diagonal(len(b), SPACING, extra)
-        apply_minv, cost = jacobi_preconditioner(diagonal)
-        return run_cg(ctx, b, extra, apply_minv, cost)
+        @rule
+        def jacobi_pcg(ctx, b_rhs, extra_diag):
+            diagonal = laplacian_1d_diagonal(len(b_rhs), SPACING,
+                                             extra_diag)
+            apply_minv, cost = jacobi_preconditioner(diagonal)
+            return _run_cg(ctx, b_rhs, extra_diag, apply_minv, cost)
 
-    @transform.rule(outputs=("x",), inputs=("b_rhs", "extra_diag"),
-                    name="polynomial_pcg")
-    def polynomial_pcg(ctx, b, extra):
-        n = len(b)
-        degree = int(ctx.param("degree"))
-        # lambda_max(T) < 4 for the unit-spacing Laplacian; the extra
-        # diagonal shifts it by at most its maximum.
-        lambda_max = 4.0 / (SPACING * SPACING)
-        if len(extra):
-            lambda_max += float(np.max(extra))
-        apply_minv, cost = polynomial_preconditioner(
-            lambda v: _apply_operator(v, extra), degree,
-            1.0 / lambda_max, 5.0 * n, n)
-        return run_cg(ctx, b, extra, apply_minv, cost)
+        @rule
+        def polynomial_pcg(ctx, b_rhs, extra_diag):
+            n = len(b_rhs)
+            degree = int(ctx.param("degree"))
+            # lambda_max(T) < 4 for the unit-spacing Laplacian; the
+            # extra diagonal shifts it by at most its maximum.
+            lambda_max = 4.0 / (SPACING * SPACING)
+            if len(extra_diag):
+                lambda_max += float(np.max(extra_diag))
+            apply_minv, cost = polynomial_preconditioner(
+                lambda v: _apply_operator(v, extra_diag), degree,
+                1.0 / lambda_max, 5.0 * n, n)
+            return _run_cg(ctx, b_rhs, extra_diag, apply_minv, cost)
 
-    return transform, ()
+    return preconditioner, ()
 
 
 def generate(n: int, rng: np.random.Generator, *,

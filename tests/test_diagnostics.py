@@ -1,0 +1,79 @@
+"""The batched-diagnostics collector."""
+
+import pytest
+
+from repro.errors import CompileError, LanguageError
+from repro.lang.diagnostics import Diagnostic, Diagnostics, SourceLocation
+
+
+def _probe_function():
+    return 1
+
+
+class TestSourceLocation:
+    def test_of_callable_points_at_definition(self):
+        location = SourceLocation.of_callable(_probe_function)
+        assert location is not None
+        assert location.filename.endswith("test_diagnostics.py")
+        assert location.lineno > 0
+        assert str(location) == f"{location.filename}:{location.lineno}"
+
+    def test_of_callable_without_code_object(self):
+        assert SourceLocation.of_callable(len) is None
+
+    def test_of_caller_points_here(self):
+        location = SourceLocation.of_caller(0)
+        assert location.filename.endswith("test_diagnostics.py")
+
+
+class TestDiagnostic:
+    def test_render_with_full_context(self):
+        entry = Diagnostic("bad data", transform="t", rule="r",
+                           location=SourceLocation("f.py", 3))
+        assert entry.render() == "f.py:3: [t.r] bad data"
+
+    def test_render_message_only(self):
+        assert Diagnostic("oops").render() == "oops"
+
+    def test_render_transform_only(self):
+        assert Diagnostic("oops", transform="t").render() == "[t] oops"
+
+
+class TestDiagnostics:
+    def test_empty_collector_is_falsy(self):
+        collector = Diagnostics()
+        assert not collector
+        assert len(collector) == 0
+        assert collector.render() == "no errors"
+        collector.raise_if_errors()  # no-op
+
+    def test_errors_accumulate_in_order(self):
+        collector = Diagnostics()
+        collector.error("first")
+        collector.error("second", transform="t")
+        assert bool(collector)
+        assert [e.message for e in collector] == ["first", "second"]
+        rendered = collector.render()
+        assert "2 declaration errors" in rendered
+        assert "1. first" in rendered
+        assert "2. [t] second" in rendered
+
+    def test_raise_attaches_collector(self):
+        collector = Diagnostics()
+        collector.error("boom")
+        with pytest.raises(LanguageError) as exc_info:
+            collector.raise_if_errors()
+        assert exc_info.value.diagnostics is collector
+
+    def test_raise_with_custom_exception_type(self):
+        collector = Diagnostics()
+        collector.error("boom")
+        with pytest.raises(CompileError):
+            collector.raise_if_errors(CompileError)
+
+    def test_extend_merges_entries(self):
+        first, second = Diagnostics(), Diagnostics()
+        first.error("a")
+        second.error("b")
+        first.extend(second)
+        assert [e.message for e in first] == ["a", "b"]

@@ -1,9 +1,13 @@
 """Tests for the six paper benchmarks written in the DSL."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.config.decision_tree import SizeDecisionTree
+from repro.lang import check, describe
+from repro.serving.artifact import ArtifactBin, TunedArtifact
 from repro.suite import all_benchmarks, get_benchmark
 
 
@@ -43,6 +47,48 @@ class TestRegistry:
         spec, program, inputs, result, accuracy = run_default(name, 7)
         assert result.cost > 0
         assert accuracy > 0  # some improvement over the zero guess
+
+
+class TestDeclarationSurface:
+    """Every registered benchmark: clean compile, working describe(),
+    and a config space that survives the artifact JSON round trip."""
+
+    @pytest.mark.parametrize("name", sorted(all_benchmarks()))
+    def test_compiles_cleanly(self, name):
+        diagnostics = check(name)
+        assert not diagnostics, diagnostics.render()
+
+    @pytest.mark.parametrize("name", sorted(all_benchmarks()))
+    def test_describe_renders(self, name):
+        program, _ = get_benchmark(name).compile()
+        text = describe(program)
+        assert f"program {program.root}" in text
+        assert "config-space digest" in text
+        assert "accuracy bins" in text
+        for param in program.root_transform.tunables:
+            assert f"tunable {param.name}" in text
+
+    @pytest.mark.parametrize("name", sorted(all_benchmarks()))
+    def test_config_space_roundtrips_through_artifact_json(self, name):
+        spec = get_benchmark(name)
+        program, _ = spec.compile()
+        root = program.root_transform
+        config = program.default_config()
+        artifact = TunedArtifact(
+            program=program.root,
+            metric=root.accuracy_metric.name,
+            declared_bins=root.accuracy_bins,
+            bins=tuple(ArtifactBin(target=target, config=config)
+                       for target in root.accuracy_bins),
+            provenance=program.provenance)
+        payload = json.dumps(artifact.to_json(), sort_keys=True)
+        restored = TunedArtifact.from_json(json.loads(payload))
+        assert restored.bin_targets == root.accuracy_bins
+        for entry in restored.bins:
+            program.space.validate(entry.config)
+            assert entry.config.dumps() == config.dumps()
+        # a fresh compile of the same benchmark exposes the same space
+        assert spec.compile()[0].space.digest() == program.space.digest()
 
 
 class TestBinpackingBenchmark:
