@@ -49,6 +49,7 @@ from repro.runtime.backends import (
     TrialRequest,
     config_digest,
 )
+from repro.runtime.batching import run_batch_stacked
 
 __all__ = ["ProgramTestHarness", "InputGenerator"]
 
@@ -78,7 +79,8 @@ class ProgramTestHarness:
                  cost_limit: float | None = None,
                  backend: ExecutionBackend | None = None,
                  cache: TrialCache | None = None,
-                 input_cache_size: int | None = DEFAULT_INPUT_CACHE_SIZE):
+                 input_cache_size: int | None = DEFAULT_INPUT_CACHE_SIZE,
+                 stacking: bool = True):
         if objective not in ("cost", "time"):
             raise ValueError(f"unknown objective {objective!r}")
         if input_cache_size is not None and input_cache_size < 1:
@@ -106,11 +108,21 @@ class ProgramTestHarness:
             raise ReproError(
                 f"transform {program.root!r} has no accuracy metric; "
                 f"the variable-accuracy tuner requires one")
+        #: When True (the default), cache-missing trial requests that
+        #: share a config and input signature — a candidate's paired
+        #: trials on same-shape training inputs — fuse into single
+        #: stacked executions when the program is ``batchable``.  Only
+        #: the deterministic cost objective ever stacks (wall-clock is
+        #: a property of the fused call, not any one trial).
+        self.stacking = stacking
         #: Total trials recorded on candidates (used by ablation
         #: benchmarks); includes cache hits, which substitute for runs.
         self.trials_run = 0
         #: Trials actually executed by the backend (excludes cache hits).
         self.trials_executed = 0
+        #: Fused stacked executions and the trials they covered.
+        self.stacked_calls = 0
+        self.stacked_requests = 0
         self._input_cache: OrderedDict[tuple[float, int],
                                        Mapping[str, object]] = OrderedDict()
         self._digests: dict[int, str] = {}
@@ -178,11 +190,7 @@ class ProgramTestHarness:
         outcomes: list[TrialOutcome | None] = [None] * len(requests)
         cache = self.cache if self.objective == "cost" else None
         if cache is None:
-            fresh = self.backend.run_batch(
-                self.program, requests,
-                objective=self.objective, cost_limit=self.cost_limit)
-            self.trials_executed += len(fresh)
-            return fresh
+            return self._dispatch(list(requests))
         keys = [TrialCache.key_for(request, self.base_seed,
                                    program=self._cache_namespace,
                                    objective=self.objective,
@@ -200,10 +208,7 @@ class ProgramTestHarness:
                 outcomes[position] = hit
         if unique_missing:
             dispatch = list(unique_missing.values())
-            fresh = self.backend.run_batch(
-                self.program, [requests[i] for i in dispatch],
-                objective=self.objective, cost_limit=self.cost_limit)
-            self.trials_executed += len(fresh)
+            fresh = self._dispatch([requests[i] for i in dispatch])
             fresh_by_key = {}
             for position, outcome in zip(dispatch, fresh):
                 cache.put(keys[position], outcome)
@@ -212,6 +217,28 @@ class ProgramTestHarness:
                 if outcomes[position] is None:
                     outcomes[position] = fresh_by_key[key]
         return outcomes  # type: ignore[return-value]
+
+    def _dispatch(self, requests: list[TrialRequest]
+                  ) -> list[TrialOutcome]:
+        """Send cache-missing requests to the backend, fusing stackable
+        groups (same config digest, same input shapes) when enabled."""
+        if self.stacking:
+            counters: dict[str, int] = {}
+            fresh = run_batch_stacked(
+                self.program, requests,
+                dispatch=lambda reqs: self.backend.run_batch(
+                    self.program, reqs, objective=self.objective,
+                    cost_limit=self.cost_limit),
+                objective=self.objective, cost_limit=self.cost_limit,
+                counters=counters)
+            self.stacked_calls += counters.get("stacked_calls", 0)
+            self.stacked_requests += counters.get("stacked_requests", 0)
+        else:
+            fresh = self.backend.run_batch(
+                self.program, requests, objective=self.objective,
+                cost_limit=self.cost_limit)
+        self.trials_executed += len(fresh)
+        return fresh
 
     def _record(self, candidate: Candidate, request: TrialRequest,
                 outcome: TrialOutcome) -> Trial:

@@ -29,18 +29,27 @@ def assign_clusters(points: np.ndarray, centroids: np.ndarray
                     ) -> tuple[np.ndarray, float]:
     """Assign each point (rows of ``points``) to its nearest centroid.
 
-    Returns ``(assignments, ops)`` where ops = n * k distance
-    evaluations.
+    ``points`` is ``(..., n, d)`` and ``centroids`` ``(..., k, d)``;
+    leading axes are batch dimensions (broadcast against each other)
+    evaluated in one vectorized distance computation.  Returns
+    ``(assignments, ops)`` where ops = n * k distance evaluations per
+    slice, summed over the batch.
     """
     points = np.asarray(points, dtype=float)
     centroids = np.asarray(centroids, dtype=float)
-    if centroids.ndim != 2 or points.ndim != 2:
-        raise ValueError("points and centroids must be 2-D arrays")
-    deltas = points[:, None, :] - centroids[None, :, :]
-    squared = np.einsum("nkd,nkd->nk", deltas, deltas)
-    assignments = np.argmin(squared, axis=1)
-    return assignments.astype(np.int64), float(points.shape[0]
-                                               * centroids.shape[0])
+    if centroids.ndim < 2 or points.ndim < 2:
+        raise ValueError("points and centroids must be at least 2-D")
+    # ||p - c||^2 = ||p||^2 - 2 p.c + ||c||^2 via one matmul instead of
+    # materialising the (n, k, d) difference tensor; argmin only needs
+    # the relative ordering, so dropping the exact expansion is safe.
+    cross = points @ np.swapaxes(centroids, -1, -2)
+    point_norms = np.einsum("...nd,...nd->...n", points, points)
+    centroid_norms = np.einsum("...kd,...kd->...k", centroids, centroids)
+    squared = (point_norms[..., :, None] - 2.0 * cross
+               + centroid_norms[..., None, :])
+    assignments = np.argmin(squared, axis=-1)
+    return assignments.astype(np.int64), float(np.prod(
+        squared.shape, dtype=np.int64))
 
 
 def new_cluster_locations(points: np.ndarray, assignments: np.ndarray,

@@ -245,14 +245,19 @@ def transform(name: str | None = None, *,
               outputs: Sequence[str],
               through: Sequence[str] = (),
               accuracy_bins: Sequence[float] | None = None,
-              allocators: Mapping[str, Callable] | None = None):
+              allocators: Mapping[str, Callable] | None = None,
+              batchable: bool = False):
     """Class decorator lowering a declarative class body to a
     :class:`~repro.lang.transform.Transform`.
 
     The transform name defaults to the class name.  The decorated class
     is consumed: the decorator returns the lowered ``Transform``, which
     every downstream consumer (compiler, autotuner, serving,
-    ``repro.api``) already accepts.
+    ``repro.api``) already accepts.  ``batchable=True`` makes the
+    batchability pledge documented on
+    :class:`~repro.lang.transform.Transform`: rules accept one leading
+    batch dimension on every array input and the runtime may stack
+    same-shape requests into single vectorized executions.
     """
 
     def lower(cls: type) -> Transform:
@@ -260,7 +265,8 @@ def transform(name: str | None = None, *,
                             inputs=tuple(inputs), outputs=tuple(outputs),
                             through=tuple(through),
                             accuracy_bins=accuracy_bins,
-                            extra_allocators=dict(allocators or {}))
+                            extra_allocators=dict(allocators or {}),
+                            batchable=batchable)
 
     return lower
 
@@ -269,7 +275,8 @@ def _lower_class(cls: type, transform_name: str, *,
                  inputs: tuple[str, ...], outputs: tuple[str, ...],
                  through: tuple[str, ...],
                  accuracy_bins: Sequence[float] | None,
-                 extra_allocators: dict[str, Callable]) -> Transform:
+                 extra_allocators: dict[str, Callable],
+                 batchable: bool = False) -> Transform:
     diagnostics = Diagnostics()
     known_data = set(inputs) | set(through) | set(outputs)
 
@@ -438,7 +445,8 @@ def _lower_class(cls: type, transform_name: str, *,
             transform_name, inputs=inputs, outputs=outputs,
             through=through, accuracy_metric=metric,
             accuracy_bins=accuracy_bins, tunables=tunables,
-            calls=call_sites, allocators=allocator_map)
+            calls=call_sites, allocators=allocator_map,
+            batchable=batchable)
     except LanguageError as exc:
         diagnostics.error(str(exc), transform=transform_name)
 

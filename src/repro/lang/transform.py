@@ -62,10 +62,19 @@ class Transform:
                  accuracy_bins: Sequence[float] | None = None,
                  tunables: Iterable[SizeValueParam | ScalarParam | SwitchParam] = (),
                  calls: Iterable[CallSite] = (),
-                 allocators: Mapping[str, Callable] | None = None):
+                 allocators: Mapping[str, Callable] | None = None,
+                 batchable: bool = False):
         if not name or not name.isidentifier():
             raise LanguageError(f"transform name must be an identifier: {name!r}")
         self.name = name
+        #: Batchability pledge: every rule accepts one leading batch
+        #: dimension on all array inputs and produces outputs with the
+        #: same leading dimension, execution never consults the trial
+        #: seed, control flow is identical across slices, and recorded
+        #: cost scales exactly by the batch size.  The runtime's
+        #: stacked execution path (repro.runtime.batching) only groups
+        #: requests for transforms that make this pledge.
+        self.batchable = bool(batchable)
         self.inputs = tuple(inputs)
         self.outputs = tuple(outputs)
         self.through = tuple(through)

@@ -25,11 +25,16 @@ __all__ = [
 def apply_laplacian_1d(x: np.ndarray, h: float = 1.0,
                        extra_diagonal: np.ndarray | None = None
                        ) -> np.ndarray:
-    """y = T x for the 1-D Dirichlet Laplacian (plus optional diagonal)."""
+    """y = T x for the 1-D Dirichlet Laplacian (plus optional diagonal).
+
+    ``x`` is ``(..., n)``; leading axes are batch dimensions applied in
+    the same whole-array calls.  ``extra_diagonal`` broadcasts against
+    the trailing axis.
+    """
     x = np.asarray(x, dtype=float)
     y = 2.0 * x
-    y[:-1] -= x[1:]
-    y[1:] -= x[:-1]
+    y[..., :-1] -= x[..., 1:]
+    y[..., 1:] -= x[..., :-1]
     y /= h * h
     if extra_diagonal is not None:
         y += np.asarray(extra_diagonal, dtype=float) * x
@@ -49,14 +54,15 @@ def laplacian_1d_diagonal(n: int, h: float = 1.0,
 def apply_laplacian_2d(u: np.ndarray, h: float) -> np.ndarray:
     """y = T u for the 2-D 5-point Dirichlet Laplacian on the interior.
 
-    ``u`` is the (n x n) interior; boundary values are zero.
+    ``u`` is ``(..., n, n)`` interior values (boundaries are zero);
+    leading axes are batch dimensions applied in the same calls.
     """
     u = np.asarray(u, dtype=float)
     y = 4.0 * u
-    y[:-1, :] -= u[1:, :]
-    y[1:, :] -= u[:-1, :]
-    y[:, :-1] -= u[:, 1:]
-    y[:, 1:] -= u[:, :-1]
+    y[..., :-1, :] -= u[..., 1:, :]
+    y[..., 1:, :] -= u[..., :-1, :]
+    y[..., :, :-1] -= u[..., :, 1:]
+    y[..., :, 1:] -= u[..., :, :-1]
     return y / (h * h)
 
 

@@ -6,6 +6,14 @@ coarsens to ``(n - 1) / 2``; coarse node ``I`` coincides with fine node
 applied per axis, which makes them correct in any dimension and keeps
 the well-known variational relation  restriction = prolongation^T / 2^d
 (property-tested in tests/test_multigrid_grids.py).
+
+Both operators accept stacked inputs: ``core_ndim`` names how many
+trailing axes form one grid (2 for the Poisson planes, 3 for the
+Helmholtz volumes); any leading axes are batch dimensions transferred
+in the same whole-array numpy calls.  ``core_ndim=None`` (the default)
+treats every axis as a grid axis — the original scalar behaviour.
+Operation counts include the batch axes (they scale by the batch
+size), and floating input dtypes are preserved.
 """
 
 from __future__ import annotations
@@ -28,6 +36,23 @@ def coarse_size(n: int) -> int:
     return (n - 1) // 2
 
 
+def _as_float(array: np.ndarray) -> np.ndarray:
+    array = np.asarray(array)
+    if not np.issubdtype(array.dtype, np.floating):
+        return array.astype(np.float64)
+    return array
+
+
+def _core_axes(ndim: int, core_ndim: int | None) -> range:
+    if core_ndim is None:
+        core_ndim = ndim
+    if not 0 < core_ndim <= ndim:
+        raise ValueError(
+            f"core_ndim must be in [1, {ndim}] for a {ndim}-D array, "
+            f"got {core_ndim}")
+    return range(ndim - core_ndim, ndim)
+
+
 def _axis_slices(ndim: int, axis: int, s: slice) -> tuple:
     return tuple(s if d == axis else slice(None) for d in range(ndim))
 
@@ -45,7 +70,7 @@ def _prolong_axis(array: np.ndarray, axis: int) -> np.ndarray:
     nc = array.shape[axis]
     shape = list(array.shape)
     shape[axis] = 2 * nc + 1
-    out = np.zeros(shape, dtype=float)
+    out = np.zeros(shape, dtype=array.dtype)
     ndim = array.ndim
     out[_axis_slices(ndim, axis, slice(1, None, 2))] = array
     # Interior even nodes: average of odd neighbours.
@@ -61,13 +86,17 @@ def _prolong_axis(array: np.ndarray, axis: int) -> np.ndarray:
     return out
 
 
-def restrict_full_weighting(fine: np.ndarray) -> tuple[np.ndarray, float]:
-    """Full-weighting restriction in every dimension.
+def restrict_full_weighting(fine: np.ndarray, *,
+                            core_ndim: int | None = None
+                            ) -> tuple[np.ndarray, float]:
+    """Full-weighting restriction over the trailing ``core_ndim`` axes.
 
-    Returns ``(coarse, ops)``; every axis must have size 2^k - 1 >= 3.
+    Returns ``(coarse, ops)``; every restricted axis must have size
+    2^k - 1 >= 3.  Leading axes (before the core axes) pass through as
+    batch dimensions.
     """
-    result = np.asarray(fine, dtype=float)
-    for axis in range(result.ndim):
+    result = _as_float(fine)
+    for axis in _core_axes(result.ndim, core_ndim):
         if not is_grid_size(result.shape[axis]) or result.shape[axis] < 3:
             raise ValueError(
                 f"axis {axis} has unrestrictable size {result.shape[axis]}")
@@ -75,12 +104,14 @@ def restrict_full_weighting(fine: np.ndarray) -> tuple[np.ndarray, float]:
     return result, float(np.asarray(fine).size) * 2.0
 
 
-def prolong(coarse: np.ndarray) -> tuple[np.ndarray, float]:
-    """Linear prolongation in every dimension.
+def prolong(coarse: np.ndarray, *, core_ndim: int | None = None
+            ) -> tuple[np.ndarray, float]:
+    """Linear prolongation over the trailing ``core_ndim`` axes.
 
-    Returns ``(fine, ops)`` with every axis doubled from nc to 2nc+1.
+    Returns ``(fine, ops)`` with every core axis doubled from nc to
+    2nc+1; leading batch axes pass through.
     """
-    result = np.asarray(coarse, dtype=float)
-    for axis in range(result.ndim):
+    result = _as_float(coarse)
+    for axis in _core_axes(result.ndim, core_ndim):
         result = _prolong_axis(result, axis)
     return result, float(result.size) * 2.0

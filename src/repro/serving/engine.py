@@ -46,6 +46,7 @@ from repro.runtime.backends import (
     TrialRequest,
     config_digest,
 )
+from repro.runtime.batching import run_batch_stacked
 from repro.runtime.executor import TunedProgram
 from repro.runtime.guarantees import StatisticalGuarantee
 from repro.runtime.policy import plan_request
@@ -113,6 +114,10 @@ class ServingStats:
     backend: str
     shadow_executions: int = 0
     swaps: int = 0
+    #: Fused stacked executions (and the requests they covered) — see
+    #: :mod:`repro.runtime.batching`.
+    stacked_calls: int = 0
+    stacked_requests: int = 0
 
     def __str__(self) -> str:
         return (f"{self.requests} requests ({self.served} ok, "
@@ -121,6 +126,8 @@ class ServingStats:
                 f"{self.fallbacks} fallbacks, "
                 f"{self.executions} executions "
                 f"(+{self.shadow_executions} shadow), "
+                f"{self.stacked_requests} stacked into "
+                f"{self.stacked_calls} fused calls, "
                 f"{self.swaps} swaps, "
                 f"p50 {self.p50_latency * 1e3:.2f}ms, "
                 f"p95 {self.p95_latency * 1e3:.2f}ms")
@@ -216,13 +223,19 @@ class ServingEngine:
                  backend: ExecutionBackend | None = None,
                  batch_size: int = DEFAULT_BATCH_SIZE,
                  latency_window: int = DEFAULT_LATENCY_WINDOW,
-                 telemetry: ServingTelemetry | None = None):
+                 telemetry: ServingTelemetry | None = None,
+                 stacking: bool = True):
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         self.store = store
         self.backend = backend if backend is not None else SerialBackend()
         self.batch_size = batch_size
         self.telemetry = telemetry
+        #: When True (the default), same-(program, bin, input-shape)
+        #: waves of requests to ``batchable`` programs fuse into single
+        #: stacked executions (repro.runtime.batching); responses are
+        #: unstacked and indistinguishable from per-request runs.
+        self.stacking = stacking
         self._programs: dict[str, TunedProgram] = {}
         self._digests: dict[tuple[str, float], str] = {}
         self._shadows: dict[str, _ShadowState] = {}
@@ -230,7 +243,8 @@ class ServingEngine:
         self._counters = {"requests": 0, "served": 0, "errors": 0,
                           "escalations": 0, "fallbacks": 0,
                           "executions": 0, "shadow_executions": 0,
-                          "swaps": 0}
+                          "swaps": 0, "stacked_calls": 0,
+                          "stacked_requests": 0}
         self._latencies: deque[float] = deque(maxlen=latency_window)
 
     # ------------------------------------------------------------------
@@ -464,11 +478,24 @@ class ServingEngine:
             for offset in range(0, len(group), self.batch_size):
                 chunk = group[offset:offset + self.batch_size]
                 batch = [self._trial_request(entry) for entry in chunk]
-                outcomes = self.backend.run_batch(
-                    program, batch, objective="cost",
-                    collect_outputs=True)
+                if self.stacking:
+                    stacked_counters: dict[str, int] = {}
+                    outcomes = run_batch_stacked(
+                        program, batch,
+                        dispatch=lambda reqs: self.backend.run_batch(
+                            program, reqs, objective="cost",
+                            collect_outputs=True),
+                        objective="cost", collect_outputs=True,
+                        counters=stacked_counters)
+                else:
+                    stacked_counters = {}
+                    outcomes = self.backend.run_batch(
+                        program, batch, objective="cost",
+                        collect_outputs=True)
                 with self._lock:
                     self._counters["executions"] += len(outcomes)
+                    for key, increment in stacked_counters.items():
+                        self._counters[key] += increment
                 for entry, outcome in zip(chunk, outcomes):
                     entry.latency += outcome.wall_time
                     entry.last_accuracy = (None if outcome.failed
@@ -601,7 +628,9 @@ class ServingEngine:
             p95_latency=percentile(latencies, 0.95),
             backend=self.backend.name,
             shadow_executions=counters["shadow_executions"],
-            swaps=counters["swaps"])
+            swaps=counters["swaps"],
+            stacked_calls=counters["stacked_calls"],
+            stacked_requests=counters["stacked_requests"])
 
     def reset_stats(self) -> None:
         with self._lock:

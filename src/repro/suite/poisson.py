@@ -70,6 +70,19 @@ def _grid_spacing(n: int) -> float:
     return 1.0 / (n + 1)
 
 
+def _batch_count(f: np.ndarray) -> float:
+    """Number of stacked grids in ``f`` (1.0 for a plain (n, n) input).
+
+    The rules accept one leading batch dimension (the transform is
+    declared ``batchable=True``); manually charged costs must scale by
+    this factor so a stacked run is charged exactly batch-size times
+    the scalar run — the invariant the runtime's stacked execution path
+    relies on to recover per-request objectives.
+    """
+    return float(np.prod(f.shape[:-2], dtype=np.int64)) if f.ndim > 2 \
+        else 1.0
+
+
 def _relax(ctx, u, f, n, iterations, *, action="relax"):
     if iterations <= 0:
         return u
@@ -86,22 +99,27 @@ def _vcycle_pass(ctx, u, f, n):
     if n >= 3 and is_grid_size(n):
         nc = coarse_size(n)
         residual = f - apply_laplacian_2d(u, _grid_spacing(n))
-        ctx.add_cost(5.0 * n * n)
-        coarse_f, ops = restrict_full_weighting(residual)
+        ctx.add_cost(5.0 * n * n * _batch_count(f))
+        coarse_f, ops = restrict_full_weighting(residual, core_ndim=2)
         ctx.add_cost(ops)
         ctx.record("mg", action="descend", n=nc)
         correction = ctx.call("coarse", {"f": coarse_f}, n=nc)["u"]
         ctx.record("mg", action="ascend", n=n)
-        fine_correction, ops = prolong(correction)
+        fine_correction, ops = prolong(correction, core_ndim=2)
         ctx.add_cost(ops)
         u = u + fine_correction
-        ctx.add_cost(float(n * n))
+        ctx.add_cost(float(n * n) * _batch_count(f))
     u = _relax(ctx, u, f, n, int(ctx.param("post_iters")))
     return u
 
 
 def build() -> tuple[Transform, tuple[Transform, ...]]:
-    @transform(inputs=("f",), outputs=("u",), accuracy_bins=ACCURACY_BINS)
+    # batchable=True: every rule below accepts a stacked (B, n, n)
+    # right-hand side, produces a (B, n, n) solution, never consults
+    # the execution seed, and charges exactly B times the scalar cost —
+    # so the runtime may fuse same-bin request waves into one call.
+    @transform(inputs=("f",), outputs=("u",), accuracy_bins=ACCURACY_BINS,
+               batchable=True)
     class poisson:
         vcycles = for_enough(max_iters=6, default=2)
         sor_iters = for_enough(max_iters=3000, default=60)
@@ -118,7 +136,7 @@ def build() -> tuple[Transform, tuple[Transform, ...]]:
 
         @rule
         def multigrid(ctx, f):
-            n = f.shape[0]
+            n = f.shape[-1]
             u = np.zeros_like(f)
             for _ in ctx.for_enough("vcycles"):
                 u = _vcycle_pass(ctx, u, f, n)
@@ -126,16 +144,16 @@ def build() -> tuple[Transform, tuple[Transform, ...]]:
 
         @rule
         def full_multigrid(ctx, f):
-            n = f.shape[0]
+            n = f.shape[-1]
             if n >= 3 and is_grid_size(n):
                 nc = coarse_size(n)
-                coarse_f, ops = restrict_full_weighting(f)
+                coarse_f, ops = restrict_full_weighting(f, core_ndim=2)
                 ctx.add_cost(ops)
                 ctx.record("mg", action="estimate", n=nc)
                 estimate = ctx.call("estimate", {"f": coarse_f},
                                     n=nc)["u"]
                 ctx.record("mg", action="ascend", n=n)
-                u, ops = prolong(estimate)
+                u, ops = prolong(estimate, core_ndim=2)
                 ctx.add_cost(ops)
             else:
                 u = np.zeros_like(f)
@@ -145,7 +163,7 @@ def build() -> tuple[Transform, tuple[Transform, ...]]:
 
         @rule
         def direct(ctx, f):
-            n = f.shape[0]
+            n = f.shape[-1]
             if n > DIRECT_MAX_SIZE:
                 raise ExecutionError(
                     f"direct solver limited to n <= {DIRECT_MAX_SIZE}, "
@@ -153,14 +171,17 @@ def build() -> tuple[Transform, tuple[Transform, ...]]:
             band = poisson_2d_banded(n, _grid_spacing(n))
             factor, factor_ops = banded_cholesky_factor(band)
             solution, solve_ops = banded_cholesky_solve(
-                factor, f.reshape(-1))
-            ctx.add_cost(factor_ops + solve_ops)
+                factor, f.reshape(f.shape[:-2] + (n * n,)))
+            # The factorization is shared across a stacked batch, but
+            # each request must be charged what its own scalar run
+            # would cost — the stacked-execution invariant.
+            ctx.add_cost(factor_ops * _batch_count(f) + solve_ops)
             ctx.record("mg", action="direct", n=n)
-            return solution.reshape(n, n)
+            return solution.reshape(f.shape[:-2] + (n, n))
 
         @rule
         def iterative(ctx, f):
-            n = f.shape[0]
+            n = f.shape[-1]
             u = np.zeros_like(f)
             iterations = int(ctx.param("sor_iters"))
             u = _relax(ctx, u, f, n, iterations, action="iterative")

@@ -1,0 +1,376 @@
+"""Batched-kernel equivalence: stacked calls equal per-slice loops.
+
+The port of scipy's ``test_batch.py`` idiom: for every kernel that
+accepts a leading batch dimension, the batched output must equal
+stacking the scalar kernel's output over slices — across dtypes, batch
+sizes B in {1, 3, 17}, and the degenerate B=0 — and the returned
+operation count must be exactly B times the scalar count.
+
+The multigrid/stencil kernels are elementwise numpy expressions, so
+batched and scalar results are required to be *bit-identical*; the
+batched banded solve and stacked CG reassociate reductions (einsum
+over the batch axis), so those compare under a tight allclose.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.kernels import assign_clusters
+from repro.linalg.banded import banded_cholesky_factor, banded_cholesky_solve
+from repro.linalg.cg import conjugate_gradient
+from repro.linalg.poisson_ops import (
+    apply_laplacian_1d,
+    apply_laplacian_2d,
+    poisson_2d_banded,
+)
+from repro.multigrid.helmholtz3d import face_coefficients
+from repro.multigrid.relax import (
+    _MASK_CACHE,
+    _checkerboard,
+    sor_helmholtz_3d,
+    sor_poisson_2d,
+)
+from repro.multigrid.grids import prolong, restrict_full_weighting
+
+BATCH_SIZES = (1, 3, 17)
+FLOAT_DTYPES = (np.float32, np.float64)
+
+
+def rng_for(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+# ----------------------------------------------------------------------
+# SOR relaxation
+# ----------------------------------------------------------------------
+class TestSorPoisson2d:
+    @pytest.mark.parametrize("batch", BATCH_SIZES)
+    @pytest.mark.parametrize("dtype", FLOAT_DTYPES)
+    def test_batched_equals_slice_loop(self, batch, dtype):
+        rng = rng_for(batch)
+        n = 15
+        u = rng.standard_normal((batch, n, n)).astype(dtype)
+        f = rng.standard_normal((batch, n, n)).astype(dtype)
+        batched, batched_ops = sor_poisson_2d(u, f, 0.1, 1.4, 3)
+        scalar_ops = None
+        for i in range(batch):
+            expected, scalar_ops = sor_poisson_2d(u[i], f[i], 0.1, 1.4, 3)
+            assert np.array_equal(batched[i], expected)
+        assert batched_ops == batch * scalar_ops
+
+    @pytest.mark.parametrize("dtype", FLOAT_DTYPES)
+    def test_dtype_preserved(self, dtype):
+        rng = rng_for(7)
+        u = rng.standard_normal((7, 7)).astype(dtype)
+        f = rng.standard_normal((7, 7)).astype(dtype)
+        result, _ = sor_poisson_2d(u, f, 0.1, 1.4, 2)
+        assert result.dtype == dtype
+
+    def test_non_float_promotes_to_float64(self):
+        u = np.zeros((7, 7), dtype=np.int64)
+        f = np.ones((7, 7), dtype=np.int64)
+        result, _ = sor_poisson_2d(u, f, 0.1, 1.4, 1)
+        assert result.dtype == np.float64
+
+    def test_degenerate_empty_batch(self):
+        empty = np.empty((0, 7, 7))
+        result, ops = sor_poisson_2d(empty, empty, 0.1, 1.4, 2)
+        assert result.shape == (0, 7, 7)
+        assert ops == 0.0
+
+    def test_checkerboard_masks_cached_and_frozen(self):
+        red, black = _checkerboard((5, 5))
+        assert (5, 5) in _MASK_CACHE
+        assert not red.flags.writeable and not black.flags.writeable
+        assert np.array_equal(red, ~black)
+        again_red, _ = _checkerboard((5, 5))
+        assert again_red is red  # same object, not rebuilt
+
+
+class TestSorHelmholtz3d:
+    @pytest.mark.parametrize("batch", BATCH_SIZES)
+    def test_batched_equals_slice_loop(self, batch):
+        rng = rng_for(batch)
+        n = 7
+        phi = rng.standard_normal((batch, n, n, n))
+        f = rng.standard_normal((batch, n, n, n))
+        a = rng.uniform(0.5, 1.0, (n, n, n))
+        faces = face_coefficients(rng.uniform(0.5, 1.0, (n, n, n)))
+        batched, batched_ops = sor_helmholtz_3d(
+            phi, f, a, faces, 0.125, 1.2, 2)
+        scalar_ops = None
+        for i in range(batch):
+            expected, scalar_ops = sor_helmholtz_3d(
+                phi[i], f[i], a, faces, 0.125, 1.2, 2)
+            assert np.array_equal(batched[i], expected)
+        assert batched_ops == batch * scalar_ops
+
+    @pytest.mark.parametrize("dtype", FLOAT_DTYPES)
+    def test_dtype_preserved(self, dtype):
+        rng = rng_for(11)
+        n = 5
+        phi = rng.standard_normal((n, n, n)).astype(dtype)
+        f = rng.standard_normal((n, n, n)).astype(dtype)
+        a = rng.uniform(0.5, 1.0, (n, n, n))
+        faces = face_coefficients(rng.uniform(0.5, 1.0, (n, n, n)))
+        result, _ = sor_helmholtz_3d(phi, f, a, faces, 0.125, 1.2, 1)
+        # The state keeps phi/f's dtype: float64 coefficient fields do
+        # not silently upcast a float32 solve.
+        assert result.dtype == dtype
+
+    def test_degenerate_empty_batch(self):
+        rng = rng_for(13)
+        n = 5
+        empty = np.empty((0, n, n, n))
+        a = rng.uniform(0.5, 1.0, (n, n, n))
+        faces = face_coefficients(rng.uniform(0.5, 1.0, (n, n, n)))
+        result, ops = sor_helmholtz_3d(empty, empty, a, faces,
+                                       0.125, 1.2, 2)
+        assert result.shape == (0, n, n, n)
+        assert ops == 0.0
+
+
+# ----------------------------------------------------------------------
+# Grid transfers
+# ----------------------------------------------------------------------
+class TestGridTransfers:
+    @pytest.mark.parametrize("batch", BATCH_SIZES)
+    @pytest.mark.parametrize("dtype", FLOAT_DTYPES)
+    def test_restrict_batched_equals_slice_loop(self, batch, dtype):
+        rng = rng_for(batch)
+        fine = rng.standard_normal((batch, 15, 15)).astype(dtype)
+        batched, batched_ops = restrict_full_weighting(fine, core_ndim=2)
+        assert batched.dtype == dtype
+        scalar_ops = None
+        for i in range(batch):
+            expected, scalar_ops = restrict_full_weighting(fine[i])
+            assert np.array_equal(batched[i], expected)
+        assert batched_ops == batch * scalar_ops
+
+    @pytest.mark.parametrize("batch", BATCH_SIZES)
+    @pytest.mark.parametrize("dtype", FLOAT_DTYPES)
+    def test_prolong_batched_equals_slice_loop(self, batch, dtype):
+        rng = rng_for(batch)
+        coarse = rng.standard_normal((batch, 7, 7)).astype(dtype)
+        batched, batched_ops = prolong(coarse, core_ndim=2)
+        assert batched.dtype == dtype
+        scalar_ops = None
+        for i in range(batch):
+            expected, scalar_ops = prolong(coarse[i])
+            assert np.array_equal(batched[i], expected)
+        assert batched_ops == batch * scalar_ops
+
+    def test_default_core_ndim_is_all_axes(self):
+        rng = rng_for(5)
+        fine = rng.standard_normal((7, 7))
+        explicit, _ = restrict_full_weighting(fine, core_ndim=2)
+        implicit, _ = restrict_full_weighting(fine)
+        assert np.array_equal(explicit, implicit)
+
+    def test_core_ndim_validation(self):
+        with pytest.raises(ValueError):
+            restrict_full_weighting(np.zeros((7, 7)), core_ndim=3)
+        with pytest.raises(ValueError):
+            prolong(np.zeros((3, 3)), core_ndim=0)
+
+    def test_degenerate_empty_batch(self):
+        coarse, ops = restrict_full_weighting(np.empty((0, 7, 7)),
+                                              core_ndim=2)
+        assert coarse.shape == (0, 3, 3)
+        assert ops == 0.0
+        fine, _ = prolong(np.empty((0, 3, 3)), core_ndim=2)
+        assert fine.shape == (0, 7, 7)
+
+
+# ----------------------------------------------------------------------
+# Conjugate gradients
+# ----------------------------------------------------------------------
+class TestConjugateGradient:
+    @staticmethod
+    def operator(x):
+        return apply_laplacian_1d(x, 0.1)
+
+    @pytest.mark.parametrize("batch", BATCH_SIZES)
+    def test_stacked_equals_slice_loop(self, batch):
+        rng = rng_for(batch)
+        n = 31
+        b = rng.standard_normal((batch, n))
+        x, norms, ops = conjugate_gradient(
+            self.operator, b, iterations=25, operator_cost=5.0 * n,
+            tolerance=1e-8)
+        assert x.shape == (batch, n) and ops.shape == (batch,)
+        for i in range(batch):
+            xi, norms_i, ops_i = conjugate_gradient(
+                self.operator, b[i], iterations=25, operator_cost=5.0 * n,
+                tolerance=1e-8)
+            np.testing.assert_allclose(x[i], xi, rtol=1e-12, atol=1e-12)
+            assert len(norms[i]) == len(norms_i)
+            np.testing.assert_allclose(norms[i], norms_i, rtol=1e-12)
+            assert ops[i] == ops_i  # per-slice freezing charges the same
+
+    def test_per_slice_early_stop(self):
+        # One trivially converged slice (zero RHS) next to a live one:
+        # the converged slice must freeze immediately and be charged
+        # exactly what its scalar run is.
+        rng = rng_for(42)
+        n = 15
+        b = np.vstack([np.zeros(n), rng.standard_normal(n)])
+        _, norms, ops = conjugate_gradient(
+            self.operator, b, iterations=10, operator_cost=5.0 * n,
+            tolerance=1e-10)
+        _, norms_zero, ops_zero = conjugate_gradient(
+            self.operator, b[0], iterations=10, operator_cost=5.0 * n,
+            tolerance=1e-10)
+        assert len(norms[0]) == len(norms_zero) == 1
+        assert ops[0] == ops_zero
+        assert len(norms[1]) > 1
+
+    def test_preconditioned_stacked(self):
+        from repro.linalg.poisson_ops import laplacian_1d_diagonal
+        rng = rng_for(9)
+        n = 31
+        diagonal = laplacian_1d_diagonal(n, 0.1)
+        b = rng.standard_normal((4, n))
+        x, _, _ = conjugate_gradient(
+            self.operator, b, iterations=25, operator_cost=5.0 * n,
+            apply_minv=lambda r: r / diagonal, preconditioner_cost=float(n),
+            tolerance=1e-9)
+        for i in range(4):
+            xi, _, _ = conjugate_gradient(
+                self.operator, b[i], iterations=25, operator_cost=5.0 * n,
+                apply_minv=lambda r: r / diagonal,
+                preconditioner_cost=float(n), tolerance=1e-9)
+            np.testing.assert_allclose(x[i], xi, rtol=1e-12, atol=1e-12)
+
+    def test_degenerate_empty_batch(self):
+        x, norms, ops = conjugate_gradient(
+            self.operator, np.empty((0, 8)), iterations=5,
+            operator_cost=1.0)
+        assert x.shape == (0, 8) and norms == [] and ops.shape == (0,)
+
+    def test_three_dimensional_b_rejected(self):
+        with pytest.raises(ValueError):
+            conjugate_gradient(self.operator, np.zeros((2, 2, 2)),
+                               iterations=1, operator_cost=1.0)
+
+
+# ----------------------------------------------------------------------
+# Banded Cholesky
+# ----------------------------------------------------------------------
+class TestBandedCholesky:
+    @pytest.mark.parametrize("batch", BATCH_SIZES)
+    def test_stacked_factor_equals_slice_loop(self, batch):
+        n = 5
+        band = poisson_2d_banded(n, 0.125)
+        # Vary the diagonal per slice so the batch is not degenerate.
+        stacked = np.stack([band] * batch)
+        for i in range(batch):
+            stacked[i, 0, :] += 0.1 * i
+        factors, batched_ops = banded_cholesky_factor(stacked)
+        scalar_ops = None
+        for i in range(batch):
+            expected, scalar_ops = banded_cholesky_factor(stacked[i])
+            assert np.array_equal(factors[i], expected)
+        assert batched_ops == batch * scalar_ops
+
+    @pytest.mark.parametrize("batch", BATCH_SIZES)
+    def test_shared_factor_stacked_solve(self, batch):
+        rng = rng_for(batch)
+        n = 5
+        factor, _ = banded_cholesky_factor(poisson_2d_banded(n, 0.125))
+        rhs = rng.standard_normal((batch, n * n))
+        solutions, batched_ops = banded_cholesky_solve(factor, rhs)
+        scalar_ops = None
+        for i in range(batch):
+            expected, scalar_ops = banded_cholesky_solve(factor, rhs[i])
+            np.testing.assert_allclose(solutions[i], expected,
+                                       rtol=1e-12, atol=1e-14)
+        assert batched_ops == batch * scalar_ops
+
+    def test_scalar_path_unchanged(self):
+        rng = rng_for(3)
+        n = 7
+        factor, _ = banded_cholesky_factor(poisson_2d_banded(n, 0.125))
+        rhs = rng.standard_normal(n * n)
+        x, _ = banded_cholesky_solve(factor, rhs)
+        residual = np.linalg.norm(
+            apply_laplacian_2d(x.reshape(n, n), 0.125).reshape(-1) - rhs)
+        assert residual < 1e-8
+
+    def test_not_positive_definite_raises_batched(self):
+        band = np.stack([poisson_2d_banded(3, 0.25)] * 2)
+        band[1, 0, :] = -1.0  # one bad slice poisons the batch
+        with pytest.raises(np.linalg.LinAlgError):
+            banded_cholesky_factor(band)
+
+    def test_degenerate_empty_batch(self):
+        factor, _ = banded_cholesky_factor(poisson_2d_banded(3, 0.25))
+        solutions, ops = banded_cholesky_solve(factor, np.empty((0, 9)))
+        assert solutions.shape == (0, 9)
+        assert ops == 0.0
+
+
+# ----------------------------------------------------------------------
+# Poisson stencils
+# ----------------------------------------------------------------------
+class TestPoissonStencils:
+    @pytest.mark.parametrize("batch", BATCH_SIZES)
+    def test_laplacian_1d_batched(self, batch):
+        rng = rng_for(batch)
+        x = rng.standard_normal((batch, 12))
+        extra = rng.uniform(0.1, 1.0, 12)
+        batched = apply_laplacian_1d(x, 0.2, extra)
+        for i in range(batch):
+            assert np.array_equal(batched[i],
+                                  apply_laplacian_1d(x[i], 0.2, extra))
+
+    @pytest.mark.parametrize("batch", BATCH_SIZES)
+    def test_laplacian_2d_batched(self, batch):
+        rng = rng_for(batch)
+        u = rng.standard_normal((batch, 9, 9))
+        batched = apply_laplacian_2d(u, 0.1)
+        for i in range(batch):
+            assert np.array_equal(batched[i],
+                                  apply_laplacian_2d(u[i], 0.1))
+
+    def test_degenerate_empty_batch(self):
+        assert apply_laplacian_2d(np.empty((0, 5, 5)), 0.1).shape \
+            == (0, 5, 5)
+
+
+# ----------------------------------------------------------------------
+# Cluster assignment
+# ----------------------------------------------------------------------
+class TestAssignClusters:
+    @pytest.mark.parametrize("batch", BATCH_SIZES)
+    def test_batched_equals_slice_loop(self, batch):
+        rng = rng_for(batch)
+        points = rng.standard_normal((batch, 40, 3))
+        centroids = rng.standard_normal((batch, 5, 3))
+        assignments, batched_ops = assign_clusters(points, centroids)
+        scalar_ops = None
+        for i in range(batch):
+            expected, scalar_ops = assign_clusters(points[i], centroids[i])
+            assert np.array_equal(assignments[i], expected)
+        assert batched_ops == batch * scalar_ops
+
+    def test_shared_centroids_broadcast(self):
+        rng = rng_for(1)
+        points = rng.standard_normal((4, 20, 2))
+        centroids = rng.standard_normal((3, 2))
+        assignments, _ = assign_clusters(points, centroids)
+        for i in range(4):
+            expected, _ = assign_clusters(points[i], centroids)
+            assert np.array_equal(assignments[i], expected)
+
+    def test_one_dimensional_rejected(self):
+        with pytest.raises(ValueError):
+            assign_clusters(np.zeros(4), np.zeros((2, 2)))
+
+    def test_degenerate_empty_batch(self):
+        assignments, ops = assign_clusters(np.empty((0, 10, 2)),
+                                           np.empty((0, 3, 2)))
+        assert assignments.shape == (0, 10)
+        assert ops == 0.0

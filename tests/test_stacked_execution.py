@@ -1,0 +1,262 @@
+"""Stacked execution: fused waves are indistinguishable from loops.
+
+Covers the runtime batching layer (:mod:`repro.runtime.batching`), the
+ServingEngine's wave fusion, and the tuning harness's population
+stacking — in every case the observable results must match the
+pre-batching per-request path, with only the counters revealing that
+fewer program executions happened.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autotuner import ProgramTestHarness
+from repro.autotuner.candidate import Candidate
+from repro.runtime.backends import SerialBackend, TrialRequest
+from repro.runtime.batching import (
+    execute_stacked,
+    is_batchable,
+    run_batch_stacked,
+    stack_signature,
+)
+from repro.runtime.executor import TunedProgram
+from repro.serving import ServeRequest, ServingEngine
+from repro.suite import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def poisson_program():
+    program, _ = get_benchmark("poisson").compile()
+    return program
+
+
+def poisson_tuned(program) -> TunedProgram:
+    configs = {}
+    for index, target in enumerate(program.root_transform.accuracy_bins):
+        rng = np.random.default_rng(100 + index)
+        configs[target] = program.random_config(rng)
+    return TunedProgram(program, configs)
+
+
+def poisson_inputs(n: int, seed: int):
+    return get_benchmark("poisson").generate(n, np.random.default_rng(seed))
+
+
+def make_request(program, n: int, seed: int,
+                 config=None) -> TrialRequest:
+    from repro.runtime.backends import config_digest
+    config = config if config is not None else program.default_config()
+    return TrialRequest(
+        digest=config_digest(config), n=float(n), trial_index=seed,
+        seed=seed, config=config, inputs=poisson_inputs(n, seed))
+
+
+# ----------------------------------------------------------------------
+# The batching primitives
+# ----------------------------------------------------------------------
+class TestBatchingPrimitives:
+    def test_poisson_is_batchable(self, poisson_program):
+        assert is_batchable(poisson_program)
+
+    def test_signature_groups_by_config_and_shape(self, poisson_program):
+        a = make_request(poisson_program, 15, 0)
+        b = make_request(poisson_program, 15, 1)
+        c = make_request(poisson_program, 7, 2)
+        assert stack_signature(a) == stack_signature(b)
+        assert stack_signature(a) != stack_signature(c)
+
+    def test_unfusable_inputs_signature_is_none(self, poisson_program):
+        request = make_request(poisson_program, 7, 0)
+        weird = TrialRequest(
+            digest=request.digest, n=request.n, trial_index=0, seed=0,
+            config=request.config,
+            inputs={**dict(request.inputs), "note": object()})
+        assert stack_signature(weird) is None
+
+    def test_execute_stacked_matches_scalar(self, poisson_program):
+        requests = [make_request(poisson_program, 15, seed)
+                    for seed in range(6)]
+        fused = execute_stacked(poisson_program, requests,
+                                cost_limit=5e8, collect_outputs=True)
+        backend = SerialBackend()
+        scalar = backend.run_batch(poisson_program, requests,
+                                   objective="cost", cost_limit=5e8,
+                                   collect_outputs=True)
+        assert fused is not None
+        for fused_outcome, scalar_outcome in zip(fused, scalar):
+            assert not fused_outcome.failed
+            # Integer-valued cost terms make the /B recovery exact.
+            assert fused_outcome.objective == scalar_outcome.objective
+            assert fused_outcome.accuracy == \
+                pytest.approx(scalar_outcome.accuracy, rel=1e-12)
+            np.testing.assert_allclose(
+                fused_outcome.outputs["u"], scalar_outcome.outputs["u"],
+                rtol=1e-12, atol=1e-12)
+
+    def test_run_batch_stacked_alignment_with_mixed_shapes(
+            self, poisson_program):
+        # Interleave two shapes; outcomes must land positionally.
+        requests = [make_request(poisson_program, 15 if i % 2 else 7, i)
+                    for i in range(8)]
+        dispatched: list[int] = []
+        backend = SerialBackend()
+
+        def dispatch(reqs):
+            dispatched.extend(r.trial_index for r in reqs)
+            return backend.run_batch(poisson_program, reqs,
+                                     objective="cost", cost_limit=5e8)
+
+        counters: dict[str, int] = {}
+        outcomes = run_batch_stacked(
+            poisson_program, requests, dispatch=dispatch,
+            cost_limit=5e8, counters=counters)
+        assert len(outcomes) == 8 and not dispatched
+        assert counters == {"stacked_calls": 2, "stacked_requests": 8}
+        scalar = backend.run_batch(poisson_program, requests,
+                                   objective="cost", cost_limit=5e8)
+        for fused_outcome, scalar_outcome in zip(outcomes, scalar):
+            assert fused_outcome.objective == scalar_outcome.objective
+
+    def test_small_groups_fall_through_to_dispatch(self, poisson_program):
+        requests = [make_request(poisson_program, 7, 0),
+                    make_request(poisson_program, 15, 1)]
+        seen: list[int] = []
+        backend = SerialBackend()
+
+        def dispatch(reqs):
+            seen.extend(r.trial_index for r in reqs)
+            return backend.run_batch(poisson_program, reqs,
+                                     objective="cost")
+
+        counters: dict[str, int] = {}
+        run_batch_stacked(poisson_program, requests, dispatch=dispatch,
+                          counters=counters)
+        assert seen == [0, 1]
+        assert counters == {}
+
+    def test_wall_clock_objective_never_stacks(self, poisson_program):
+        requests = [make_request(poisson_program, 7, seed)
+                    for seed in range(4)]
+        seen: list[int] = []
+        backend = SerialBackend()
+
+        def dispatch(reqs):
+            seen.extend(r.trial_index for r in reqs)
+            return backend.run_batch(poisson_program, reqs,
+                                     objective="time")
+
+        run_batch_stacked(poisson_program, requests, dispatch=dispatch,
+                          objective="time")
+        assert seen == [0, 1, 2, 3]
+
+    def test_non_batchable_program_never_stacks(self):
+        program, _ = get_benchmark("clustering").compile()
+        assert not is_batchable(program)
+
+
+# ----------------------------------------------------------------------
+# ServingEngine wave fusion
+# ----------------------------------------------------------------------
+class TestEngineStacking:
+    def serve_wave(self, poisson_program, *, stacking: bool,
+                   count: int = 104, verify: bool = False):
+        engine = ServingEngine(stacking=stacking)
+        engine.register("poisson", poisson_tuned(poisson_program))
+        requests = [
+            ServeRequest(program="poisson",
+                         inputs=poisson_inputs(15, seed), n=15.0,
+                         accuracy=3.0, verify=verify, seed=seed)
+            for seed in range(count)]
+        return engine.serve(requests), engine.stats()
+
+    def test_104_request_wave_matches_prebatching_path(
+            self, poisson_program):
+        stacked, stacked_stats = self.serve_wave(poisson_program,
+                                                 stacking=True)
+        looped, looped_stats = self.serve_wave(poisson_program,
+                                               stacking=False)
+        assert stacked_stats.stacked_calls >= 1
+        assert stacked_stats.stacked_requests == 104
+        assert looped_stats.stacked_calls == 0
+        for fused, scalar in zip(stacked, looped):
+            assert fused.ok and scalar.ok
+            assert fused.bin_target == scalar.bin_target
+            assert fused.fallback == scalar.fallback
+            assert fused.escalations == scalar.escalations
+            assert fused.achieved_accuracy == \
+                pytest.approx(scalar.achieved_accuracy, rel=1e-12)
+            np.testing.assert_allclose(fused.outputs["u"],
+                                       scalar.outputs["u"],
+                                       rtol=1e-12, atol=1e-12)
+
+    def test_escalation_accounting_survives_stacking(
+            self, poisson_program):
+        stacked, stacked_stats = self.serve_wave(
+            poisson_program, stacking=True, count=24, verify=True)
+        looped, looped_stats = self.serve_wave(
+            poisson_program, stacking=False, count=24, verify=True)
+        assert stacked_stats.escalations == looped_stats.escalations
+        assert stacked_stats.fallbacks == looped_stats.fallbacks
+        assert stacked_stats.errors == looped_stats.errors
+        for fused, scalar in zip(stacked, looped):
+            assert fused.ok == scalar.ok
+            assert fused.bin_target == scalar.bin_target
+            assert fused.escalations == scalar.escalations
+
+    def test_mixed_sizes_unstack_correctly(self, poisson_program):
+        engine = ServingEngine(stacking=True)
+        engine.register("poisson", poisson_tuned(poisson_program))
+        sizes = [7, 15, 7, 15, 7, 15, 7, 7]
+        requests = [
+            ServeRequest(program="poisson",
+                         inputs=poisson_inputs(n, seed), n=float(n),
+                         accuracy=3.0, seed=seed)
+            for seed, n in enumerate(sizes)]
+        responses = engine.serve(requests)
+        for response, n in zip(responses, sizes):
+            assert response.ok
+            assert response.outputs["u"].shape == (n, n)
+
+
+# ----------------------------------------------------------------------
+# Harness population stacking
+# ----------------------------------------------------------------------
+class TestHarnessStacking:
+    def run_population(self, poisson_program, *, stacking: bool):
+        generate = get_benchmark("poisson").generate
+        harness = ProgramTestHarness(
+            poisson_program, generate, base_seed=11, cost_limit=5e8,
+            stacking=stacking)
+        rng = np.random.default_rng(5)
+        candidates = [Candidate(poisson_program.random_config(rng))
+                      for _ in range(3)]
+        harness.ensure_trials_batch(
+            [(candidate, 15.0, 4) for candidate in candidates])
+        return harness, candidates
+
+    def test_population_trials_match_unstacked(self, poisson_program):
+        stacked_harness, stacked_pop = self.run_population(
+            poisson_program, stacking=True)
+        looped_harness, looped_pop = self.run_population(
+            poisson_program, stacking=False)
+        assert stacked_harness.stacked_calls >= 1
+        assert stacked_harness.stacked_requests >= 2
+        assert looped_harness.stacked_calls == 0
+        assert stacked_harness.trials_executed == \
+            looped_harness.trials_executed
+        for fused, scalar in zip(stacked_pop, looped_pop):
+            fused_trials = fused.results.trials(15.0)
+            scalar_trials = scalar.results.trials(15.0)
+            assert len(fused_trials) == len(scalar_trials) == 4
+            for a, b in zip(fused_trials, scalar_trials):
+                assert a.objective == b.objective
+                assert a.failed == b.failed
+                if min(a.accuracy, b.accuracy) >= 14.0:
+                    # Residual at machine precision: the log10 metric
+                    # amplifies ulp-level differences between the
+                    # batched einsum solve and the scalar loop; both
+                    # values mean "exact to float64".
+                    continue
+                assert a.accuracy == pytest.approx(b.accuracy, rel=1e-9)
