@@ -32,7 +32,15 @@ from repro.runtime.backends import (
     SerialBackend,
     ThreadPoolBackend,
 )
-from repro.serving import ServeRequest, ServingEngine, TunedArtifact
+from repro.runtime.policy import SheddingPolicy
+from repro.serving import (
+    FrontDoor,
+    ServeRequest,
+    ServingEngine,
+    ServingTelemetry,
+    TunedArtifact,
+    latency_summary,
+)
 from repro.suite import get_benchmark
 
 WORKERS = max(2, min(4, os.cpu_count() or 1))
@@ -130,3 +138,189 @@ def test_serving_throughput(benchmark):
               f"p95 {row['p95_latency_ms']:.2f}ms")
         print("BENCH_JSON " + json.dumps(row, sort_keys=True))
     assert all(row["throughput_rps"] > 0 for row in rows)
+
+
+# ----------------------------------------------------------------------
+# Front-door step load: baseline stream -> sharded tier -> overload
+# ----------------------------------------------------------------------
+def _summary_ms(values):
+    p50, p95, p99 = latency_summary(values)
+    return (round(p50 * 1e3, 3), round(p95 * 1e3, 3),
+            round(p99 * 1e3, 3))
+
+
+def _simulate_overloaded_stream(latencies, offered_rps):
+    """Sojourn-time p95 of a single serve_one worker at an offered
+    arrival rate: requests arrive on a fixed cadence and queue behind
+    the one in service — the unsharded engine under open-loop load,
+    without needing a second experiment."""
+    busy = 0.0
+    sojourns = []
+    for index, latency in enumerate(latencies):
+        arrival = index / offered_rps
+        busy = max(busy, arrival) + latency
+        sojourns.append(busy - arrival)
+    return latency_summary(sojourns)[1]
+
+
+def _step_load(tuned, requests):
+    """The four step-load phases; returns one BENCH_JSON row each.
+
+    1. **baseline**: one engine, one request at a time — the per-
+       request stream an unsharded deployment actually sees;
+    2. **sharded**: the same stream dumped through the front door,
+       whose micro-batching coalesces it into stacked executions;
+    3. **overload**: open-loop traffic at 2x the baseline's measured
+       capacity with a deadline — the front door must keep serving
+       (degraded bins allowed, refusals accounted) while the
+       simulated unsharded queue blows far past the deadline;
+    4. **forced shed**: a deliberately tight p95 budget drives the
+       admission controller's shed level up, routing traffic to
+       cheaper bins — degraded-but-served, never silently dropped.
+    """
+    count = len(requests)
+    rows = []
+
+    # -- Phase 1: unsharded serve_one stream --------------------------
+    with ServingEngine() as engine:
+        engine.register("poisson", tuned)
+        engine.serve(requests[:2])  # warm caches outside the clock
+        engine.reset_stats()
+        latencies = []
+        start = time.perf_counter()
+        for request in requests:
+            t0 = time.perf_counter()
+            engine.serve_one(request)
+            latencies.append(time.perf_counter() - t0)
+        elapsed = time.perf_counter() - start
+    single_rps = count / elapsed
+    p50, p95, p99 = _summary_ms(latencies)
+    single_p95 = p95 / 1e3
+    rows.append({"bench": "frontdoor", "phase": "baseline_serve_one",
+                 "shards": 1, "requests": count,
+                 "throughput_rps": round(single_rps, 2),
+                 "p50_latency_ms": p50, "p95_latency_ms": p95,
+                 "p99_latency_ms": p99, "degraded": 0, "rejected": 0,
+                 "expired": 0})
+
+    # -- Phase 2: the same stream through the sharded tier ------------
+    with FrontDoor.build("async:2x1", shard_backend="serial",
+                         shedding=None) as door:
+        door.register("poisson", tuned)
+        start = time.perf_counter()
+        responses = door.serve(requests)
+        elapsed = time.perf_counter() - start
+        stats = door.stats()
+    sharded_rps = count / elapsed
+    assert stats.completed == count
+    assert sum(r.ok for r in responses) \
+        == sum(s.served for s in stats.shard_stats)
+    sharded_p95 = stats.p95_latency
+    rows.append({"bench": "frontdoor", "phase": "sharded_dump",
+                 "shards": stats.shards, "requests": count,
+                 "throughput_rps": round(sharded_rps, 2),
+                 "p50_latency_ms": round(stats.p50_latency * 1e3, 3),
+                 "p95_latency_ms": round(sharded_p95 * 1e3, 3),
+                 "p99_latency_ms": round(stats.p99_latency * 1e3, 3),
+                 "stacked_calls": stats.stacked_calls,
+                 "stacked_requests": stats.stacked_requests,
+                 "degraded": 0, "rejected": 0, "expired": 0})
+
+    # The tentpole claim: >= 2x the unsharded stream's requests/sec at
+    # an equal-or-better p95 (micro-batching into stacked kernels does
+    # the heavy lifting; shards add headroom on multi-core hosts).
+    assert sharded_rps >= 2 * single_rps, \
+        f"front door {sharded_rps:.1f} req/s < 2x single-engine " \
+        f"{single_rps:.1f} req/s"
+    assert sharded_p95 <= single_p95, \
+        f"front door p95 {sharded_p95:.4f}s worse than single-engine " \
+        f"{single_p95:.4f}s"
+
+    # -- Phase 3: open-loop overload at 2x baseline capacity ----------
+    offered_rps = 2 * single_rps
+    deadline = max(0.3, 4 * single_p95)
+    unsharded_p95 = _simulate_overloaded_stream(latencies, offered_rps)
+    assert unsharded_p95 > deadline, \
+        f"overload too gentle: simulated unsharded p95 " \
+        f"{unsharded_p95:.2f}s within deadline {deadline:.2f}s"
+    with FrontDoor.build("async:2x1", shard_backend="serial",
+                         deadline=deadline,
+                         shedding=SheddingPolicy(p95_budget=deadline)
+                         ) as door:
+        door.register("poisson", tuned)
+        futures = []
+        start = time.perf_counter()
+        for index, request in enumerate(requests):
+            pause = start + index / offered_rps - time.perf_counter()
+            if pause > 0:
+                time.sleep(pause)
+            futures.append(door.submit(request))
+        responses = [future.result(60.0) for future in futures]
+        elapsed = time.perf_counter() - start
+        stats = door.stats()
+    assert stats.submitted == count
+    assert stats.completed + stats.rejected + stats.expired == count
+    served_fraction = stats.completed / count
+    refused = [r for r in responses if r.error is not None
+               and ("deadline expired" in r.error
+                    or "rejected" in r.error)]
+    assert len(refused) == stats.rejected + stats.expired
+    assert served_fraction >= 0.95, \
+        f"front door served {served_fraction:.1%} under 2x overload"
+    rows.append({"bench": "frontdoor", "phase": "overload_2x",
+                 "shards": stats.shards, "requests": count,
+                 "offered_rps": round(offered_rps, 2),
+                 "throughput_rps": round(count / elapsed, 2),
+                 "served_fraction": round(served_fraction, 4),
+                 "p50_latency_ms": round(stats.p50_latency * 1e3, 3),
+                 "p95_latency_ms": round(stats.p95_latency * 1e3, 3),
+                 "p99_latency_ms": round(stats.p99_latency * 1e3, 3),
+                 "deadline_ms": round(deadline * 1e3, 1),
+                 "unsharded_sim_p95_ms": round(unsharded_p95 * 1e3, 1),
+                 "degraded": stats.degraded, "rejected": stats.rejected,
+                 "expired": stats.expired,
+                 "shed_level": stats.shed_level})
+
+    # -- Phase 4: force the shed controller with a tight p95 budget ---
+    telemetry = ServingTelemetry()
+    shed_policy = SheddingPolicy(p95_budget=single_p95 / 4)
+    with FrontDoor.build("async:2x1", shard_backend="serial",
+                         shedding=shed_policy,
+                         telemetry=telemetry) as door:
+        door.register("poisson", tuned)
+        # Closed loop: the first completion primes the controller's
+        # latency window, every later admission sees p95 over budget.
+        for request in requests:
+            door.submit(request).result(60.0)
+        stats = door.stats()
+    snapshot = telemetry.shedding("poisson")
+    assert stats.completed == count
+    assert stats.degraded > 0, "tight p95 budget never shed accuracy"
+    assert snapshot.degraded == stats.degraded
+    rows.append({"bench": "frontdoor", "phase": "forced_shed",
+                 "shards": stats.shards, "requests": count,
+                 "p50_latency_ms": round(stats.p50_latency * 1e3, 3),
+                 "p95_latency_ms": round(stats.p95_latency * 1e3, 3),
+                 "p99_latency_ms": round(stats.p99_latency * 1e3, 3),
+                 "degraded": stats.degraded,
+                 "degrade_steps": stats.degrade_steps,
+                 "shed_level": stats.shed_level,
+                 "rejected": stats.rejected, "expired": stats.expired})
+    return rows
+
+
+def test_frontdoor_step_load(benchmark):
+    """Step-load the sharded front door against the serve_one stream
+    (see :func:`_step_load` for the phases and claims)."""
+    tuned = _tuned_via_artifact()
+    requests = _mixed_requests()
+    rows = run_once(benchmark, lambda: _step_load(tuned, requests))
+    print(f"\nFront-door step load ({len(requests)} Poisson requests, "
+          f"{os.cpu_count()} cpus):")
+    for row in rows:
+        rate = row.get("throughput_rps", "-")
+        print(f"  {row['phase']:>20} {rate!s:>9} req/s  "
+              f"p95 {row['p95_latency_ms']:.2f}ms  "
+              f"degraded {row['degraded']} rejected {row['rejected']} "
+              f"expired {row['expired']}")
+        print("BENCH_JSON " + json.dumps(row, sort_keys=True))

@@ -1,0 +1,97 @@
+"""Overload a sharded front door and watch it degrade, not drop.
+
+A variable-accuracy service has an option ordinary services lack:
+because the policy layer knows each accuracy bin's cost and
+statistical guarantee, overload can be absorbed by *shedding accuracy
+instead of requests*.  This example walks that story on the Poisson
+benchmark:
+
+1. tune and deploy once (the `"smoke"` preset), exactly as in
+   `serve_tuned.py`;
+2. stand up a `Service` whose policy names an `"async:2x1"` backend —
+   a `FrontDoor` of two engine shards with bounded queues, a
+   per-request deadline, and shedding watermarks — and serve a calm
+   batch: every response arrives at its nominal bin, `degraded == 0`;
+3. overload the tier with a tight p95 budget: the admission
+   controller's shed level climbs, new traffic is routed to cheaper
+   bins (never below a request's `floor`), and every degraded
+   response says so — telemetry's `SheddingSnapshot` totals what the
+   tier did, and `submitted == completed + rejected + expired` holds.
+
+Run:  python examples/sharded_serving.py
+"""
+
+import tempfile
+
+import numpy as np
+
+from repro.api import Project, Service, ServicePolicy
+from repro.suite import get_benchmark
+
+
+def tune_and_deploy(root: str) -> None:
+    with Project.from_benchmark("poisson") as project:
+        tuned = project.tune("smoke", seed=13, max_input_size=15)
+        deployment = tuned.deploy(root, created_at="example-run")
+    print(f"tuned {tuned.trials_run} trials -> {deployment.path}")
+
+
+def requests_for(service, count: int, *, verify_every: int = 4):
+    spec = get_benchmark("poisson")
+    accuracies = [1.0, 3.0, None, 5.0]
+    rng = np.random.default_rng(7)
+    return [service.request(spec.generate(15, rng), 15.0,
+                            accuracy=accuracies[i % len(accuracies)],
+                            verify=(i % verify_every == 0), seed=i)
+            for i in range(count)]
+
+
+def calm_traffic(root: str) -> None:
+    policy = ServicePolicy(backend="async:2x1", shard_backend="serial",
+                           deadline=5.0)
+    with Service.load(root, program="poisson", policy=policy) as service:
+        responses = service.serve(requests_for(service, 12))
+        assert all(r.degraded == 0 for r in responses)
+        stats = service.stats()
+        print(f"\ncalm: {stats}")
+        print(f"  all {stats.completed} at nominal bins "
+              f"(shed level {stats.shed_level})")
+
+
+def overloaded_traffic(root: str) -> None:
+    # A deliberately tight p95 budget stands in for real queue
+    # pressure: as soon as observed latency crosses it, the admission
+    # controller starts routing traffic to cheaper bins.
+    policy = ServicePolicy(backend="async:2x1", shard_backend="serial",
+                           deadline=0.010, queue_limit=64)
+    with Service.load(root, program="poisson", policy=policy) as service:
+        responses = [service.serve_one(request)
+                     for request in requests_for(service, 12)]
+        for response in responses:
+            note = (f"degraded {response.degraded} bin(s)"
+                    if response.degraded else "nominal")
+            label = ("-" if response.bin_target is None
+                     else f"{response.bin_target:g}")
+            state = "ok" if response.ok else \
+                ("refused" if response.outputs is None else "failed")
+            print(f"  bin {label:>4} {state:>8}  {note}")
+        stats = service.stats()
+        shed = service.telemetry.shedding("poisson")
+        print(f"overloaded: {stats}")
+        print(f"  {shed}")
+        assert stats.completed + stats.rejected + stats.expired \
+            == stats.submitted
+        degraded = sum(1 for r in responses if r.degraded)
+        print(f"  {degraded} of {len(responses)} requests served "
+              f"cheaper instead of dropped")
+
+
+def main():
+    with tempfile.TemporaryDirectory() as root:
+        tune_and_deploy(root)
+        calm_traffic(root)
+        overloaded_traffic(root)
+
+
+if __name__ == "__main__":
+    main()

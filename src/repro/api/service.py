@@ -31,7 +31,12 @@ from repro.autotuner.testing import InputGenerator, ProgramTestHarness
 from repro.autotuner.tuner import TunerSettings
 from repro.compiler.program import CompiledProgram
 from repro.errors import ConfigError
-from repro.runtime.backends import ExecutionBackend, backend_from_spec
+from repro.runtime.backends import (
+    ExecutionBackend,
+    ShardPlan,
+    backend_from_spec,
+)
+from repro.runtime.policy import SheddingPolicy
 from repro.serving.controller import RetuneController
 from repro.serving.engine import (
     DEFAULT_BATCH_SIZE,
@@ -40,6 +45,11 @@ from repro.serving.engine import (
     ServeResponse,
     ServingEngine,
     ServingStats,
+)
+from repro.serving.frontdoor import (
+    DEFAULT_QUEUE_LIMIT,
+    FrontDoor,
+    FrontDoorStats,
 )
 from repro.serving.store import DEFAULT_TAG, ArtifactStore
 from repro.serving.telemetry import (
@@ -60,6 +70,11 @@ class ServicePolicy:
     or :meth:`Service.start_adaptive` is used, and requires ``retune``
     to name tuner settings (a preset name like ``"smoke"`` or a full
     :class:`TunerSettings`) for background retunes.
+
+    A ``backend`` of ``"async:<shards>x<workers>"`` stands up the
+    sharded :class:`~repro.serving.frontdoor.FrontDoor` instead of a
+    single engine; the front-door half (queue bounds, deadline,
+    shedding watermarks) applies only then.
     """
 
     # --- serving -----------------------------------------------------
@@ -70,6 +85,22 @@ class ServicePolicy:
     tag: str = DEFAULT_TAG
     #: Version retention when the service creates the store from a path.
     retain: int | None = None
+    # --- sharded front door ("async:<shards>x<workers>" backend) -----
+    #: Per-shard admission-queue bound.
+    queue_limit: int = DEFAULT_QUEUE_LIMIT
+    #: Per-request deadline in seconds (None = no deadline); also the
+    #: shed controller's p95 budget when shedding is on.
+    deadline: float | None = None
+    #: Seconds an under-filled micro-batch is held open to coalesce.
+    batch_window: float = 0.0
+    #: Override the per-shard backend (e.g. ``"serial"`` on single-core
+    #: hosts); None uses the plan's ``process:<workers>``.
+    shard_backend: str | None = None
+    #: Shed accuracy (cheaper bins) under overload; False only rejects.
+    shedding: bool = True
+    shed_low_watermark: float = 0.25
+    shed_high_watermark: float = 0.75
+    shed_max_level: int = 8
     # --- adaptive loop ----------------------------------------------
     #: Settings for background retunes: a preset name, a TunerSettings,
     #: or None (adaptive loop disabled).
@@ -104,6 +135,42 @@ class ServicePolicy:
                 f"retune_backend must be a spec string (got "
                 f"{type(self.retune_backend).__name__}): each retune "
                 f"builds and closes its own backend")
+        if self.queue_limit < 1:
+            raise ConfigError("queue_limit must be >= 1")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ConfigError("deadline must be positive (or None)")
+        if self.batch_window < 0:
+            raise ConfigError("batch_window must be >= 0")
+        if not (0.0 <= self.shed_low_watermark
+                <= self.shed_high_watermark <= 1.0):
+            raise ConfigError(
+                f"shedding watermarks must satisfy 0 <= low <= high "
+                f"<= 1 (got low={self.shed_low_watermark}, "
+                f"high={self.shed_high_watermark})")
+        if self.shed_max_level < 0:
+            raise ConfigError("shed_max_level must be >= 0")
+
+    def shard_plan(self) -> ShardPlan | None:
+        """The parsed :class:`ShardPlan` when ``backend`` is an
+        ``async:<shards>x<workers>`` spec, else None."""
+        if isinstance(self.backend, str) \
+                and self.backend.strip().lower().startswith("async"):
+            return backend_from_spec(self.backend, allow_sharded=True)
+        return None
+
+    def shedding_policy(self) -> SheddingPolicy | None:
+        """The front door's shed controller (None when disabled).
+
+        The request deadline doubles as the p95 budget: once observed
+        end-to-end p95 approaches the deadline, shedding kicks in
+        *before* requests start expiring.
+        """
+        if not self.shedding:
+            return None
+        return SheddingPolicy(low_watermark=self.shed_low_watermark,
+                              high_watermark=self.shed_high_watermark,
+                              p95_budget=self.deadline,
+                              max_level=self.shed_max_level)
 
     def retune_settings(self) -> TunerSettings:
         if self.retune is None:
@@ -115,20 +182,36 @@ class ServicePolicy:
 
 
 class Service:
-    """A running accuracy-aware service assembled from one policy."""
+    """A running accuracy-aware service assembled from one policy.
 
-    def __init__(self, store: ArtifactStore, engine: ServingEngine,
+    Unsharded, traffic flows through one :attr:`engine`; with an
+    ``async:<shards>x<workers>`` backend it flows through the
+    :attr:`frontdoor` tier instead (``engine`` is then None and
+    :meth:`stats` returns the tier's
+    :class:`~repro.serving.frontdoor.FrontDoorStats`).
+    """
+
+    def __init__(self, store: ArtifactStore,
+                 engine: ServingEngine | None,
                  telemetry: ServingTelemetry, policy: ServicePolicy, *,
+                 frontdoor: FrontDoor | None = None,
                  training_inputs: "InputGenerator | Mapping[str, InputGenerator] | None" = None,
                  log: Callable[[str], None] | None = None):
         self.store = store
         self.engine = engine
+        self.frontdoor = frontdoor
         self.telemetry = telemetry
         self.policy = policy
         self.training_inputs = training_inputs
         self.log = log
         self._controller: RetuneController | None = None
         self._closed = False
+
+    @property
+    def _tier(self) -> "ServingEngine | FrontDoor":
+        """Wherever traffic goes: the front door when sharded."""
+        return self.frontdoor if self.frontdoor is not None \
+            else self.engine
 
     # ------------------------------------------------------------------
     # Assembly
@@ -179,6 +262,21 @@ class Service:
                 "compiled= attaches one program; name exactly one "
                 "(got {})".format(names))
         telemetry = ServingTelemetry(window=policy.telemetry_window)
+        plan = policy.shard_plan()
+        if plan is not None:
+            frontdoor = FrontDoor.build(
+                plan, store=store, shard_backend=policy.shard_backend,
+                batch_size=policy.batch_size, telemetry=telemetry,
+                queue_limit=policy.queue_limit,
+                deadline=policy.deadline,
+                batch_window=policy.batch_window,
+                shedding=policy.shedding_policy())
+            for name in names:
+                frontdoor.register(name, store.load_tuned(
+                    name, policy.tag, compiled=compiled))
+            return cls(store, None, telemetry, policy,
+                       frontdoor=frontdoor,
+                       training_inputs=training_inputs, log=log)
         engine = ServingEngine(
             store=store, backend=backend_from_spec(policy.backend),
             batch_size=policy.batch_size,
@@ -194,10 +292,10 @@ class Service:
     # ------------------------------------------------------------------
     @property
     def programs(self) -> tuple[str, ...]:
-        return self.engine.programs
+        return self._tier.programs
 
     def _default_program(self) -> str:
-        names = self.engine.programs
+        names = self._tier.programs
         if len(names) != 1:
             raise ConfigError(
                 f"service hosts {list(names)}; name the program "
@@ -221,16 +319,16 @@ class Service:
     def serve(self, requests: Sequence[ServeRequest]
               ) -> list[ServeResponse]:
         """Serve a batch; responses align positionally with requests."""
-        return self.engine.serve(requests)
+        return self._tier.serve(requests)
 
     def serve_one(self, request: ServeRequest) -> ServeResponse:
-        return self.engine.serve_one(request)
+        return self._tier.serve([request])[0]
 
     # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
-    def stats(self) -> ServingStats:
-        return self.engine.stats()
+    def stats(self) -> "ServingStats | FrontDoorStats":
+        return self._tier.stats()
 
     def snapshot(self, target: float, program: str | None = None
                  ) -> BinSnapshot:
@@ -300,6 +398,16 @@ class Service:
     def controller(self) -> RetuneController:
         """The retune controller (built on first use)."""
         if self._controller is None:
+            if self.frontdoor is not None:
+                # Scope limit, stated rather than half-working: the
+                # retune controller drives exactly one engine (drift →
+                # shadow → hot_swap); fanning that loop across shards
+                # is future work.  Adapt on an unsharded Service and
+                # deploy the promoted artifacts to the tier.
+                raise ConfigError(
+                    "the adaptive retune loop is not available behind "
+                    "the sharded front door; run it on an unsharded "
+                    "Service over the same store")
             policy = self.policy
             # Fail fast on a missing/bad policy — a crash inside
             # _launch_retunes would otherwise fail every poll tick.
@@ -360,7 +468,7 @@ class Service:
         self._closed = True
         if self._controller is not None:
             self._controller.close()
-        self.engine.close()
+        self._tier.close()
 
     def __enter__(self) -> "Service":
         return self
@@ -369,6 +477,8 @@ class Service:
         self.close()
 
     def __repr__(self) -> str:
-        return (f"Service(programs={list(self.engine.programs)}, "
-                f"backend={self.engine.backend!r}, "
+        tier = (repr(self.frontdoor) if self.frontdoor is not None
+                else repr(self.engine.backend))
+        return (f"Service(programs={list(self._tier.programs)}, "
+                f"tier={tier}, "
                 f"adaptive={self._controller is not None})")

@@ -20,6 +20,8 @@ bit-identical tuning results for a fixed seed; pick by hardware, not
 by semantics.
 """
 
+from dataclasses import dataclass
+
 from repro.runtime.backends.base import (
     ExecutionBackend,
     TrialOutcome,
@@ -40,6 +42,7 @@ __all__ = [
     "SerialBackend",
     "ThreadPoolBackend",
     "ProcessPoolBackend",
+    "ShardPlan",
     "config_digest",
     "execute_trial",
     "backend_from_name",
@@ -53,6 +56,56 @@ _BACKENDS = {
     "process": ProcessPoolBackend,
     "processes": ProcessPoolBackend,
 }
+
+#: The spec forms named by every malformed-spec diagnostic.
+_SPEC_FORMS = ("'serial', 'threads[:N]', 'process[:N]' or "
+               "'async:<shards>x<workers>'")
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Parsed ``async:<shards>x<workers>`` serving spec.
+
+    Not an :class:`ExecutionBackend`: the plan describes a *sharded
+    front door* — ``shards`` engine workers, each wrapping its own
+    process pool of ``workers`` trial executors (process-per-shard
+    over the regular backends).  Serving-tier callers
+    (``repro.api.Service``, ``repro.serving.frontdoor.FrontDoor.build``)
+    expand it into one engine + backend per shard; trial-execution
+    callers reject it (see :func:`backend_from_spec`).
+    """
+
+    shards: int
+    workers: int
+
+    @property
+    def shard_backend_spec(self) -> str:
+        """The per-shard backend spec the plan expands to."""
+        return f"process:{self.workers}"
+
+    def __str__(self) -> str:
+        return f"async:{self.shards}x{self.workers}"
+
+
+def _parse_shard_plan(spec: str, rest: str) -> ShardPlan:
+    """Parse the ``<shards>x<workers>`` tail of an async spec."""
+    from repro.errors import ConfigError
+    shards_text, sep, workers_text = rest.partition("x")
+    if not sep or not shards_text or not workers_text:
+        raise ConfigError(
+            f"async spec {spec!r} needs '<shards>x<workers>' after the "
+            f"colon, e.g. 'async:4x2' for 4 shards of 2 workers each")
+    try:
+        shards, workers = int(shards_text), int(workers_text)
+    except ValueError:
+        raise ConfigError(
+            f"async spec {spec!r}: shard and worker counts must be "
+            f"integers, e.g. 'async:4x2'") from None
+    if shards < 1 or workers < 1:
+        raise ConfigError(
+            f"async spec {spec!r}: shard and worker counts must be "
+            f">= 1")
+    return ShardPlan(shards=shards, workers=workers)
 
 
 def _backend_factory(name: str) -> "type[ExecutionBackend] | None":
@@ -79,8 +132,9 @@ def backend_from_name(name: str, **kwargs) -> ExecutionBackend:
     return factory(**kwargs)
 
 
-def backend_from_spec(spec: "str | ExecutionBackend"
-                      ) -> ExecutionBackend:
+def backend_from_spec(spec: "str | ExecutionBackend", *,
+                      allow_sharded: bool = False
+                      ) -> "ExecutionBackend | ShardPlan":
     """Build a backend from a spec string — the one shared parser.
 
     Specs are ``"<name>"`` or ``"<name>:<workers>"``: ``"serial"``,
@@ -90,6 +144,13 @@ def backend_from_spec(spec: "str | ExecutionBackend"
     every API that takes a spec also takes a hand-built backend.
     Malformed specs raise :class:`~repro.errors.ConfigError` naming
     the accepted forms.
+
+    The ``"async:<shards>x<workers>"`` form describes a sharded
+    serving front door rather than a trial-execution backend; it
+    parses to a :class:`ShardPlan` only when the caller opts in with
+    ``allow_sharded=True`` (serving-tier entry points such as
+    ``repro.api.Service``).  Trial-execution callers reject it with a
+    ``ConfigError`` pointing at the serving tier.
     """
     from repro.errors import ConfigError
     if isinstance(spec, ExecutionBackend):
@@ -100,12 +161,19 @@ def backend_from_spec(spec: "str | ExecutionBackend"
             f"or 'process:4', or an ExecutionBackend instance; got "
             f"{type(spec).__name__}")
     name, sep, count = spec.strip().partition(":")
+    if name.lower() == "async":
+        if not allow_sharded:
+            raise ConfigError(
+                f"backend spec {spec!r} builds a sharded serving front "
+                f"door, not a trial-execution backend; pass it where a "
+                f"serving tier accepts it (e.g. ServicePolicy.backend)")
+        return _parse_shard_plan(spec, count if sep else "")
     factory = _backend_factory(name)
     if factory is None:
         raise ConfigError(
             f"unknown execution backend {name!r} in spec {spec!r}; "
-            f"valid specs are 'serial', 'threads[:N]' or 'process[:N]' "
-            f"(accepted names: {', '.join(_choices())})")
+            f"valid specs are {_SPEC_FORMS} "
+            f"(accepted names: {', '.join(_choices())}, async)")
     if not sep:
         return factory()
     if not count:

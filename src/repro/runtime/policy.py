@@ -32,7 +32,9 @@ from repro.lang.metrics import AccuracyMetric
 
 __all__ = ["BinDecision", "RequestPlan", "select_bin",
            "most_accurate_bin", "escalation_ladder", "plan_request",
-           "PromotionDecision", "judge_shadow"]
+           "PromotionDecision", "judge_shadow",
+           "SheddingPolicy", "update_shed_level",
+           "DegradeDecision", "degrade_request"]
 
 
 @dataclass(frozen=True)
@@ -128,6 +130,133 @@ def plan_request(bins: Sequence[float], metric: AccuracyMetric,
         required = float(start)
     return RequestPlan(ladder=escalation_ladder(bins, metric, start),
                        required=required, fallback=fallback)
+
+
+# ----------------------------------------------------------------------
+# Load shedding: trade accuracy for capacity under overload
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SheddingPolicy:
+    """Watermarks and bounds of the accuracy-shedding controller.
+
+    The serving front door sheds *accuracy*, not requests: when load
+    crosses a watermark, new traffic is routed to cheaper bins (which
+    the policy layer knows cost less and still carry a statistical
+    guarantee) instead of being dropped.  ``fill`` throughout is the
+    fraction of total shard queue capacity in use; ``p95_budget``
+    optionally treats an observed end-to-end p95 above the budget as
+    overload even while queues look healthy.
+
+    The watermark pair is a hysteresis band: the shed level rises only
+    at/above ``high_watermark``, falls only at/below ``low_watermark``,
+    and holds in between — so the controller does not flap around a
+    single threshold.
+    """
+
+    low_watermark: float = 0.25
+    high_watermark: float = 0.75
+    p95_budget: float | None = None
+    max_level: int = 8
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.low_watermark <= self.high_watermark <= 1.0:
+            raise ValueError(
+                f"shedding watermarks must satisfy 0 <= low <= high <= 1 "
+                f"(got low={self.low_watermark}, "
+                f"high={self.high_watermark})")
+        if self.max_level < 0:
+            raise ValueError("max_level must be >= 0")
+        if self.p95_budget is not None and self.p95_budget <= 0:
+            raise ValueError("p95_budget must be positive (or None)")
+
+
+def update_shed_level(level: int, fill: float, policy: SheddingPolicy,
+                      *, p95: float | None = None) -> int:
+    """One controller step: the next shed level given observed load.
+
+    Pure and memoryless beyond ``level`` itself, so it is trivially
+    unit-testable and the front door can call it on every admission.
+    The level moves at most one step per call:
+
+    * **up** when ``fill`` reaches the high watermark or the observed
+      ``p95`` exceeds the policy's budget (overload), capped at
+      ``max_level``;
+    * **down** when ``fill`` is at/below the low watermark and the p95
+      budget (when both are known) is met again, floored at 0;
+    * **held** anywhere in the hysteresis band between the watermarks.
+    """
+    if level < 0:
+        raise ValueError("shed level must be >= 0")
+    hot = fill >= policy.high_watermark or (
+        policy.p95_budget is not None and p95 is not None
+        and p95 > policy.p95_budget)
+    if hot:
+        return min(policy.max_level, level + 1)
+    if fill <= policy.low_watermark and (
+            policy.p95_budget is None or p95 is None
+            or p95 <= policy.p95_budget):
+        return max(0, level - 1)
+    return level
+
+
+@dataclass(frozen=True)
+class DegradeDecision:
+    """Outcome of one accuracy-degradation decision.
+
+    ``target`` is the bin the request should now ask for; ``nominal``
+    is what dynamic bin lookup would have chosen unshedded; ``steps``
+    is how many bins cheaper the target is than the nominal choice.
+    ``floored`` is True when the requested shed level was clipped —
+    by the request's floor bin or by running out of cheaper bins — so
+    callers can observe that shedding hit its limit.
+    """
+
+    target: float
+    steps: int
+    nominal: float
+    floored: bool = False
+
+
+def degrade_request(bins: Sequence[float], metric: AccuracyMetric,
+                    requested: float | None, level: int, *,
+                    floor: float | None = None) -> DegradeDecision:
+    """Shed one request's accuracy by up to ``level`` bins.
+
+    ``bins`` is sorted least- to most-accurate — which, by the paper's
+    frontier construction, is also cheapest- to most-expensive — so
+    *downgrade order is cost order*: each shed step moves exactly one
+    bin toward the cheap end of the ladder.
+
+    The nominal bin is what :func:`select_bin` would serve unshedded
+    (``requested=None`` means the most accurate bin, exactly as
+    :func:`plan_request` treats it).  ``floor`` names the least
+    accuracy the caller will accept under shedding; the request is
+    never degraded below the cheapest bin satisfying it.  A floor no
+    tuned bin satisfies pins the request at its nominal bin — there is
+    nothing the controller may shed.  ``level=0`` always returns the
+    nominal bin unchanged.
+    """
+    if level < 0:
+        raise ValueError("shed level must be >= 0")
+    bins = tuple(bins)
+    if not bins:
+        raise ValueError("no tuned accuracy bins to degrade over")
+    if requested is None:
+        nominal_index = len(bins) - 1
+    else:
+        nominal_index = bins.index(
+            select_bin(bins, metric, requested).target)
+    if floor is None:
+        floor_index = 0
+    else:
+        floor_decision = select_bin(bins, metric, floor)
+        floor_index = (nominal_index if floor_decision.fallback
+                       else bins.index(floor_decision.target))
+    allowed = max(0, nominal_index - floor_index)
+    steps = min(level, allowed)
+    return DegradeDecision(target=bins[nominal_index - steps],
+                           steps=steps, nominal=bins[nominal_index],
+                           floored=steps < level)
 
 
 # ----------------------------------------------------------------------

@@ -11,6 +11,10 @@ bin-selection and verify-escalation decisions as single-call
 :meth:`~repro.runtime.executor.TunedProgram.run`
 (:mod:`repro.runtime.policy` is shared by both), and supports atomic
 :meth:`~ServingEngine.hot_swap` plus shadow deployments.
+:class:`FrontDoor` scales that to a tier: engine workers sharded per
+the ``async:<shards>x<workers>`` spec, bounded queues, per-request
+deadlines, micro-batching into the stacked execution path, and
+accuracy-aware load shedding under overload.
 
 :class:`ServingTelemetry` + :class:`DriftDetector` observe served
 accuracy per bin against each artifact's stored statistical guarantee,
@@ -33,12 +37,15 @@ from repro.serving.engine import (
     ServingStats,
     ShadowStatus,
 )
+from repro.serving.frontdoor import FrontDoor, FrontDoorStats
 from repro.serving.store import DEFAULT_TAG, ArtifactStore, StoreStats
 from repro.serving.telemetry import (
     BinSnapshot,
     DriftDetector,
     DriftEvent,
     ServingTelemetry,
+    SheddingSnapshot,
+    latency_summary,
     percentile,
 )
 
@@ -55,11 +62,15 @@ __all__ = [
     "ServingStats",
     "ShadowStatus",
     "ServingEngine",
+    "FrontDoor",
+    "FrontDoorStats",
     "ServingTelemetry",
     "BinSnapshot",
+    "SheddingSnapshot",
     "DriftDetector",
     "DriftEvent",
     "RetuneController",
     "RetuneStatus",
     "percentile",
+    "latency_summary",
 ]

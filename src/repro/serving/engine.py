@@ -51,7 +51,7 @@ from repro.runtime.executor import TunedProgram
 from repro.runtime.guarantees import StatisticalGuarantee
 from repro.runtime.policy import plan_request
 from repro.serving.store import DEFAULT_TAG, ArtifactStore
-from repro.serving.telemetry import ServingTelemetry, percentile
+from repro.serving.telemetry import ServingTelemetry, latency_summary
 
 __all__ = ["ServeRequest", "ServeResponse", "ServingStats",
            "ShadowStatus", "ServingEngine"]
@@ -72,6 +72,13 @@ class ServeRequest:
     check with escalation.  ``seed`` feeds the program's execution RNG
     exactly as ``TunedProgram.run(seed=...)`` does, so a served
     request reproduces the single-call result bit for bit.
+
+    ``floor`` is read only by the front door's load-shedding
+    controller (:mod:`repro.serving.frontdoor`): under overload the
+    request may be degraded to a cheaper bin, but never below the
+    cheapest bin satisfying ``floor``.  ``None`` permits degradation
+    down to the cheapest tuned bin; the engine itself ignores the
+    field.
     """
 
     program: str
@@ -80,11 +87,19 @@ class ServeRequest:
     accuracy: float | None = None
     verify: bool = False
     seed: int = 0
+    floor: float | None = None
 
 
 @dataclass
 class ServeResponse:
-    """What the engine returns for one request."""
+    """What the engine returns for one request.
+
+    ``degraded`` is stamped by the front door's shedding controller:
+    the number of bins this request was shed below its nominal choice
+    before execution (0 on the direct engine path and at shed level
+    0), so degraded-but-served traffic is observable per response,
+    never silent.
+    """
 
     program: str
     ok: bool
@@ -97,6 +112,7 @@ class ServeResponse:
     escalations: int = 0
     latency: float = 0.0
     error: str | None = None
+    degraded: int = 0
 
 
 @dataclass(frozen=True)
@@ -112,6 +128,9 @@ class ServingStats:
     p50_latency: float
     p95_latency: float
     backend: str
+    #: Nearest-rank p99 over the same latency window; 0.0 while the
+    #: window is empty (a shard that has not completed a request yet).
+    p99_latency: float = 0.0
     shadow_executions: int = 0
     swaps: int = 0
     #: Fused stacked executions (and the requests they covered) — see
@@ -130,7 +149,8 @@ class ServingStats:
                 f"{self.stacked_calls} fused calls, "
                 f"{self.swaps} swaps, "
                 f"p50 {self.p50_latency * 1e3:.2f}ms, "
-                f"p95 {self.p95_latency * 1e3:.2f}ms")
+                f"p95 {self.p95_latency * 1e3:.2f}ms, "
+                f"p99 {self.p99_latency * 1e3:.2f}ms")
 
 
 @dataclass(frozen=True)
@@ -618,14 +638,14 @@ class ServingEngine:
         with self._lock:
             counters = dict(self._counters)
             latencies = list(self._latencies)
+        p50, p95, p99 = latency_summary(latencies)
         return ServingStats(
             requests=counters["requests"], served=counters["served"],
             errors=counters["errors"],
             escalations=counters["escalations"],
             fallbacks=counters["fallbacks"],
             executions=counters["executions"],
-            p50_latency=percentile(latencies, 0.50),
-            p95_latency=percentile(latencies, 0.95),
+            p50_latency=p50, p95_latency=p95, p99_latency=p99,
             backend=self.backend.name,
             shadow_executions=counters["shadow_executions"],
             swaps=counters["swaps"],

@@ -1,0 +1,548 @@
+"""The sharded, load-shedding serving front door.
+
+One :class:`~repro.serving.engine.ServingEngine` is a single
+in-process object; the front door turns it into a *tier*.  Programs
+are sharded across several engine workers (one backend each — the
+``async:<shards>x<workers>`` spec expands to a process pool per
+shard), traffic flows through bounded per-shard queues, and each
+shard drains its queue in micro-batches so the PR-6 stacked execution
+path sees large same-bin waves even when callers submit one request
+at a time.
+
+The unique lever of a variable-accuracy system is that the policy
+layer already knows each bin's cost *and* statistical guarantee, so
+under overload the front door sheds **accuracy instead of requests**:
+
+* an admission controller tracks queue fill and recent end-to-end
+  p95 and steps a shed level up/down through the pure
+  :func:`~repro.runtime.policy.update_shed_level` hysteresis
+  controller;
+* at shed level *L*, new traffic is routed up to *L* bins cheaper
+  than its nominal dynamic-bin-lookup choice via
+  :func:`~repro.runtime.policy.degrade_request` — never below the
+  request's ``floor`` bin — and every degraded response is stamped
+  (``ServeResponse.degraded``) rather than silently cheapened;
+* only when every shard queue is full is a request rejected, and
+  requests whose deadline passes while queued get an explicit
+  deadline-expired error response — both outcomes are counted, so
+  ``submitted == completed + rejected + expired`` always holds.
+
+Telemetry records the realized accuracy of degraded traffic in the
+cheaper bin's rolling window (where the
+:class:`~repro.serving.telemetry.DriftDetector` already watches it)
+plus lifetime shed/degrade counters per program
+(:class:`~repro.serving.telemetry.SheddingSnapshot`), so the adaptive
+layer sees the *true* served distribution.
+
+Internally the front door runs one asyncio event loop on a daemon
+thread.  Admission and all counters live on that thread (no locks);
+blocking ``engine.serve`` calls run on a thread pool with one slot
+per shard, so shards execute concurrently while the loop keeps
+admitting.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from repro.errors import ConfigError, ReproError
+from repro.runtime.backends import ShardPlan, backend_from_spec
+from repro.runtime.policy import (
+    SheddingPolicy,
+    degrade_request,
+    update_shed_level,
+)
+from repro.runtime.executor import TunedProgram
+from repro.serving.engine import (
+    DEFAULT_BATCH_SIZE,
+    ServeRequest,
+    ServeResponse,
+    ServingEngine,
+    ServingStats,
+)
+from repro.serving.store import DEFAULT_TAG, ArtifactStore
+from repro.serving.telemetry import ServingTelemetry, latency_summary
+
+__all__ = ["FrontDoor", "FrontDoorStats"]
+
+#: Default bound on each shard's admission queue.
+DEFAULT_QUEUE_LIMIT = 256
+
+#: End-to-end latency samples the shed controller looks back over.
+#: Small on purpose: the controller must react to the *current*
+#: overload, not a long healthy history.
+RECENT_WINDOW = 128
+
+#: Bound on the end-to-end latency reservoir behind stats().
+LATENCY_WINDOW = 4096
+
+#: Queue sentinel that tells a shard worker to finish and exit.
+_CLOSE = object()
+
+
+@dataclass
+class _Item:
+    """One admitted request waiting in a shard queue."""
+
+    request: ServeRequest
+    degraded: int                    # bins shed at admission
+    arrival: float                   # monotonic admission time
+    deadline: float | None           # absolute monotonic deadline
+    future: "concurrent.futures.Future[ServeResponse]"
+
+
+@dataclass(frozen=True)
+class FrontDoorStats:
+    """Point-in-time snapshot of the tier.
+
+    ``submitted == completed + rejected + expired`` holds whenever the
+    tier is drained (every admitted request resolves exactly one way).
+    ``shard_stats`` carries each shard engine's own
+    :class:`~repro.serving.engine.ServingStats`; the aggregate
+    properties sum them.  Latency percentiles here are *end-to-end*
+    (admission to response, queueing included) — each shard's own
+    stats keep the execution-only view.
+    """
+
+    shards: int
+    submitted: int
+    completed: int
+    rejected: int
+    expired: int
+    degraded: int
+    degrade_steps: int
+    shed_level: int
+    queued: int
+    p50_latency: float
+    p95_latency: float
+    p99_latency: float
+    shard_stats: tuple[ServingStats, ...] = field(default_factory=tuple)
+
+    @property
+    def served(self) -> int:
+        return sum(s.served for s in self.shard_stats)
+
+    @property
+    def errors(self) -> int:
+        return sum(s.errors for s in self.shard_stats)
+
+    @property
+    def escalations(self) -> int:
+        return sum(s.escalations for s in self.shard_stats)
+
+    @property
+    def fallbacks(self) -> int:
+        return sum(s.fallbacks for s in self.shard_stats)
+
+    @property
+    def executions(self) -> int:
+        return sum(s.executions for s in self.shard_stats)
+
+    @property
+    def stacked_calls(self) -> int:
+        return sum(s.stacked_calls for s in self.shard_stats)
+
+    @property
+    def stacked_requests(self) -> int:
+        return sum(s.stacked_requests for s in self.shard_stats)
+
+    def __str__(self) -> str:
+        return (f"{self.submitted} submitted across {self.shards} "
+                f"shards ({self.completed} completed, "
+                f"{self.rejected} rejected, {self.expired} expired), "
+                f"{self.degraded} degraded by {self.degrade_steps} "
+                f"bin-steps, shed level {self.shed_level}, "
+                f"{self.queued} queued, "
+                f"p50 {self.p50_latency * 1e3:.2f}ms, "
+                f"p95 {self.p95_latency * 1e3:.2f}ms, "
+                f"p99 {self.p99_latency * 1e3:.2f}ms end-to-end")
+
+
+class FrontDoor:
+    """Async sharded serving tier over per-shard
+    :class:`~repro.serving.engine.ServingEngine` workers.
+
+    ``engines`` supplies one engine per shard (use :meth:`build` to
+    expand an ``async:<shards>x<workers>`` spec).  ``queue_limit``
+    bounds each shard's admission queue; ``max_batch`` bounds how many
+    queued requests one drain hands to ``engine.serve`` (where
+    same-bin requests fuse into stacked executions);
+    ``batch_window`` optionally holds an under-filled batch open for
+    that many seconds so trickling traffic still coalesces;
+    ``deadline`` (seconds) expires requests still queued past it.
+    ``shedding`` enables the accuracy-shedding admission controller;
+    ``None`` disables shedding entirely (overload then only rejects).
+
+    Requests enter through :meth:`submit` (a future per request, from
+    any thread) or the synchronous :meth:`serve`.  Admission never
+    blocks the caller: a request is queued, degraded, or rejected in
+    one event-loop callback.
+    """
+
+    def __init__(self, engines: Sequence[ServingEngine], *,
+                 queue_limit: int = DEFAULT_QUEUE_LIMIT,
+                 max_batch: int = DEFAULT_BATCH_SIZE,
+                 batch_window: float = 0.0,
+                 deadline: float | None = None,
+                 shedding: SheddingPolicy | None = None,
+                 telemetry: ServingTelemetry | None = None):
+        engines = list(engines)
+        if not engines:
+            raise ConfigError("a front door needs at least one shard "
+                              "engine")
+        if queue_limit < 1:
+            raise ConfigError("queue_limit must be >= 1")
+        if max_batch < 1:
+            raise ConfigError("max_batch must be >= 1")
+        if batch_window < 0:
+            raise ConfigError("batch_window must be >= 0")
+        if deadline is not None and deadline <= 0:
+            raise ConfigError("deadline must be positive (or None)")
+        self._engines = engines
+        self.queue_limit = queue_limit
+        self.max_batch = max_batch
+        self.batch_window = batch_window
+        self.deadline = deadline
+        self.shedding = shedding
+        self.telemetry = telemetry
+
+        # Everything below is mutated only on the event-loop thread,
+        # so admission and accounting need no locks.  stats() reads
+        # from other threads; int/deque reads are atomic under the GIL.
+        count = len(engines)
+        self._queues: list[asyncio.Queue] = [asyncio.Queue()
+                                             for _ in range(count)]
+        # Depths tracked manually (not Queue bounds): the close
+        # sentinel must always fit, and a full shard must *reject* at
+        # admission instead of blocking the loop.
+        self._depths = [0] * count
+        self._rr = 0
+        self._shed_level = 0
+        self._submitted = 0
+        self._completed = 0
+        self._rejected = 0
+        self._expired = 0
+        self._degraded = 0
+        self._degrade_steps = 0
+        self._latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
+        self._recent: deque[float] = deque(maxlen=RECENT_WINDOW)
+        self._closed = False
+
+        self._pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=count, thread_name_prefix="repro-shard")
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(target=self._loop.run_forever,
+                                        name="repro-frontdoor",
+                                        daemon=True)
+        self._thread.start()
+        self._workers = [
+            asyncio.run_coroutine_threadsafe(self._worker(shard),
+                                             self._loop)
+            for shard in range(count)]
+
+    # ------------------------------------------------------------------
+    # Construction from a ShardPlan
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, plan: "ShardPlan | str", *,
+              store: ArtifactStore | None = None,
+              shard_backend: str | None = None,
+              batch_size: int = DEFAULT_BATCH_SIZE,
+              telemetry: ServingTelemetry | None = None,
+              **kwargs) -> "FrontDoor":
+        """Expand an ``async:<shards>x<workers>`` spec into a tier.
+
+        One :class:`ServingEngine` is built per shard, each with its
+        own backend (``plan.shard_backend_spec``, i.e. a
+        ``process:<workers>`` pool — override with ``shard_backend``,
+        e.g. ``"serial"`` for tests and single-core hosts).  All
+        shards share ``store`` and ``telemetry``; remaining keyword
+        arguments go to :class:`FrontDoor` itself.
+        """
+        if isinstance(plan, str):
+            plan = backend_from_spec(plan, allow_sharded=True)
+        if not isinstance(plan, ShardPlan):
+            raise ConfigError(
+                f"FrontDoor.build needs an 'async:<shards>x<workers>' "
+                f"spec or ShardPlan; got {plan!r}")
+        spec = (shard_backend if shard_backend is not None
+                else plan.shard_backend_spec)
+        engines = [ServingEngine(store=store,
+                                 backend=backend_from_spec(spec),
+                                 batch_size=batch_size,
+                                 telemetry=telemetry)
+                   for _ in range(plan.shards)]
+        kwargs.setdefault("max_batch", batch_size)
+        return cls(engines, telemetry=telemetry, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Program registry passthroughs (fan out to every shard)
+    # ------------------------------------------------------------------
+    def register(self, name: str, tuned: TunedProgram) -> None:
+        """Serve ``tuned`` under ``name`` on every shard."""
+        for engine in self._engines:
+            engine.register(name, tuned)
+
+    def hot_swap(self, name: str, tuned: TunedProgram) -> None:
+        """Atomically replace ``name`` on every shard."""
+        for engine in self._engines:
+            engine.hot_swap(name, tuned)
+
+    def program_for(self, name: str, tag: str = DEFAULT_TAG
+                    ) -> TunedProgram:
+        return self._engines[0].program_for(name, tag)
+
+    @property
+    def programs(self) -> tuple[str, ...]:
+        return self._engines[0].programs
+
+    @property
+    def shards(self) -> int:
+        return len(self._engines)
+
+    @property
+    def shard_engines(self) -> tuple[ServingEngine, ...]:
+        return tuple(self._engines)
+
+    @property
+    def shed_level(self) -> int:
+        return self._shed_level
+
+    # ------------------------------------------------------------------
+    # Admission (event-loop thread)
+    # ------------------------------------------------------------------
+    def submit(self, request: ServeRequest
+               ) -> "concurrent.futures.Future[ServeResponse]":
+        """Admit one request; the future resolves to its response.
+
+        Callable from any thread.  The future *always* resolves to a
+        :class:`ServeResponse` — rejected and deadline-expired
+        requests resolve to explicit error responses, never silent
+        drops or exceptions.
+        """
+        if self._closed:
+            raise RuntimeError("front door is closed")
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        self._loop.call_soon_threadsafe(self._admit, request, future,
+                                        time.monotonic())
+        return future
+
+    def serve(self, requests: Sequence[ServeRequest]
+              ) -> list[ServeResponse]:
+        """Submit a batch and wait; responses align positionally."""
+        futures = [self.submit(request) for request in requests]
+        return [future.result() for future in futures]
+
+    def _admit(self, request: ServeRequest,
+               future: concurrent.futures.Future,
+               arrival: float) -> None:
+        """One admission decision: shed, enqueue, or reject."""
+        self._submitted += 1
+        if self._closed:
+            self._reject(request, future,
+                         "rejected: front door is closed")
+            return
+        degraded = 0
+        if self.shedding is not None:
+            fill = (sum(self._depths)
+                    / (len(self._engines) * self.queue_limit))
+            p95 = (latency_summary(list(self._recent))[1]
+                   if self._recent else None)
+            self._shed_level = update_shed_level(
+                self._shed_level, fill, self.shedding, p95=p95)
+            if self._shed_level > 0:
+                request, degraded = self._degrade(request,
+                                                  self._shed_level)
+        shard = self._pick_shard()
+        if shard is None:
+            self._reject(request, future,
+                         "rejected: all shard queues full")
+            return
+        deadline = (None if self.deadline is None
+                    else arrival + self.deadline)
+        self._depths[shard] += 1
+        self._queues[shard].put_nowait(_Item(
+            request=request, degraded=degraded, arrival=arrival,
+            deadline=deadline, future=future))
+
+    def _degrade(self, request: ServeRequest, level: int
+                 ) -> tuple[ServeRequest, int]:
+        """Shed ``request`` by up to ``level`` bins (floor-bounded)."""
+        try:
+            tuned = self._engines[0].program_for(request.program)
+            decision = degrade_request(
+                tuned.bins, tuned.metric, request.accuracy, level,
+                floor=request.floor)
+        except ReproError:
+            # Unknown/unloadable program: admit unchanged and let the
+            # shard engine produce its usual explicit error response.
+            return request, 0
+        if decision.steps == 0:
+            return request, 0
+        self._degraded += 1
+        self._degrade_steps += decision.steps
+        if self.telemetry is not None:
+            self.telemetry.record_shedding(request.program, degraded=1,
+                                           steps=decision.steps)
+        return (replace(request, accuracy=decision.target),
+                decision.steps)
+
+    def _pick_shard(self) -> int | None:
+        """Round-robin over shards, skipping full queues."""
+        count = len(self._engines)
+        for offset in range(count):
+            shard = (self._rr + offset) % count
+            if self._depths[shard] < self.queue_limit:
+                self._rr = (shard + 1) % count
+                return shard
+        return None
+
+    def _reject(self, request: ServeRequest,
+                future: concurrent.futures.Future,
+                message: str) -> None:
+        self._rejected += 1
+        if self.telemetry is not None:
+            self.telemetry.record_shedding(request.program, rejected=1)
+        _resolve(future, _refusal(request, message))
+
+    # ------------------------------------------------------------------
+    # Shard workers (event-loop thread; engine.serve on the pool)
+    # ------------------------------------------------------------------
+    async def _worker(self, shard: int) -> None:
+        queue = self._queues[shard]
+        engine = self._engines[shard]
+        while True:
+            item = await queue.get()
+            if item is _CLOSE:
+                return
+            batch = [item]
+            closing = self._drain(queue, batch)
+            if (self.batch_window > 0 and not closing
+                    and len(batch) < self.max_batch):
+                # Hold the under-filled batch open one window so a
+                # trickle of single submissions still coalesces into
+                # one stacked execution.
+                await asyncio.sleep(self.batch_window)
+                closing = self._drain(queue, batch)
+            self._depths[shard] -= len(batch)
+            live = self._expire(batch)
+            if live:
+                requests = [entry.request for entry in live]
+                responses = await self._loop.run_in_executor(
+                    self._pool, engine.serve, requests)
+                done = time.monotonic()
+                for entry, response in zip(live, responses):
+                    response.degraded = entry.degraded
+                    elapsed = done - entry.arrival
+                    self._latencies.append(elapsed)
+                    self._recent.append(elapsed)
+                    self._completed += 1
+                    _resolve(entry.future, response)
+            if closing:
+                return
+
+    def _drain(self, queue: asyncio.Queue, batch: list) -> bool:
+        """Pull ready items into ``batch`` up to ``max_batch``; True
+        when the close sentinel was drained."""
+        while len(batch) < self.max_batch:
+            try:
+                item = queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return False
+            if item is _CLOSE:
+                return True
+            batch.append(item)
+        return False
+
+    def _expire(self, batch: list) -> list:
+        """Resolve deadline-expired items with explicit error
+        responses (counted, never silently dropped); return the rest."""
+        now = time.monotonic()
+        live = []
+        for item in batch:
+            if item.deadline is not None and now > item.deadline:
+                self._expired += 1
+                if self.telemetry is not None:
+                    self.telemetry.record_shedding(
+                        item.request.program, expired=1)
+                _resolve(item.future, _refusal(
+                    item.request,
+                    f"deadline expired after "
+                    f"{now - item.arrival:.3f}s in queue "
+                    f"(deadline {self.deadline:g}s)"))
+            else:
+                live.append(item)
+        return live
+
+    # ------------------------------------------------------------------
+    # Stats & lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> FrontDoorStats:
+        p50, p95, p99 = latency_summary(list(self._latencies))
+        return FrontDoorStats(
+            shards=len(self._engines),
+            submitted=self._submitted,
+            completed=self._completed,
+            rejected=self._rejected,
+            expired=self._expired,
+            degraded=self._degraded,
+            degrade_steps=self._degrade_steps,
+            shed_level=self._shed_level,
+            queued=sum(self._depths),
+            p50_latency=p50, p95_latency=p95, p99_latency=p99,
+            shard_stats=tuple(engine.stats()
+                              for engine in self._engines))
+
+    def close(self) -> None:
+        """Drain queued traffic, stop the loop, close every shard.
+
+        Requests already admitted are served; the close sentinel sits
+        behind them in each FIFO queue, so workers finish real work
+        first.  Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for queue in self._queues:
+            self._loop.call_soon_threadsafe(queue.put_nowait, _CLOSE)
+        concurrent.futures.wait(self._workers, timeout=60.0)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10.0)
+        self._pool.shutdown(wait=True)
+        for engine in self._engines:
+            engine.close()
+        self._loop.close()
+
+    def __enter__(self) -> "FrontDoor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"FrontDoor(shards={len(self._engines)}, "
+                f"queue_limit={self.queue_limit}, "
+                f"max_batch={self.max_batch}, "
+                f"deadline={self.deadline}, "
+                f"shedding={self.shedding!r})")
+
+
+def _refusal(request: ServeRequest, message: str) -> ServeResponse:
+    """An explicit never-executed error response (reject/expire)."""
+    return ServeResponse(
+        program=request.program, ok=False, outputs=None,
+        bin_target=None, requested_accuracy=request.accuracy,
+        achieved_accuracy=None, guarantee=None, error=message)
+
+
+def _resolve(future: concurrent.futures.Future,
+             response: ServeResponse) -> None:
+    """Resolve ``future`` unless the caller already cancelled it."""
+    if not future.done():
+        future.set_result(response)

@@ -38,7 +38,8 @@ from repro.runtime.guarantees import (
     statistical_guarantee,
 )
 
-__all__ = ["percentile", "BinSnapshot", "ServingTelemetry",
+__all__ = ["percentile", "latency_summary", "BinSnapshot",
+           "SheddingSnapshot", "ServingTelemetry",
            "DriftEvent", "DriftDetector"]
 
 #: Default bound on each (program, bin) rolling window.
@@ -58,6 +59,27 @@ def percentile(values: Sequence[float], fraction: float) -> float:
     ordered = sorted(values)
     rank = max(1, min(len(ordered), math.ceil(fraction * len(ordered))))
     return ordered[rank - 1]
+
+
+def latency_summary(values: Sequence[float]
+                    ) -> tuple[float, float, float]:
+    """``(p50, p95, p99)`` of one latency window, sorted once.
+
+    An *empty* window — a fresh engine, or a front-door shard
+    reporting stats before its first completed request — summarises to
+    zeros instead of raising, so dashboards and aggregators can always
+    poll.  Non-empty windows use the same nearest-rank definition as
+    :func:`percentile`.
+    """
+    if not values:
+        return (0.0, 0.0, 0.0)
+    ordered = sorted(values)
+    count = len(ordered)
+
+    def rank(fraction: float) -> float:
+        return ordered[max(1, min(count, math.ceil(fraction * count))) - 1]
+
+    return (rank(0.50), rank(0.95), rank(0.99))
 
 
 @dataclass(frozen=True)
@@ -83,6 +105,30 @@ class BinSnapshot:
                 f"{self.errors} err, mean accuracy {acc} over "
                 f"{self.samples} samples, {self.fallbacks} fallbacks, "
                 f"p95 {self.p95_latency * 1e3:.2f}ms")
+
+
+@dataclass(frozen=True)
+class SheddingSnapshot:
+    """Lifetime load-shedding counters for one program.
+
+    Recorded by the serving front door so the adaptive layer sees the
+    *true* served distribution: ``degraded`` requests were served at a
+    cheaper bin than their nominal choice (their realized accuracy
+    lands in that cheaper bin's rolling window, where the
+    :class:`DriftDetector` already watches it), while ``rejected`` and
+    ``expired`` requests never executed at all.
+    """
+
+    program: str
+    degraded: int = 0       # served at a cheaper bin than nominal
+    degrade_steps: int = 0  # total bins shed across degraded requests
+    rejected: int = 0       # admission-refused: every shard queue full
+    expired: int = 0        # deadline passed while queued
+
+    def __str__(self) -> str:
+        return (f"{self.program}: {self.degraded} degraded "
+                f"({self.degrade_steps} bin steps), "
+                f"{self.rejected} rejected, {self.expired} expired")
 
 
 class _BinWindow:
@@ -115,6 +161,9 @@ class ServingTelemetry:
         self.window = window
         self._lock = threading.Lock()
         self._bins: dict[tuple[str, float], _BinWindow] = {}
+        # Lifetime shed/degrade counters per program, keyed as
+        # [degraded, degrade_steps, rejected, expired].
+        self._shedding: dict[str, list[int]] = {}
 
     # ------------------------------------------------------------------
     # Recording (the serve-path hot call)
@@ -155,6 +204,20 @@ class ServingTelemetry:
                 if accuracy is not None:
                     entry.accuracies.append(float(accuracy))
                 entry.latencies.append(float(latency))
+
+    def record_shedding(self, program: str, *, degraded: int = 0,
+                        steps: int = 0, rejected: int = 0,
+                        expired: int = 0) -> None:
+        """Fold front-door shed/degrade events into ``program``'s
+        lifetime counters (see :class:`SheddingSnapshot`)."""
+        with self._lock:
+            entry = self._shedding.get(program)
+            if entry is None:
+                entry = self._shedding[program] = [0, 0, 0, 0]
+            entry[0] += degraded
+            entry[1] += steps
+            entry[2] += rejected
+            entry[3] += expired
 
     # ------------------------------------------------------------------
     # Reading
@@ -208,6 +271,15 @@ class ServingTelemetry:
                     if program is None or key[0] == program]
         return [self.snapshot(name, target) for name, target in keys]
 
+    def shedding(self, program: str) -> SheddingSnapshot:
+        """Lifetime shed/degrade counters for ``program`` (zeros when
+        the front door never shed its traffic)."""
+        with self._lock:
+            entry = self._shedding.get(program, (0, 0, 0, 0))
+            return SheddingSnapshot(program=program, degraded=entry[0],
+                                    degrade_steps=entry[1],
+                                    rejected=entry[2], expired=entry[3])
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -217,9 +289,11 @@ class ServingTelemetry:
         with self._lock:
             if program is None:
                 self._bins.clear()
+                self._shedding.clear()
             else:
                 for key in [k for k in self._bins if k[0] == program]:
                     del self._bins[key]
+                self._shedding.pop(program, None)
 
     def __repr__(self) -> str:
         with self._lock:

@@ -32,10 +32,11 @@ from repro.lang.tunables import accuracy_variable
 from repro.runtime.backends import (
     ProcessPoolBackend,
     SerialBackend,
+    ShardPlan,
     ThreadPoolBackend,
     backend_from_spec,
 )
-from repro.serving import ArtifactStore
+from repro.serving import ArtifactStore, FrontDoorStats
 
 # ----------------------------------------------------------------------
 # A cheap variable-accuracy transform built by a module-level factory,
@@ -262,6 +263,37 @@ class TestBackendSpec:
     def test_non_string_rejected(self):
         with pytest.raises(ConfigError, match="spec"):
             backend_from_spec(7)
+
+    # --- the async:<shards>x<workers> serving form -------------------
+    def test_async_spec_requires_opt_in(self):
+        # Trial-execution callers must not receive a ShardPlan where
+        # an ExecutionBackend is expected.
+        with pytest.raises(ConfigError, match="serving front door"):
+            backend_from_spec("async:4x2")
+
+    def test_async_spec_parses_with_opt_in(self):
+        plan = backend_from_spec("async:4x2", allow_sharded=True)
+        assert plan == ShardPlan(shards=4, workers=2)
+        assert plan.shard_backend_spec == "process:2"
+        assert str(plan) == "async:4x2"
+
+    @pytest.mark.parametrize("spec, match", [
+        ("async", "<shards>x<workers>"),
+        ("async:", "<shards>x<workers>"),
+        ("async:4", "<shards>x<workers>"),
+        ("async:x2", "<shards>x<workers>"),
+        ("async:axb", "integers"),
+        ("async:0x2", ">= 1"),
+        ("async:2x0", ">= 1"),
+    ])
+    def test_bad_async_specs_raise_config_error(self, spec, match):
+        with pytest.raises(ConfigError, match=match):
+            backend_from_spec(spec, allow_sharded=True)
+
+    def test_unknown_spec_error_lists_async_form(self):
+        with pytest.raises(ConfigError,
+                           match="async:<shards>x<workers>"):
+            backend_from_spec("warp:4")
 
 
 # ----------------------------------------------------------------------
@@ -575,3 +607,64 @@ class TestService:
             snap = service.snapshot(0.9)
             assert snap.served == 5
             assert snap.samples == 5
+
+
+# ----------------------------------------------------------------------
+# Sharded service (async backend -> FrontDoor tier)
+# ----------------------------------------------------------------------
+class TestShardedService:
+    @pytest.mark.parametrize("kwargs, match", [
+        (dict(queue_limit=0), "queue_limit"),
+        (dict(deadline=0.0), "deadline"),
+        (dict(batch_window=-0.1), "batch_window"),
+        (dict(shed_low_watermark=0.9, shed_high_watermark=0.1),
+         "watermark"),
+        (dict(shed_max_level=-1), "shed_max_level"),
+    ])
+    def test_policy_validation(self, kwargs, match):
+        with pytest.raises(ConfigError, match=match):
+            ServicePolicy(**kwargs)
+
+    def test_shard_plan_helper(self):
+        assert ServicePolicy(backend="async:2x1").shard_plan() \
+            == ShardPlan(shards=2, workers=1)
+        assert ServicePolicy().shard_plan() is None
+        assert ServicePolicy(backend="process:2").shard_plan() is None
+
+    def test_shedding_policy_uses_deadline_as_p95_budget(self):
+        policy = ServicePolicy(deadline=0.5)
+        assert policy.shedding_policy().p95_budget == 0.5
+        assert ServicePolicy(shedding=False).shedding_policy() is None
+
+    def test_async_backend_builds_front_door(self, deployed_store):
+        store, handle = deployed_store
+        tuned = handle.tuned_program()
+        rng = np.random.default_rng(3)
+        policy = ServicePolicy(backend="async:2x1",
+                               shard_backend="serial")
+        with Service.load(store, program="apimean",
+                          policy=policy) as service:
+            assert service.engine is None
+            assert service.frontdoor is not None
+            assert service.frontdoor.shards == 2
+            assert service.programs == ("apimean",)
+            inputs = {"xs": rng.normal(10.0, 1.0, size=32)}
+            response = service.serve_one(service.request(
+                inputs, 32, accuracy=0.9, seed=6))
+            assert response.ok
+            direct = tuned.run(inputs, 32, accuracy=0.9, seed=6)
+            assert response.outputs == direct.outputs
+            assert response.bin_target == direct.bin_target
+            stats = service.stats()
+            assert isinstance(stats, FrontDoorStats)
+            assert stats.submitted == stats.completed == 1
+
+    def test_adaptive_loop_unavailable_when_sharded(self,
+                                                    deployed_store):
+        store, _ = deployed_store
+        policy = ServicePolicy(backend="async:2x1",
+                               shard_backend="serial", retune="smoke")
+        with Service.load(store, program="apimean", policy=policy,
+                          training_inputs=apimean_inputs) as service:
+            with pytest.raises(ConfigError, match="front door"):
+                service.poll()

@@ -1,0 +1,362 @@
+"""The sharded serving front door (repro.serving.frontdoor).
+
+Four contracts are enforced here:
+
+* **Equivalence** — a 104-request mixed-accuracy workload through the
+  front door at low load is response-identical to the direct
+  ``ServingEngine`` path (same bins, outputs, escalation and fallback
+  accounting), shard count notwithstanding.
+* **Explicit refusal** — deadline-expired and queue-rejected requests
+  resolve to explicit error responses and are counted; nothing is
+  silently dropped (``submitted == completed + rejected + expired``).
+* **Accuracy shedding** — under a forced shed level, traffic is routed
+  to cheaper bins in cost order, stamped ``degraded``, and never below
+  a request's floor bin.
+* **Empty-window stats** — a shard that has not completed a request
+  yet reports zeros, not a crash.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.lang.metrics import AccuracyMetric
+from repro.runtime.backends import ShardPlan, backend_from_spec
+from repro.runtime.policy import SheddingPolicy
+from repro.serving import (
+    FrontDoor,
+    ServeRequest,
+    ServeResponse,
+    ServingEngine,
+    ServingStats,
+    ServingTelemetry,
+    latency_summary,
+)
+
+from tests.test_backends import tune_pickmean
+from tests.test_serving import mixed_requests
+
+HIGHER = AccuracyMetric(lambda outputs, inputs: 0.0, "higher")
+
+
+# ----------------------------------------------------------------------
+# Doubles: a duck-typed shard engine with a controllable gate
+# ----------------------------------------------------------------------
+class FakeTuned:
+    bins = (0.5, 0.9, 0.99)
+    metric = HIGHER
+
+
+class GateEngine:
+    """Shard-engine double whose ``serve`` blocks on a gate.
+
+    Lets tests hold a shard busy (to queue traffic behind it
+    deterministically) and inspect exactly which requests — at which
+    accuracies and batch sizes — reached execution.
+    """
+
+    def __init__(self, *, open_gate: bool = False):
+        self.gate = threading.Event()
+        self.started = threading.Event()
+        self.batches: list[list[ServeRequest]] = []
+        if open_gate:
+            self.gate.set()
+
+    def serve(self, requests):
+        self.started.set()
+        assert self.gate.wait(10.0), "test gate never released"
+        self.batches.append(list(requests))
+        return [ServeResponse(
+            program=request.program, ok=True, outputs={"est": 1.0},
+            bin_target=request.accuracy, requested_accuracy=request.accuracy,
+            achieved_accuracy=1.0, guarantee=None)
+            for request in requests]
+
+    def program_for(self, name, tag=None):
+        return FakeTuned()
+
+    @property
+    def programs(self):
+        return ("fake",)
+
+    def stats(self):
+        return ServingStats(requests=0, served=0, errors=0,
+                            escalations=0, fallbacks=0, executions=0,
+                            p50_latency=0.0, p95_latency=0.0,
+                            backend="fake")
+
+    def close(self):
+        pass
+
+
+def fake_request(accuracy=0.99, floor=None):
+    return ServeRequest(program="fake", inputs={}, n=8.0,
+                        accuracy=accuracy, floor=floor)
+
+
+# ----------------------------------------------------------------------
+# Equivalence with the direct engine path
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def tuned():
+    _, result = tune_pickmean()
+    return result.tuned_program()
+
+
+class TestFrontDoorEquivalence:
+    def test_104_requests_match_direct_engine(self, tuned):
+        requests = mixed_requests(104)
+        with ServingEngine() as engine:
+            engine.register("pickmean", tuned)
+            direct = engine.serve(requests)
+        with FrontDoor.build("async:3x1", shard_backend="serial",
+                             shedding=None) as door:
+            door.register("pickmean", tuned)
+            responses = door.serve(requests)
+            stats = door.stats()
+
+        assert len(responses) == len(requests)
+        for mine, reference in zip(responses, direct):
+            assert mine.ok == reference.ok
+            assert mine.bin_target == reference.bin_target
+            assert mine.fallback == reference.fallback
+            assert mine.escalations == reference.escalations
+            assert mine.achieved_accuracy == reference.achieved_accuracy
+            if mine.ok:
+                assert mine.outputs["est"] == reference.outputs["est"]
+            assert mine.degraded == 0
+
+        # Full accounting: every request completed, nothing refused.
+        assert stats.shards == 3
+        assert stats.submitted == 104
+        assert stats.completed == 104
+        assert stats.rejected == stats.expired == 0
+        assert stats.shed_level == 0 and stats.degraded == 0
+        # The tier's aggregate matches what its shards served.
+        assert stats.served + stats.errors == 104
+
+    def test_low_load_spreads_across_shards(self, tuned):
+        with FrontDoor.build("async:2x1", shard_backend="serial",
+                             shedding=None) as door:
+            door.register("pickmean", tuned)
+            door.serve(mixed_requests(16))
+            per_shard = [s.requests for s in door.stats().shard_stats]
+        assert all(count > 0 for count in per_shard)
+
+
+# ----------------------------------------------------------------------
+# Construction
+# ----------------------------------------------------------------------
+class TestBuild:
+    def test_spec_expands_to_shards(self):
+        with FrontDoor.build("async:4x2", shard_backend="serial") as door:
+            assert door.shards == 4
+            assert len(door.shard_engines) == 4
+
+    def test_plan_accepted_directly(self):
+        with FrontDoor.build(ShardPlan(shards=2, workers=1),
+                             shard_backend="serial") as door:
+            assert door.shards == 2
+
+    def test_non_async_spec_rejected(self):
+        with pytest.raises(ConfigError, match="async"):
+            FrontDoor.build("process:2")
+
+    def test_plan_default_backend_is_process_pool(self):
+        plan = backend_from_spec("async:2x3", allow_sharded=True)
+        assert plan.shard_backend_spec == "process:3"
+
+    def test_needs_at_least_one_shard(self):
+        with pytest.raises(ConfigError, match="shard"):
+            FrontDoor([])
+
+    @pytest.mark.parametrize("kwargs, match", [
+        (dict(queue_limit=0), "queue_limit"),
+        (dict(max_batch=0), "max_batch"),
+        (dict(batch_window=-0.1), "batch_window"),
+        (dict(deadline=0.0), "deadline"),
+    ])
+    def test_bad_bounds_rejected(self, kwargs, match):
+        with pytest.raises(ConfigError, match=match):
+            FrontDoor([GateEngine()], **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Deadlines, rejection, and accounting — nothing is silently dropped
+# ----------------------------------------------------------------------
+class TestRefusalAccounting:
+    def test_deadline_expiry_is_explicit(self):
+        engine = GateEngine()
+        telemetry = ServingTelemetry()
+        door = FrontDoor([engine], deadline=0.05, shedding=None,
+                         telemetry=telemetry)
+        try:
+            # First request drains immediately and blocks the shard;
+            # the second waits in queue past its deadline.
+            first = door.submit(fake_request())
+            assert engine.started.wait(5.0)
+            second = door.submit(fake_request())
+            time.sleep(0.15)
+            engine.gate.set()
+
+            assert first.result(5.0).ok
+            refused = second.result(5.0)
+            assert not refused.ok
+            assert "deadline expired" in refused.error
+            assert refused.outputs is None
+
+            stats = door.stats()
+            assert stats.submitted == 2
+            assert stats.completed == 1
+            assert stats.expired == 1
+            assert stats.rejected == 0
+            assert telemetry.shedding("fake").expired == 1
+        finally:
+            door.close()
+
+    def test_full_queues_reject(self):
+        engine = GateEngine()
+        telemetry = ServingTelemetry()
+        door = FrontDoor([engine], queue_limit=2, shedding=None,
+                         telemetry=telemetry)
+        try:
+            in_flight = door.submit(fake_request())
+            assert engine.started.wait(5.0)
+            queued = [door.submit(fake_request()) for _ in range(2)]
+            overflow = door.submit(fake_request())
+
+            refused = overflow.result(5.0)  # resolves *before* release
+            assert not refused.ok
+            assert "queues full" in refused.error
+
+            engine.gate.set()
+            assert in_flight.result(5.0).ok
+            assert all(f.result(5.0).ok for f in queued)
+
+            stats = door.stats()
+            assert stats.submitted == 4
+            assert stats.completed == 3
+            assert stats.rejected == 1
+            assert stats.completed + stats.rejected + stats.expired \
+                == stats.submitted
+            assert telemetry.shedding("fake").rejected == 1
+        finally:
+            door.close()
+
+    def test_queued_requests_coalesce_into_one_batch(self):
+        engine = GateEngine()
+        door = FrontDoor([engine], shedding=None)
+        try:
+            first = door.submit(fake_request())
+            assert engine.started.wait(5.0)
+            rest = [door.submit(fake_request()) for _ in range(5)]
+            engine.gate.set()
+            first.result(5.0)
+            for future in rest:
+                future.result(5.0)
+            # One blocked head-of-line request, then the five queued
+            # behind it drain as a single micro-batch.
+            assert [len(b) for b in engine.batches] == [1, 5]
+        finally:
+            door.close()
+
+
+# ----------------------------------------------------------------------
+# Accuracy shedding through the admission controller
+# ----------------------------------------------------------------------
+def always_hot(max_level):
+    """A policy whose high watermark is 0: every admission is overload,
+    so the shed level climbs one step per request — deterministic
+    without real queue pressure."""
+    return SheddingPolicy(low_watermark=0.0, high_watermark=0.0,
+                          max_level=max_level)
+
+
+class TestShedding:
+    def test_degrades_in_cost_order_and_stamps_responses(self):
+        engine = GateEngine(open_gate=True)
+        telemetry = ServingTelemetry()
+        door = FrontDoor([engine], shedding=always_hot(2),
+                         telemetry=telemetry)
+        try:
+            responses = [door.submit(fake_request(0.99)).result(5.0)
+                         for _ in range(3)]
+            # Level climbs 1 → 2 → 2 (capped): one bin cheaper, then
+            # two, in least-accurate-first (= cheapest-first) order.
+            executed = [batch[0].accuracy for batch in engine.batches]
+            assert executed == [0.9, 0.5, 0.5]
+            assert [r.degraded for r in responses] == [1, 2, 2]
+            assert door.shed_level == 2
+
+            snapshot = telemetry.shedding("fake")
+            assert snapshot.degraded == 3
+            assert snapshot.degrade_steps == 5
+            stats = door.stats()
+            assert stats.degraded == 3 and stats.degrade_steps == 5
+        finally:
+            door.close()
+
+    def test_floor_bin_is_respected(self):
+        engine = GateEngine(open_gate=True)
+        door = FrontDoor([engine], shedding=always_hot(8))
+        try:
+            door.submit(fake_request(0.99)).result(5.0)  # level now 1
+            floored = door.submit(
+                fake_request(0.99, floor=0.9)).result(5.0)
+            unfloored = door.submit(fake_request(0.99)).result(5.0)
+            assert engine.batches[1][0].accuracy == 0.9  # not below floor
+            assert floored.degraded == 1
+            assert engine.batches[2][0].accuracy == 0.5
+            assert unfloored.degraded == 2
+        finally:
+            door.close()
+
+    def test_shedding_disabled_never_degrades(self):
+        engine = GateEngine(open_gate=True)
+        door = FrontDoor([engine], shedding=None)
+        try:
+            response = door.submit(fake_request(0.99)).result(5.0)
+            assert response.degraded == 0
+            assert engine.batches[0][0].accuracy == 0.99
+        finally:
+            door.close()
+
+
+# ----------------------------------------------------------------------
+# Stats on empty windows; lifecycle
+# ----------------------------------------------------------------------
+class TestStatsAndLifecycle:
+    def test_empty_latency_summary_is_zero(self):
+        assert latency_summary([]) == (0.0, 0.0, 0.0)
+
+    def test_fresh_engine_stats_do_not_raise(self):
+        # Regression: a shard reporting before its first completed
+        # request must summarise to zeros, not crash on an empty
+        # window.
+        stats = ServingEngine().stats()
+        assert (stats.p50_latency, stats.p95_latency,
+                stats.p99_latency) == (0.0, 0.0, 0.0)
+
+    def test_fresh_frontdoor_stats_do_not_raise(self):
+        door = FrontDoor([GateEngine()], shedding=None)
+        try:
+            stats = door.stats()
+            assert stats.submitted == 0
+            assert (stats.p50_latency, stats.p95_latency,
+                    stats.p99_latency) == (0.0, 0.0, 0.0)
+            assert str(stats)  # renders without traffic too
+        finally:
+            door.close()
+
+    def test_close_is_idempotent_and_final(self):
+        engine = GateEngine(open_gate=True)
+        door = FrontDoor([engine], shedding=None)
+        assert door.submit(fake_request()).result(5.0).ok
+        door.close()
+        door.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            door.submit(fake_request())
