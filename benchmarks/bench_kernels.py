@@ -239,3 +239,46 @@ class TestBatchedThroughput:
             lambda: [_vcycle(zero[i], f[i], n, h)
                      for i in range(BATCH)],
             n=n)
+
+
+# ----------------------------------------------------------------------
+# float32-vs-float64 throughput gate
+# ----------------------------------------------------------------------
+#: Batched float32 SOR must beat float64 by this factor at B=32 — the
+#: memory-bandwidth payoff the ``precision()`` tunable is priced on
+#: (half the bytes per sweep on a bandwidth-bound kernel).
+PRECISION_FLOOR = 1.3
+
+
+class TestPrecisionThroughput:
+    def test_batched_float32_sor_beats_float64(self, rng):
+        n = 127
+        f64 = rng.normal(size=(BATCH, n, n))
+        f32 = f64.astype(np.float32)
+        u64 = np.zeros_like(f64)
+        u32 = np.zeros_like(f32)
+        h = 1.0 / (n + 1)
+
+        def run64():
+            sor_poisson_2d(u64, f64, h, 1.5, 10)
+
+        def run32():
+            sor_poisson_2d(u32, f32, h, 1.5, 10)
+
+        for _ in range(2):  # warm both paths
+            run64()
+            run32()
+        float64_s = _best_seconds(run64)
+        float32_s = _best_seconds(run32)
+        speedup = float64_s / float32_s
+        out, _ = sor_poisson_2d(u32, f32, h, 1.5, 1)
+        assert out.dtype == np.float32  # the kernel preserves dtype
+        row = {"bench": "kernels", "kernel": "sor_poisson_2d_float32",
+               "batch": BATCH, "n": n,
+               "float64_s": round(float64_s, 6),
+               "float32_s": round(float32_s, 6),
+               "speedup": round(speedup, 2)}
+        print("BENCH_JSON " + json.dumps(row, sort_keys=True))
+        assert speedup >= PRECISION_FLOOR, (
+            f"batched float32 SOR ran {speedup:.2f}x float64 at "
+            f"B={BATCH}, below the {PRECISION_FLOOR:.1f}x gate")

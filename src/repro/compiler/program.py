@@ -193,6 +193,34 @@ class CompiledProgram:
                 f"root transform {self.root!r} has no accuracy metric")
         return metric.compute(outputs, inputs)
 
+    def instance_dtype(self, instance: Instance, config: Configuration,
+                       n: float) -> np.dtype | None:
+        """Configured working dtype of ``instance``, or None.
+
+        None when the transform declares no ``precision()`` tunable or
+        the configuration predates the precision dimension (a stored
+        artifact tuned before the tunable existed) — both mean "leave
+        input dtypes alone".
+        """
+        param = instance.transform.precision_param
+        if param is None:
+            return None
+        key = instance.key(param.name)
+        if key not in config:
+            return None
+        return param.dtype(config.lookup(key, n))
+
+    def configured_dtype(self, config: Configuration, n: float
+                         ) -> np.dtype | None:
+        """Root instance's configured working dtype, or None.
+
+        The stacked-execution grouping key: requests whose configs
+        agree on this dtype (and everything else in the digest) may be
+        fused into one stacked call.
+        """
+        return self.instance_dtype(
+            self.instance(f"{self.root}@main"), config, float(n))
+
     # ------------------------------------------------------------------
     # Instance execution (also entered by ExecutionContext.call)
     # ------------------------------------------------------------------
@@ -206,10 +234,26 @@ class CompiledProgram:
         if missing:
             raise ExecutionError(
                 f"instance {prefix!r}: missing inputs {missing}")
+        dtype = self.instance_dtype(instance, config, n)
         ctx = ExecutionContext(self, instance, config, n, rng, cost, trace,
-                               depth)
+                               depth, dtype=dtype)
         data: dict[str, Any] = {name: inputs[name]
                                 for name in transform.inputs}
+        if dtype is not None:
+            # The precision() contract: cast this instance's floating
+            # array inputs to the configured working dtype.  Each
+            # instance resolves its own namespaced entry when sub-calls
+            # re-enter here, so per-transform mixed precision (float32
+            # smoothing under float64 residual checks) falls out.
+            cast = []
+            for name, value in data.items():
+                if isinstance(value, np.ndarray) and \
+                        np.issubdtype(value.dtype, np.floating) and \
+                        value.dtype != dtype:
+                    data[name] = value.astype(dtype)
+                    cast.append(name)
+            trace.record("precision", depth, instance=prefix,
+                         dtype=dtype.name, cast=tuple(cast), n=n)
         for group in instance.schedule:
             if group.is_choice_site:
                 index = ctx.choose(group.site_name, len(group.rules))

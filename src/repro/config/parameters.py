@@ -14,6 +14,12 @@ paper's configuration files (Section 5.2):
   sizes); mutated by log-normal scaling.
 * :class:`SwitchParam` — a single value drawn from a small finite set
   (storage strategies, iteration orders); mutated uniformly at random.
+
+:class:`PrecisionParam` is a :class:`SwitchParam` whose choices name
+floating-point dtypes (``"float32"``/``"float64"``): the executor casts
+an instance's inputs to the configured dtype before running its rules,
+so the autotuner can trade numeric precision for speed under the same
+statistical accuracy guarantees as any algorithmic choice.
 """
 
 from __future__ import annotations
@@ -31,8 +37,33 @@ __all__ = [
     "SizeValueParam",
     "ScalarParam",
     "SwitchParam",
+    "PrecisionParam",
     "ParameterSpace",
+    "PRECISION_DTYPES",
+    "precision_dtype",
 ]
+
+#: Floating-point dtypes a :class:`PrecisionParam` may name.  The keys
+#: are the canonical spellings accepted by ``precision()`` in the DSL.
+PRECISION_DTYPES: Mapping[str, np.dtype] = {
+    "float32": np.dtype(np.float32),
+    "float64": np.dtype(np.float64),
+}
+
+
+def precision_dtype(name: Any) -> np.dtype:
+    """Resolve a configured precision entry to a numpy dtype.
+
+    Raises :class:`ConfigError` listing the valid choices for anything
+    outside :data:`PRECISION_DTYPES` — the config-layer counterpart of
+    the DSL-level ``precision()`` validation.
+    """
+    try:
+        return PRECISION_DTYPES[name]
+    except (KeyError, TypeError):
+        valid = ", ".join(sorted(PRECISION_DTYPES))
+        raise ConfigError(
+            f"unknown precision {name!r}; valid choices: {valid}") from None
 
 
 @dataclass(frozen=True)
@@ -163,6 +194,34 @@ class SwitchParam:
 
     def default_entry(self) -> Any:
         return self.default if self.default is not None else self.choices[0]
+
+
+@dataclass(frozen=True)
+class PrecisionParam(SwitchParam):
+    """A switch over floating-point dtype names (``precision()`` in the DSL).
+
+    Behaves exactly like a :class:`SwitchParam` for mutation, sampling,
+    validation and JSON round-tripping; the executor additionally casts
+    the owning instance's floating inputs to the configured dtype before
+    running its rules, and scales abstract cost by the dtype's relative
+    width (float32 ops count half a float64 op — the bandwidth model the
+    stacked kernels follow).  The subclass name appears in the dataclass
+    repr, so adding a precision dimension changes
+    :meth:`ParameterSpace.digest`.
+    """
+
+    def __post_init__(self):
+        super().__post_init__()
+        for choice in self.choices:
+            if choice not in PRECISION_DTYPES:
+                valid = ", ".join(sorted(PRECISION_DTYPES))
+                raise ConfigError(
+                    f"precision {self.name!r}: unknown dtype {choice!r}; "
+                    f"valid choices: {valid}")
+
+    def dtype(self, value: Any) -> np.dtype:
+        """The numpy dtype a configured entry names."""
+        return precision_dtype(value)
 
 
 Param = ChoiceSiteParam | SizeValueParam | ScalarParam | SwitchParam

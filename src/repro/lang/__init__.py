@@ -42,6 +42,7 @@ from repro.lang.tunables import (
     for_enough,
     cutoff,
     switch,
+    precision,
 )
 from repro.lang.diagnostics import Diagnostic, Diagnostics, SourceLocation
 from repro.lang.metrics import AccuracyMetric
@@ -65,6 +66,7 @@ __all__ = [
     "for_enough",
     "cutoff",
     "switch",
+    "precision",
     "TunableDecl",
     "Diagnostic",
     "Diagnostics",

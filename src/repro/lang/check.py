@@ -22,7 +22,7 @@ from repro.errors import ReproError
 from repro.lang.diagnostics import Diagnostics
 from repro.lang.transform import Transform
 
-__all__ = ["describe", "check", "main"]
+__all__ = ["describe", "check", "check_example_file", "main"]
 
 
 def _resolve_program(target, extras: Sequence[Transform] = ()):
@@ -147,17 +147,88 @@ def check(target, extras: Sequence[Transform] = ()) -> Diagnostics:
     return _checked_resolve(target, extras)[1]
 
 
+def check_example_file(path) -> tuple[Diagnostics, int]:
+    """Import one example file and validate its declarations.
+
+    Importing the module runs every module-level ``@transform``
+    declaration through the batched-diagnostics lowering; each
+    module-level :class:`Transform` is then compiled with the others as
+    extras (so cross-transform call sites resolve).  Returns
+    ``(diagnostics, transforms_checked)`` — an import failure outside
+    the declaration machinery is reported as a single entry rather than
+    raised, matching :func:`check`'s shape.
+    """
+    import importlib.util
+    import os
+
+    stem = os.path.splitext(os.path.basename(path))[0]
+    diagnostics = Diagnostics()
+    try:
+        spec = importlib.util.spec_from_file_location(
+            f"_repro_example_check_{stem}", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+    except ReproError as exc:
+        collected = getattr(exc, "diagnostics", None)
+        if isinstance(collected, Diagnostics):
+            diagnostics.extend(collected)
+        else:
+            diagnostics.error(str(exc))
+        return diagnostics, 0
+    except Exception as exc:  # import-time breakage is a failure too
+        diagnostics.error(f"import failed: {exc!r}")
+        return diagnostics, 0
+    transforms = [value for value in vars(module).values()
+                  if isinstance(value, Transform)]
+    for root in transforms:
+        extras = tuple(other for other in transforms if other is not root)
+        diagnostics.extend(check(root, extras))
+    return diagnostics, len(transforms)
+
+
+def _check_examples(directory, log: Callable[[str], None]) -> int:
+    import os
+
+    paths = sorted(entry for entry in os.listdir(directory)
+                   if entry.endswith(".py"))
+    failures = 0
+    for entry in paths:
+        diagnostics, count = check_example_file(
+            os.path.join(directory, entry))
+        if diagnostics:
+            failures += 1
+            log(f"examples/{entry}: FAILED")
+            for line in diagnostics.render().splitlines():
+                log(f"  {line}")
+            continue
+        noun = "transform" if count == 1 else "transforms"
+        log(f"examples/{entry}: ok ({count} module-level {noun})")
+    return failures
+
+
 def main(argv: "Sequence[str] | None" = None,
          log: Callable[[str], None] = print) -> int:
     """Check every registered benchmark (or the ones named in argv).
 
     The CI ``check`` smoke step: prints one summary line per clean
     benchmark, the full rendered diagnostics for a broken one, and
-    returns the number of failures.
+    returns the number of failures.  ``--examples <dir>`` additionally
+    imports every ``.py`` file in ``dir`` and validates its
+    module-level transform declarations the same way.
     """
     from repro.suite.registry import all_benchmarks
 
-    names = list(argv) if argv else sorted(all_benchmarks())
+    args = list(argv) if argv else []
+    example_dirs: list[str] = []
+    while "--examples" in args:
+        index = args.index("--examples")
+        try:
+            example_dirs.append(args[index + 1])
+        except IndexError:
+            log("--examples requires a directory argument")
+            return 1
+        del args[index:index + 2]
+    names = args if args else sorted(all_benchmarks())
     failures = 0
     for name in names:
         program, diagnostics = _checked_resolve(name)
@@ -170,6 +241,8 @@ def main(argv: "Sequence[str] | None" = None,
         log(f"{name}: ok ({len(program.instances)} instances, "
             f"{len(program.space)} parameters, digest "
             f"{program.space.digest()})")
+    for directory in example_dirs:
+        failures += _check_examples(directory, log)
     return failures
 
 

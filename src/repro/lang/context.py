@@ -35,12 +35,13 @@ class ExecutionContext:
     """Runtime services available to rule bodies."""
 
     __slots__ = ("program", "instance", "config", "n", "rng", "cost",
-                 "trace", "depth")
+                 "trace", "depth", "dtype", "cost_scale")
 
     def __init__(self, program: "CompiledProgram", instance: "Instance",
                  config: "Configuration", n: float,
                  rng: np.random.Generator, cost: CostAccumulator,
-                 trace: ExecutionTrace, depth: int = 0):
+                 trace: ExecutionTrace, depth: int = 0,
+                 dtype: np.dtype | None = None):
         self.program = program
         self.instance = instance
         self.config = config
@@ -49,6 +50,15 @@ class ExecutionContext:
         self.cost = cost
         self.trace = trace
         self.depth = depth
+        #: Configured working precision of this instance, or None when
+        #: the transform declares no precision() tunable.
+        self.dtype = dtype
+        # Abstract cost counts float64-equivalent operations; narrower
+        # dtypes cost proportionally less (the bandwidth model —
+        # float32 moves half the bytes).  itemsize/8 is an exact power
+        # of two, so scaled integer op counts stay exact and the
+        # stacked path's cost/B recovery remains bit-identical.
+        self.cost_scale = 1.0 if dtype is None else dtype.itemsize / 8.0
 
     # ------------------------------------------------------------------
     # Tunable access
@@ -145,8 +155,13 @@ class ExecutionContext:
     # Accounting / tracing
     # ------------------------------------------------------------------
     def add_cost(self, units: float) -> None:
-        """Account ``units`` of abstract work (see runtime.timing)."""
-        self.cost.add(units)
+        """Account ``units`` of abstract work (see runtime.timing).
+
+        Units are float64-equivalent operations; under a configured
+        narrower precision they are scaled down by the dtype's relative
+        width (×1.0 when no precision is configured — bit-exact).
+        """
+        self.cost.add(units * self.cost_scale)
 
     def record(self, kind: str, **payload: Any) -> None:
         """Record a domain-specific trace event (e.g. a relaxation)."""

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.config.parameters import (
+    PrecisionParam,
     ScalarParam,
     SizeValueParam,
     SwitchParam,
@@ -108,6 +109,10 @@ class Transform:
             self.accuracy_bins = ()
 
         self.tunables: list[SizeValueParam | ScalarParam | SwitchParam] = []
+        #: The transform's precision() tunable, if declared (at most
+        #: one: the executor casts *all* the instance's floating inputs
+        #: per its entry, so a second would be ambiguous).
+        self.precision_param: PrecisionParam | None = None
         seen: set[str] = set()
         for tunable in tunables:
             if isinstance(tunable, TunableDecl):
@@ -119,6 +124,7 @@ class Transform:
                 raise LanguageError(
                     f"transform {name!r}: duplicate tunable {tunable.name!r}")
             seen.add(tunable.name)
+            self._track_precision(tunable)
             self.tunables.append(tunable)
 
         self.call_sites: dict[str, CallSite] = {}
@@ -179,7 +185,18 @@ class Transform:
             raise LanguageError(
                 f"transform {self.name!r}: duplicate tunable "
                 f"{tunable.name!r}")
+        self._track_precision(tunable)
         self.tunables.append(tunable)
+
+    def _track_precision(self, tunable) -> None:
+        if isinstance(tunable, PrecisionParam):
+            if self.precision_param is not None:
+                raise LanguageError(
+                    f"transform {self.name!r}: a second precision() "
+                    f"tunable {tunable.name!r} (already declared: "
+                    f"{self.precision_param.name!r}); a transform has "
+                    f"one working precision")
+            self.precision_param = tunable
 
     # ------------------------------------------------------------------
     # Introspection used by the compiler

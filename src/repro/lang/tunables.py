@@ -13,6 +13,10 @@ These are thin, intention-revealing wrappers over the parameter kinds in
   by log-normal scaling (Section 5.4).
 * :func:`switch` — small finite choices (storage, iteration order),
   mutated uniformly at random.
+* :func:`precision` — the transform's floating-point working precision
+  (``"float32"``/``"float64"``): the executor casts the instance's
+  floating inputs to the configured dtype, so precision becomes one
+  more axis the autotuner trades against accuracy.
 
 Each constructor takes its ``name`` first, but the name is *optional*:
 inside an ``@repro.lang.transform``-decorated class body the attribute
@@ -30,12 +34,13 @@ from __future__ import annotations
 
 from typing import Any, Callable, Sequence
 
-from repro.config.parameters import ScalarParam, SizeValueParam, SwitchParam
+from repro.config.parameters import (PRECISION_DTYPES, PrecisionParam,
+                                     ScalarParam, SizeValueParam, SwitchParam)
 from repro.errors import LanguageError
 from repro.lang.diagnostics import SourceLocation
 
 __all__ = ["accuracy_variable", "for_enough", "cutoff", "switch",
-           "TunableDecl"]
+           "precision", "TunableDecl"]
 
 
 class TunableDecl:
@@ -181,4 +186,42 @@ def switch(name: str | None = None,
 
     if name is None:
         return TunableDecl("switch", build)
+    return build(name)
+
+
+def precision(name: str | None = None,
+              choices: Sequence[str] = ("float64", "float32"),
+              default: str = "float64", *,
+              affects_accuracy: bool = True
+              ) -> "PrecisionParam | TunableDecl":
+    """Declare the transform's floating-point working precision.
+
+    The executor casts the instance's floating inputs to the configured
+    dtype before running its rules, and each instance resolves its own
+    entry — so a caller can smooth in float32 while its callee checks
+    residuals in float64 (per-transform mixed precision).  Defaults to
+    ``affects_accuracy=True``: dropping precision plainly can change
+    result accuracy, and the statistical guarantee machinery must know.
+    """
+
+    def build(bound_name: str) -> PrecisionParam:
+        choice_tuple = tuple(choices)
+        unknown = [c for c in choice_tuple if c not in PRECISION_DTYPES]
+        if unknown:
+            valid = ", ".join(sorted(PRECISION_DTYPES))
+            listed = ", ".join(repr(c) for c in unknown)
+            raise LanguageError(
+                f"precision {bound_name!r}: unknown dtype"
+                f"{'s' if len(unknown) > 1 else ''} {listed}; "
+                f"valid choices: {valid}")
+        if default is not None and default not in choice_tuple:
+            raise LanguageError(
+                f"precision {bound_name!r}: default {default!r} is not "
+                f"one of the declared choices {choice_tuple!r}")
+        return PrecisionParam(name=bound_name, choices=choice_tuple,
+                              default=default,
+                              affects_accuracy=affects_accuracy)
+
+    if name is None:
+        return TunableDecl("precision", build)
     return build(name)

@@ -18,11 +18,17 @@ updates become whole-batch numpy calls), and the solve broadcasts a
 stacked factor against a stacked ``(..., size)`` right-hand side — the
 common serving case is one shared factor applied to a wave of B
 right-hand sides.  Operation counts scale by the number of slices.
+
+Input floating dtypes are preserved end to end (a float32 band yields
+a float32 factor and solution); non-floating inputs are promoted to
+float64.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.linalg.dtypes import as_float
 
 __all__ = ["banded_cholesky_factor", "banded_cholesky_solve"]
 
@@ -41,7 +47,7 @@ def banded_cholesky_factor(band: np.ndarray) -> tuple[np.ndarray, float]:
     :class:`numpy.linalg.LinAlgError` if any slice's pivot is not
     positive (matrix not positive definite).
     """
-    band = np.array(band, dtype=float)
+    band = np.array(as_float(band))  # copy: factored in place
     bandwidth = band.shape[-2] - 1
     size = band.shape[-1]
     ops = 0.0
@@ -75,10 +81,10 @@ def banded_cholesky_solve(factor: np.ndarray, b: np.ndarray
     factor solves a stacked wave of right-hand sides in single
     vectorized substitution sweeps.
     """
-    factor = np.asarray(factor, dtype=float)
+    factor = as_float(factor)
     bandwidth = factor.shape[-2] - 1
     size = factor.shape[-1]
-    x = np.array(b, dtype=float)
+    x = np.array(as_float(b))  # copy: substituted in place
     if x.shape[-1:] != (size,):
         raise ValueError(
             f"b must have shape (..., {size}), got {x.shape}")

@@ -6,6 +6,12 @@ counts locate any subset of eigenvalues to full precision in
 O(m log(1/eps)) each, and inverse iteration recovers the matching
 eigenvectors — much cheaper than a full QR sweep when only the top k
 of 2n eigenpairs are needed.
+
+Input floating dtypes are preserved end to end (float32 stays
+float32); non-floating inputs are promoted to float64.  Tolerances and
+divide-by-zero safeguards scale with the working dtype's precision —
+the float64 constants are kept bit-identical, float32 widens them to
+what the dtype can resolve.
 """
 
 from __future__ import annotations
@@ -13,6 +19,8 @@ from __future__ import annotations
 import math
 
 import numpy as np
+
+from repro.linalg.dtypes import as_float, eps_tolerance, safeguard_tiny
 
 __all__ = ["sturm_count", "bisect_eigenvalues", "inverse_iteration"]
 
@@ -25,15 +33,16 @@ def sturm_count(diagonal: np.ndarray, offdiagonal: np.ndarray,
     ``q_i = (d_i - x) - e_{i-1}^2 / q_{i-1}`` with the standard
     small-pivot safeguard.
     """
-    d = np.asarray(diagonal, dtype=float)
-    e = np.asarray(offdiagonal, dtype=float)
+    d = as_float(diagonal)
+    e = as_float(offdiagonal)
+    tiny = safeguard_tiny(d.dtype)
     count = 0
     q = 1.0
     for i in range(len(d)):
         coupling = 0.0 if i == 0 else e[i - 1] ** 2 / q
         q = d[i] - x - coupling
         if q == 0.0:
-            q = -1e-300
+            q = -tiny
         if q < 0.0:
             count += 1
     return count
@@ -46,7 +55,8 @@ def _gershgorin_bounds(d: np.ndarray, e: np.ndarray) -> tuple[float, float]:
         radius[1:] += np.abs(e)
     lower = float(np.min(d - radius))
     upper = float(np.max(d + radius))
-    pad = 1e-10 * max(1.0, abs(lower), abs(upper))
+    pad = eps_tolerance(1e-10, d.dtype, scale=8.0) \
+        * max(1.0, abs(lower), abs(upper))
     return lower - pad, upper + pad
 
 
@@ -58,8 +68,8 @@ def bisect_eigenvalues(diagonal: np.ndarray, offdiagonal: np.ndarray,
     Index 0 is the smallest eigenvalue, index m-1 the largest.
     Returns ``(values, ops)`` where ops counts Sturm-recurrence steps.
     """
-    d = np.asarray(diagonal, dtype=float)
-    e = np.asarray(offdiagonal, dtype=float)
+    d = as_float(diagonal)
+    e = as_float(offdiagonal)
     m = len(d)
     indices = list(indices)
     for index in indices:
@@ -67,9 +77,13 @@ def bisect_eigenvalues(diagonal: np.ndarray, offdiagonal: np.ndarray,
             raise ValueError(f"eigenvalue index {index} outside [0, {m})")
     lower, upper = _gershgorin_bounds(d, e)
     span = max(upper - lower, 1e-300)
+    if d.dtype != np.float64:
+        # The Sturm counts are only reliable to the working dtype's
+        # resolution; bisecting below it just burns steps.
+        tolerance = max(tolerance, float(np.finfo(d.dtype).eps) * span)
     steps = max(8, int(math.ceil(math.log2(span / max(tolerance, 1e-300)))))
     ops = 0.0
-    values = np.empty(len(indices))
+    values = np.empty(len(indices), dtype=d.dtype)
     for position, index in enumerate(indices):
         lo, hi = lower, upper
         for _ in range(steps):
@@ -96,16 +110,16 @@ def inverse_iteration(diagonal: np.ndarray, offdiagonal: np.ndarray,
     pivoting a few times, re-orthogonalizing against previously found
     vectors of (numerically) close eigenvalues.  ops ~ iterations * 8m.
     """
-    d = np.asarray(diagonal, dtype=float)
-    e = np.asarray(offdiagonal, dtype=float)
+    d = as_float(diagonal)
+    e = as_float(offdiagonal)
     m = len(d)
     scale = float(np.max(np.abs(d))) if m else 1.0
     if len(e):
         scale = max(scale, float(np.max(np.abs(e))))
     # Perturb the shift slightly so the solve stays finite even when
     # the eigenvalue is exact to machine precision.
-    shift = eigenvalue + 1e-12 * max(scale, 1.0)
-    z = rng.standard_normal(m)
+    shift = eigenvalue + eps_tolerance(1e-12, d.dtype) * max(scale, 1.0)
+    z = rng.standard_normal(m).astype(d.dtype, copy=False)
     z /= np.linalg.norm(z)
     ops = 0.0
     for _ in range(iterations):
@@ -117,7 +131,7 @@ def inverse_iteration(diagonal: np.ndarray, offdiagonal: np.ndarray,
                 ops += 2.0 * m
         norm = float(np.linalg.norm(z))
         if norm == 0.0 or not math.isfinite(norm):
-            z = rng.standard_normal(m)
+            z = rng.standard_normal(m).astype(d.dtype, copy=False)
             norm = float(np.linalg.norm(z))
         z = z / norm
     return z, ops
@@ -133,15 +147,16 @@ def solve_shifted_tridiagonal(d: np.ndarray, e: np.ndarray, shift: float,
     eigenvector direction).
     """
     m = len(d)
-    tiny = 1e-300
-    diag = np.asarray(d, dtype=float) - shift
-    sub = np.zeros(m)       # sub[i] = row i entry at column i-1
-    sup1 = np.zeros(m)      # sup1[i] = row i entry at column i+1
-    sup2 = np.zeros(m)      # sup2[i] = row i entry at column i+2
+    d = as_float(d)
+    tiny = safeguard_tiny(d.dtype)
+    diag = d - shift
+    sub = np.zeros(m, dtype=diag.dtype)   # row i entry at column i-1
+    sup1 = np.zeros(m, dtype=diag.dtype)  # row i entry at column i+1
+    sup2 = np.zeros(m, dtype=diag.dtype)  # row i entry at column i+2
     if m > 1:
         sub[1:] = e
         sup1[:m - 1] = e
-    rhs = np.array(b, dtype=float)
+    rhs = np.array(as_float(b))  # copy: eliminated in place
 
     for i in range(m - 1):
         if abs(diag[i]) >= abs(sub[i + 1]):
@@ -165,7 +180,7 @@ def solve_shifted_tridiagonal(d: np.ndarray, e: np.ndarray, shift: float,
     if diag[m - 1] == 0.0:
         diag[m - 1] = tiny
 
-    x = np.empty(m)
+    x = np.empty(m, dtype=diag.dtype)
     x[m - 1] = rhs[m - 1] / diag[m - 1]
     if m > 1:
         x[m - 2] = (rhs[m - 2] - sup1[m - 2] * x[m - 1]) / diag[m - 2]

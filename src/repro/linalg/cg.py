@@ -11,6 +11,10 @@ through single whole-array numpy calls, with per-slice early stopping
 and per-slice operation counts that match running the scalar kernel on
 each slice (the operators must then map ``(B, n) -> (B, n)``; the
 :mod:`repro.linalg.poisson_ops` stencils do).
+
+Input floating dtypes are preserved end to end (float32 stays
+float32); non-floating inputs are promoted to float64.  The operators
+are expected to honour the same contract.
 """
 
 from __future__ import annotations
@@ -18,6 +22,8 @@ from __future__ import annotations
 from typing import Callable
 
 import numpy as np
+
+from repro.linalg.dtypes import as_float
 
 __all__ = ["conjugate_gradient"]
 
@@ -46,7 +52,7 @@ def conjugate_gradient(apply_operator: Operator, b: np.ndarray,
     slice stops (and stops being charged) exactly where the scalar
     kernel on that slice would.
     """
-    b = np.asarray(b, dtype=float)
+    b = as_float(b)
     if b.ndim == 2:
         return _conjugate_gradient_stacked(
             apply_operator, b, x0, iterations=iterations,
@@ -56,7 +62,8 @@ def conjugate_gradient(apply_operator: Operator, b: np.ndarray,
         raise ValueError(f"b must be 1-D or stacked (B, n), got shape "
                          f"{b.shape}")
     n = len(b)
-    x = np.zeros(n) if x0 is None else np.array(x0, dtype=float)
+    x = np.zeros(n, dtype=b.dtype) if x0 is None \
+        else np.array(as_float(x0))
     ops = 0.0
 
     r = b - apply_operator(x)
@@ -112,7 +119,7 @@ def _conjugate_gradient_stacked(apply_operator: Operator, b: np.ndarray,
     ``active`` mask freezing slices exactly where the scalar loop would
     ``break``, and per-slice ops charged only while a slice is live."""
     batch, n = b.shape
-    x = np.zeros_like(b) if x0 is None else np.array(x0, dtype=float)
+    x = np.zeros_like(b) if x0 is None else np.array(as_float(x0))
     ops = np.zeros(batch)
 
     r = b - apply_operator(x)

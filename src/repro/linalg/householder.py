@@ -3,6 +3,11 @@
 The first stage of every dense symmetric eigensolver (and hence of the
 image-compression benchmark's SVD): reduce A to tridiagonal form
 T = Q^T A Q with orthogonal Q, in ~4/3 m^3 operations.
+
+Input floating dtypes are preserved end to end (a float32 matrix
+yields float32 ``T`` and ``Q``); non-floating inputs are promoted to
+float64 — never coerced silently to a wider type.  The symmetry check
+and reflector safeguards scale with the working dtype's precision.
 """
 
 from __future__ import annotations
@@ -10,6 +15,8 @@ from __future__ import annotations
 import math
 
 import numpy as np
+
+from repro.linalg.dtypes import as_float, eps_tolerance, safeguard_tiny
 
 __all__ = ["tridiagonalize_symmetric"]
 
@@ -25,14 +32,16 @@ def tridiagonalize_symmetric(matrix: np.ndarray, *,
     matrix eigenvectors ``Q @ z``).  ``Q`` is ``None`` when
     ``accumulate_q`` is false (halving the work, as LAPACK offers).
     """
-    a = np.array(matrix, dtype=float)
+    a = np.array(as_float(matrix))  # copy: reduced in place
     m = a.shape[0]
     if a.shape != (m, m):
         raise ValueError(f"matrix must be square, got {a.shape}")
-    if m != 1 and not np.allclose(a, a.T, atol=1e-10 * max(1.0, float(
-            np.abs(a).max()))):
+    symmetry_atol = eps_tolerance(1e-10, a.dtype, scale=64.0)
+    if m != 1 and not np.allclose(a, a.T, atol=symmetry_atol * max(
+            1.0, float(np.abs(a).max()))):
         raise ValueError("matrix must be symmetric")
-    q = np.eye(m) if accumulate_q else None
+    q = np.eye(m, dtype=a.dtype) if accumulate_q else None
+    tiny = safeguard_tiny(a.dtype)
     ops = 0.0
     for k in range(m - 2):
         x = a[k + 1:, k]
@@ -44,7 +53,7 @@ def tridiagonalize_symmetric(matrix: np.ndarray, *,
         v = x.copy()
         v[0] -= alpha
         v_norm = float(np.linalg.norm(v))
-        if v_norm < 1e-300:
+        if v_norm < tiny:
             continue
         v /= v_norm
 
@@ -70,5 +79,6 @@ def tridiagonalize_symmetric(matrix: np.ndarray, *,
         ops += 3.0 * len(v) ** 2
 
     diagonal = np.diag(a).copy()
-    offdiagonal = np.diag(a, k=-1).copy() if m > 1 else np.zeros(0)
+    offdiagonal = np.diag(a, k=-1).copy() if m > 1 \
+        else np.zeros(0, dtype=a.dtype)
     return diagonal, offdiagonal, q, ops

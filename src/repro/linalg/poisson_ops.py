@@ -8,11 +8,18 @@
 * 2-D: the 5-point Laplacian on an n x n interior grid with Dirichlet
   boundaries, both as a stencil application (for SOR/multigrid/CG) and
   in the banded storage the direct solver consumes.
+
+Input floating dtypes are preserved end to end (float32 stays
+float32); non-floating inputs are promoted to float64.  The matrix
+constructors take an optional ``dtype`` so callers can build operators
+in the working precision of their data.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.linalg.dtypes import as_float
 
 __all__ = [
     "apply_laplacian_1d",
@@ -31,23 +38,24 @@ def apply_laplacian_1d(x: np.ndarray, h: float = 1.0,
     the same whole-array calls.  ``extra_diagonal`` broadcasts against
     the trailing axis.
     """
-    x = np.asarray(x, dtype=float)
+    x = as_float(x)
     y = 2.0 * x
     y[..., :-1] -= x[..., 1:]
     y[..., 1:] -= x[..., :-1]
     y /= h * h
     if extra_diagonal is not None:
-        y += np.asarray(extra_diagonal, dtype=float) * x
+        y += as_float(extra_diagonal) * x
     return y
 
 
 def laplacian_1d_diagonal(n: int, h: float = 1.0,
-                          extra_diagonal: np.ndarray | None = None
-                          ) -> np.ndarray:
+                          extra_diagonal: np.ndarray | None = None,
+                          dtype: np.dtype | None = None) -> np.ndarray:
     """diag(T) for the 1-D operator (for Jacobi preconditioning)."""
-    diagonal = np.full(n, 2.0 / (h * h))
+    diagonal = np.full(n, 2.0 / (h * h),
+                       dtype=np.float64 if dtype is None else dtype)
     if extra_diagonal is not None:
-        diagonal = diagonal + np.asarray(extra_diagonal, dtype=float)
+        diagonal = diagonal + as_float(extra_diagonal)
     return diagonal
 
 
@@ -57,7 +65,7 @@ def apply_laplacian_2d(u: np.ndarray, h: float) -> np.ndarray:
     ``u`` is ``(..., n, n)`` interior values (boundaries are zero);
     leading axes are batch dimensions applied in the same calls.
     """
-    u = np.asarray(u, dtype=float)
+    u = as_float(u)
     y = 4.0 * u
     y[..., :-1, :] -= u[..., 1:, :]
     y[..., 1:, :] -= u[..., :-1, :]
@@ -66,7 +74,8 @@ def apply_laplacian_2d(u: np.ndarray, h: float) -> np.ndarray:
     return y / (h * h)
 
 
-def poisson_2d_banded(n: int, h: float) -> np.ndarray:
+def poisson_2d_banded(n: int, h: float,
+                      dtype: np.dtype | None = None) -> np.ndarray:
     """The 2-D Poisson matrix in LAPACK lower band storage.
 
     Unknowns are ordered row-major over the n x n interior grid; the
@@ -75,7 +84,8 @@ def poisson_2d_banded(n: int, h: float) -> np.ndarray:
     """
     size = n * n
     scale = 1.0 / (h * h)
-    band = np.zeros((n + 1, size))
+    band = np.zeros((n + 1, size),
+                    dtype=np.float64 if dtype is None else dtype)
     band[0, :] = 4.0 * scale
     # Horizontal neighbours: offset 1, absent across row boundaries.
     for j in range(size - 1):

@@ -12,6 +12,9 @@ to A^-1 whenever ``||I - omega A|| < 1`` (omega below 2 / lambda_max
 for SPD A).  Applying it costs ``degree`` extra operator products per
 CG iteration — the accuracy/time knob the autotuner explores through
 the ``degree`` accuracy variable.
+
+Input floating dtypes are preserved end to end (float32 stays
+float32); non-floating inputs are promoted to float64.
 """
 
 from __future__ import annotations
@@ -19,6 +22,8 @@ from __future__ import annotations
 from typing import Callable
 
 import numpy as np
+
+from repro.linalg.dtypes import as_float
 
 __all__ = ["jacobi_preconditioner", "polynomial_preconditioner"]
 
@@ -28,7 +33,7 @@ Operator = Callable[[np.ndarray], np.ndarray]
 def jacobi_preconditioner(diagonal: np.ndarray
                           ) -> tuple[Operator, float]:
     """P^-1 r = r / diag(A).  Returns ``(apply, cost_per_application)``."""
-    diagonal = np.asarray(diagonal, dtype=float)
+    diagonal = as_float(diagonal)
     if np.any(diagonal <= 0.0):
         raise ValueError("Jacobi preconditioner needs a positive diagonal")
     inverse = 1.0 / diagonal

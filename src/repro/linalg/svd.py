@@ -12,11 +12,20 @@ Two paths mirror the benchmark's choices:
 * :func:`singular_triplets_topk` — Householder tridiagonalization plus
   Sturm bisection and inverse iteration for only the k largest
   eigenvalues (the "Bisection method for only k eigenvalues" choice).
+
+Input floating dtypes are preserved end to end (a float32 matrix gives
+float32 triplets); non-floating inputs are promoted to float64 — never
+coerced silently to a wider type.  The clustered-eigenvalue closeness
+test scales with the working dtype's machine epsilon.
 """
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
+
+from repro.linalg.dtypes import as_float, eps_tolerance
 
 from repro.linalg.bisection import bisect_eigenvalues, inverse_iteration
 from repro.linalg.householder import tridiagonalize_symmetric
@@ -32,9 +41,9 @@ __all__ = [
 
 def symmetric_embedding(matrix: np.ndarray) -> np.ndarray:
     """H = [[0, A^T], [A, 0]] for an arbitrary (m x n) matrix A."""
-    a = np.asarray(matrix, dtype=float)
+    a = as_float(matrix)
     m, n = a.shape
-    h = np.zeros((m + n, m + n))
+    h = np.zeros((m + n, m + n), dtype=a.dtype)
     h[:n, n:] = a.T
     h[n:, :n] = a
     return h
@@ -51,8 +60,9 @@ def _triplets_from_eigenpairs(values: np.ndarray, vectors: np.ndarray,
     """
     order = np.argsort(values)[::-1][:k]
     sigma = values[order]
-    right = vectors[:n, order] * np.sqrt(2.0)
-    left = vectors[n:, order] * np.sqrt(2.0)
+    # math.sqrt (a python scalar) keeps float32 vectors float32.
+    right = vectors[:n, order] * math.sqrt(2.0)
+    left = vectors[n:, order] * math.sqrt(2.0)
     # Fix signs so that reconstruction uses consistent u sigma v^T.
     return np.clip(sigma, 0.0, None), left, right
 
@@ -64,7 +74,7 @@ def singular_triplets_full(matrix: np.ndarray, k: int
 
     Returns ``(sigma, U_k, V_k, ops)`` with ``U_k``/``V_k`` as columns.
     """
-    a = np.asarray(matrix, dtype=float)
+    a = as_float(matrix)
     n = a.shape[1]
     h = symmetric_embedding(a)
     diag, off, q, ops_tri = tridiagonalize_symmetric(h)
@@ -78,7 +88,7 @@ def singular_triplets_topk(matrix: np.ndarray, k: int,
                            ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
                                       float]:
     """Top-k singular triplets via bisection + inverse iteration."""
-    a = np.asarray(matrix, dtype=float)
+    a = as_float(matrix)
     n = a.shape[1]
     h = symmetric_embedding(a)
     diag, off, q, ops_tri = tridiagonalize_symmetric(h)
@@ -86,7 +96,8 @@ def singular_triplets_topk(matrix: np.ndarray, k: int,
     k = min(k, n)
     indices = list(range(m - 1, m - 1 - k, -1))  # k largest, descending
     values, ops_bisect = bisect_eigenvalues(diag, off, indices)
-    vectors = np.empty((m, k))
+    vectors = np.empty((m, k), dtype=diag.dtype)
+    closeness = eps_tolerance(1e-8, diag.dtype, scale=16.0)
     found: list[np.ndarray] = []
     ops_invit = 0.0
     for position in range(k):
@@ -94,7 +105,7 @@ def singular_triplets_topk(matrix: np.ndarray, k: int,
         # eigenvalues to keep clustered eigenvectors independent.
         close = [vectors[:, j] for j in range(position)
                  if abs(values[j] - values[position])
-                 <= 1e-8 * max(1.0, abs(values[position]))]
+                 <= closeness * max(1.0, abs(values[position]))]
         vector, ops = inverse_iteration(diag, off, values[position], rng,
                                         orthogonalize_against=close)
         vectors[:, position] = vector

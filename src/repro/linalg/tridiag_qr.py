@@ -5,6 +5,12 @@ with Wilkinson-style shifts, accumulating the rotations into an
 eigenvector matrix).  Together with Householder tridiagonalization it
 forms the "QR Iteration" algorithmic choice of the image-compression
 benchmark's hybrid eigensolver (Section 6.1.4).
+
+Input floating dtypes are preserved end to end (float32 stays
+float32); non-floating inputs are promoted to float64.  The negligible
+off-diagonal threshold scales with the working dtype's machine epsilon
+(the float64 constant is unchanged) — without that, float32 sweeps
+chase resolution the dtype does not have and fail to converge.
 """
 
 from __future__ import annotations
@@ -12,6 +18,8 @@ from __future__ import annotations
 import math
 
 import numpy as np
+
+from repro.linalg.dtypes import as_float, eps_tolerance
 
 __all__ = ["tridiagonal_eigen_qr"]
 
@@ -28,16 +36,17 @@ def tridiagonal_eigen_qr(diagonal: np.ndarray, offdiagonal: np.ndarray,
     ``None`` to skip accumulation.  Returns ``(values, vectors, ops)``
     with eigenvalues sorted ascending (vectors as matching columns).
     """
-    d = np.array(diagonal, dtype=float)
+    d = np.array(as_float(diagonal))  # copy: rotated in place
     m = len(d)
-    e = np.zeros(m)
+    e = np.zeros(m, dtype=d.dtype)
     if m > 1:
         if len(offdiagonal) != m - 1:
             raise ValueError(
                 f"offdiagonal must have length {m - 1}, got "
                 f"{len(offdiagonal)}")
-        e[:m - 1] = np.asarray(offdiagonal, dtype=float)
-    vectors = None if z is None else np.array(z, dtype=float)
+        e[:m - 1] = as_float(offdiagonal)
+    vectors = None if z is None else np.array(as_float(z))
+    negligible = eps_tolerance(1e-15, d.dtype)
     ops = 0.0
 
     for l in range(m):
@@ -47,7 +56,7 @@ def tridiagonal_eigen_qr(diagonal: np.ndarray, offdiagonal: np.ndarray,
             split = l
             while split < m - 1:
                 scale = abs(d[split]) + abs(d[split + 1])
-                if abs(e[split]) <= 1e-15 * scale:
+                if abs(e[split]) <= negligible * scale:
                     break
                 split += 1
             ops += split - l + 1

@@ -56,19 +56,44 @@ def is_batchable(program: "CompiledProgram") -> bool:
     return bool(getattr(program.root_transform, "batchable", False))
 
 
-def stack_signature(request: TrialRequest) -> tuple | None:
+def stack_signature(request: TrialRequest,
+                    program: "CompiledProgram | None" = None
+                    ) -> tuple | None:
     """Hashable fusion key for a request, or ``None`` if unfusable.
 
     Two requests may be stacked only when they agree on configuration
     (by digest), input size, every array input's shape and dtype, and
     every scalar input's value.  Inputs of any other type make the
     request unfusable (it runs through the scalar dispatch).
+
+    When ``program`` is given and the request's configuration names a
+    working precision (a ``precision()`` tunable on the root
+    transform), floating array inputs sign with the *configured* dtype
+    instead of their own: the executor casts them to that dtype anyway,
+    so mixed-input-dtype waves under one float32 config fuse into one
+    float32 stack (``np.stack`` upcasting followed by the executor
+    cast is bit-identical to the scalar path).  Configs that differ in
+    precision never fuse regardless — the digest covers the precision
+    entry.
     """
+    configured: str | None = None
+    if program is not None:
+        from repro.errors import ConfigError
+        try:
+            dtype = program.configured_dtype(request.config, request.n)
+        except ConfigError:
+            return None
+        if dtype is not None:
+            configured = dtype.str
     items: list[tuple] = []
     for key in sorted(request.inputs):
         value = request.inputs[key]
         if isinstance(value, np.ndarray):
-            items.append((key, "array", value.shape, value.dtype.str))
+            dtype_str = value.dtype.str
+            if configured is not None and \
+                    np.issubdtype(value.dtype, np.floating):
+                dtype_str = configured
+            items.append((key, "array", value.shape, dtype_str))
         elif isinstance(value, _SCALAR_TYPES):
             items.append((key, "scalar", value))
         else:
@@ -158,7 +183,7 @@ def run_batch_stacked(program: "CompiledProgram",
     groups: dict[tuple, list[int]] = {}
     residual: list[int] = []
     for index, request in enumerate(requests):
-        signature = stack_signature(request)
+        signature = stack_signature(request, program)
         if signature is None:
             residual.append(index)
         else:

@@ -22,7 +22,8 @@ import numpy as np
 from repro.errors import ExecutionError
 from repro.lang.dsl import accuracy_metric, call, rule, transform
 from repro.lang.transform import Transform
-from repro.lang.tunables import accuracy_variable, cutoff, for_enough
+from repro.lang.tunables import (accuracy_variable, cutoff, for_enough,
+                                 precision)
 from repro.linalg.banded import banded_cholesky_factor, banded_cholesky_solve
 from repro.linalg.poisson_ops import apply_laplacian_2d, poisson_2d_banded
 from repro.multigrid.grids import (
@@ -113,7 +114,8 @@ def _vcycle_pass(ctx, u, f, n):
     return u
 
 
-def build() -> tuple[Transform, tuple[Transform, ...]]:
+def build(precision_choices: tuple[str, ...] = ("float64", "float32")
+          ) -> tuple[Transform, tuple[Transform, ...]]:
     # batchable=True: every rule below accepts a stacked (B, n, n)
     # right-hand side, produces a (B, n, n) solution, never consults
     # the execution seed, and charges exactly B times the scalar cost —
@@ -129,6 +131,10 @@ def build() -> tuple[Transform, tuple[Transform, ...]]:
                                        direction=+1)
         omega = cutoff(lo=1.0, hi=1.95, default=1.5, integer=False,
                        affects_accuracy=True)
+        # Working dtype: every (transform, bin) instance resolves its
+        # own entry, so the tuner can smooth low-accuracy recursion
+        # levels in float32 under float64 high-accuracy bins.
+        precision = precision(choices=precision_choices)
         coarse = call("poisson")
         estimate = call("poisson")
 
@@ -168,7 +174,7 @@ def build() -> tuple[Transform, tuple[Transform, ...]]:
                 raise ExecutionError(
                     f"direct solver limited to n <= {DIRECT_MAX_SIZE}, "
                     f"got {n}")
-            band = poisson_2d_banded(n, _grid_spacing(n))
+            band = poisson_2d_banded(n, _grid_spacing(n), dtype=f.dtype)
             factor, factor_ops = banded_cholesky_factor(band)
             solution, solve_ops = banded_cholesky_solve(
                 factor, f.reshape(f.shape[:-2] + (n * n,)))

@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.lang.dsl import accuracy_metric, rule, transform
 from repro.lang.transform import Transform
-from repro.lang.tunables import accuracy_variable, for_enough
+from repro.lang.tunables import accuracy_variable, for_enough, precision
 from repro.linalg.cg import conjugate_gradient
 from repro.linalg.poisson_ops import apply_laplacian_1d, laplacian_1d_diagonal
 from repro.linalg.precond import (
@@ -76,12 +76,17 @@ def _run_cg(ctx, b, extra, apply_minv=None, preconditioner_cost=0.0):
     return x
 
 
-def build() -> tuple[Transform, tuple[Transform, ...]]:
+def build(precision_choices: tuple[str, ...] = ("float64", "float32")
+          ) -> tuple[Transform, tuple[Transform, ...]]:
     @transform(inputs=("b_rhs", "extra_diag"), outputs=("x",),
                accuracy_bins=ACCURACY_BINS)
     class preconditioner:
         iterations = for_enough(max_iters=3000, default=10)
         degree = accuracy_variable(lo=1, hi=8, default=2, direction=0)
+        # Working dtype: float32 halves the cost per CG iteration but
+        # bounds the resolvable residual drop (~7 orders) — the
+        # precision/accuracy trade-off the tuner explores per bin.
+        precision = precision(choices=precision_choices)
 
         metric = accuracy_metric(_metric, name="log_residual_drop")
 
@@ -92,7 +97,8 @@ def build() -> tuple[Transform, tuple[Transform, ...]]:
         @rule
         def jacobi_pcg(ctx, b_rhs, extra_diag):
             diagonal = laplacian_1d_diagonal(len(b_rhs), SPACING,
-                                             extra_diag)
+                                             extra_diag,
+                                             dtype=b_rhs.dtype)
             apply_minv, cost = jacobi_preconditioner(diagonal)
             return _run_cg(ctx, b_rhs, extra_diag, apply_minv, cost)
 

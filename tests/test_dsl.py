@@ -28,6 +28,7 @@ from repro.lang import (
     cutoff,
     describe,
     for_enough,
+    precision,
     rule,
     switch,
     transform,
@@ -510,6 +511,7 @@ def build_preconditioner_twin() -> Transform:
             for_enough("iterations", max_iters=3000, default=10),
             accuracy_variable("degree", lo=1, hi=8, default=2,
                               direction=0),
+            precision("precision"),
         ],
     )
 
@@ -521,7 +523,8 @@ def build_preconditioner_twin() -> Transform:
                name="jacobi_pcg")
     def jacobi_pcg(ctx, b_rhs, extra_diag):
         diagonal = laplacian_1d_diagonal(len(b_rhs), mod.SPACING,
-                                         extra_diag)
+                                         extra_diag,
+                                         dtype=b_rhs.dtype)
         apply_minv, cost = jacobi_preconditioner(diagonal)
         return mod._run_cg(ctx, b_rhs, extra_diag, apply_minv, cost)
 

@@ -32,11 +32,25 @@ def poisson_program():
     return program
 
 
+def pin_precision(config, value: str = "float64"):
+    """Pin every per-instance ``precision`` entry of ``config``.
+
+    The bit-identity assertions in this module hold exactly for float64
+    configurations; float32 runs agree with the per-request path only
+    to working precision (the fused einsum substitution rounds
+    differently than the scalar loops), so the float32 side is covered
+    separately with dtype-aware tolerances in TestPrecisionStacking.
+    """
+    updates = {key: value for key, _ in config.items()
+               if key.endswith(".precision")}
+    return config.with_entries(updates)
+
+
 def poisson_tuned(program) -> TunedProgram:
     configs = {}
     for index, target in enumerate(program.root_transform.accuracy_bins):
         rng = np.random.default_rng(100 + index)
-        configs[target] = program.random_config(rng)
+        configs[target] = pin_precision(program.random_config(rng))
     return TunedProgram(program, configs)
 
 
@@ -224,14 +238,17 @@ class TestEngineStacking:
 # Harness population stacking
 # ----------------------------------------------------------------------
 class TestHarnessStacking:
-    def run_population(self, poisson_program, *, stacking: bool):
+    def run_population(self, poisson_program, *, stacking: bool,
+                       precision: str = "float64"):
         generate = get_benchmark("poisson").generate
         harness = ProgramTestHarness(
             poisson_program, generate, base_seed=11, cost_limit=5e8,
             stacking=stacking)
         rng = np.random.default_rng(5)
-        candidates = [Candidate(poisson_program.random_config(rng))
-                      for _ in range(3)]
+        candidates = [
+            Candidate(pin_precision(poisson_program.random_config(rng),
+                                    precision))
+            for _ in range(3)]
         harness.ensure_trials_batch(
             [(candidate, 15.0, 4) for candidate in candidates])
         return harness, candidates
@@ -260,3 +277,113 @@ class TestHarnessStacking:
                     # values mean "exact to float64".
                     continue
                 assert a.accuracy == pytest.approx(b.accuracy, rel=1e-9)
+
+    def test_float32_population_objectives_match_exactly(
+            self, poisson_program):
+        stacked_harness, stacked_pop = self.run_population(
+            poisson_program, stacking=True, precision="float32")
+        looped_harness, looped_pop = self.run_population(
+            poisson_program, stacking=False, precision="float32")
+        assert stacked_harness.stacked_calls >= 1
+        assert looped_harness.stacked_calls == 0
+        for fused, scalar in zip(stacked_pop, looped_pop):
+            fused_trials = fused.results.trials(15.0)
+            scalar_trials = scalar.results.trials(15.0)
+            assert len(fused_trials) == len(scalar_trials) == 4
+            for a, b in zip(fused_trials, scalar_trials):
+                # cost_scale is an exact power of two and cost terms
+                # are integer-valued, so the float32 discount and the
+                # stacked /B recovery are both exact — objectives match
+                # bit-for-bit even though the arithmetic does not.
+                assert a.objective == b.objective
+                assert a.failed == b.failed
+                if min(a.accuracy, b.accuracy) >= 5.0:
+                    # Near float32's ~7-order residual floor the log10
+                    # metric amplifies single-ulp differences between
+                    # the batched and scalar float32 kernels.
+                    continue
+                assert a.accuracy == pytest.approx(b.accuracy, abs=0.05)
+
+
+# ----------------------------------------------------------------------
+# Precision-aware stacking
+# ----------------------------------------------------------------------
+class TestPrecisionStacking:
+    def test_mixed_precision_wave_groups_into_separate_stacks(
+            self, poisson_program):
+        f64 = poisson_program.default_config()
+        f32 = pin_precision(f64, "float32")
+        requests = [
+            make_request(poisson_program, 15, seed,
+                         config=f32 if seed % 2 else f64)
+            for seed in range(8)]
+        signatures = {stack_signature(request, poisson_program)
+                      for request in requests}
+        assert len(signatures) == 2 and None not in signatures
+        backend = SerialBackend()
+        counters: dict[str, int] = {}
+        outcomes = run_batch_stacked(
+            poisson_program, requests,
+            dispatch=lambda reqs: backend.run_batch(
+                poisson_program, reqs, objective="cost", cost_limit=5e8,
+                collect_outputs=True),
+            cost_limit=5e8, collect_outputs=True, counters=counters)
+        assert counters == {"stacked_calls": 2, "stacked_requests": 8}
+        for outcome, request in zip(outcomes, requests):
+            assert not outcome.failed
+            expected = np.float32 if request.config is f32 else np.float64
+            assert outcome.outputs["u"].dtype == expected
+
+    def test_float32_wave_fuses_into_float32_stack(self, poisson_program):
+        config = pin_precision(poisson_program.default_config(), "float32")
+        requests = [make_request(poisson_program, 15, seed, config=config)
+                    for seed in range(4)]
+        signatures = {stack_signature(request, poisson_program)
+                      for request in requests}
+        assert len(signatures) == 1
+        fused = execute_stacked(poisson_program, requests,
+                                cost_limit=5e8, collect_outputs=True)
+        assert fused is not None
+        scalar = SerialBackend().run_batch(
+            poisson_program, requests, objective="cost", cost_limit=5e8,
+            collect_outputs=True)
+        for fused_outcome, scalar_outcome in zip(fused, scalar):
+            assert not fused_outcome.failed
+            assert fused_outcome.outputs["u"].dtype == np.float32
+            assert scalar_outcome.outputs["u"].dtype == np.float32
+            # The float32 cost discount and the /B recovery are exact.
+            assert fused_outcome.objective == scalar_outcome.objective
+            np.testing.assert_allclose(
+                fused_outcome.outputs["u"], scalar_outcome.outputs["u"],
+                rtol=5e-5, atol=5e-6)
+
+    def test_dtype_preserved_through_per_request_fallback(
+            self, poisson_program):
+        # One request per precision: both groups fall below
+        # min_group_size, so everything runs through the per-request
+        # dispatch — which must still honour the configured dtype.
+        f64 = poisson_program.default_config()
+        f32 = pin_precision(f64, "float32")
+        requests = [make_request(poisson_program, 15, 0, config=f64),
+                    make_request(poisson_program, 15, 1, config=f32)]
+        backend = SerialBackend()
+        dispatched: list[int] = []
+
+        def dispatch(reqs):
+            dispatched.extend(r.trial_index for r in reqs)
+            return backend.run_batch(poisson_program, reqs,
+                                     objective="cost", cost_limit=5e8,
+                                     collect_outputs=True)
+
+        counters: dict[str, int] = {}
+        outcomes = run_batch_stacked(
+            poisson_program, requests, dispatch=dispatch,
+            cost_limit=5e8, collect_outputs=True, counters=counters)
+        assert dispatched == [0, 1]
+        assert counters == {}
+        assert outcomes[0].outputs["u"].dtype == np.float64
+        assert outcomes[1].outputs["u"].dtype == np.float32
+        # Same inputs, same algorithm: the float32 run costs exactly
+        # half of the float64 run.
+        assert outcomes[1].objective == pytest.approx(
+            outcomes[0].objective * 0.5)
