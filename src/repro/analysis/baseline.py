@@ -1,0 +1,86 @@
+"""Accepted-warnings baseline for the analyzer CI gate.
+
+The CI gate fails on any error and on any warning not recorded in a
+checked-in baseline file, so new violations are loud while accepted
+debt stays visible in one reviewed place (the same ratchet pattern as a
+type-checker baseline).  A baseline file is JSON:
+
+.. code-block:: json
+
+    {"accepted": [
+        {"code": "REP202", "path": "src/repro/linalg/cg.py",
+         "contains": "cost accumulator"}
+    ]}
+
+Each entry must name a ``code``; ``path`` (matched as a suffix of the
+finding's file, so baselines are checkout-location independent) and
+``contains`` (substring of the message) narrow the match.  Errors are
+**never** baselinable: a baseline entry matching an error is ignored,
+because purity and pledge violations break runtime invariants rather
+than style.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.analysis.findings import WARNING, AnalysisReport, Finding
+from repro.errors import ReproError
+
+__all__ = ["load_baseline", "partition_findings"]
+
+
+def load_baseline(path: str) -> list[dict[str, Any]]:
+    """Parse a baseline file into its list of accepted entries."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot read baseline {path!r}: {exc}") from exc
+    entries = payload.get("accepted") if isinstance(payload, dict) \
+        else None
+    if not isinstance(entries, list):
+        raise ReproError(
+            f"baseline {path!r} must be an object with an 'accepted' "
+            f"list")
+    for entry in entries:
+        if not isinstance(entry, dict) or "code" not in entry:
+            raise ReproError(
+                f"baseline {path!r}: every entry needs a 'code' field: "
+                f"{entry!r}")
+    return entries
+
+
+def _matches(entry: dict[str, Any], finding: Finding) -> bool:
+    if entry["code"] != finding.code:
+        return False
+    path = entry.get("path")
+    if path is not None:
+        if finding.location is None or \
+                not finding.location.filename.endswith(path):
+            return False
+    contains = entry.get("contains")
+    if contains is not None and contains not in finding.message:
+        return False
+    return True
+
+
+def partition_findings(report: AnalysisReport,
+                       baseline: list[dict[str, Any]]
+                       ) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into ``(active, suppressed)``.
+
+    A warning matching any baseline entry is suppressed; errors and
+    info findings always stay active (info findings never gate, so
+    suppressing them would only hide the metrics).
+    """
+    active: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in report:
+        if finding.severity == WARNING and any(
+                _matches(entry, finding) for entry in baseline):
+            suppressed.append(finding)
+        else:
+            active.append(finding)
+    return active, suppressed

@@ -1,0 +1,299 @@
+"""Source-level call-graph discovery for rule bodies and kernels.
+
+The analyzer works on *function objects* (rule bodies, accuracy
+metrics, allocators) and walks the Python source they were compiled
+from.  Resolution is hybrid: the AST supplies the call expressions,
+and each callee name is resolved against the function's **runtime**
+namespaces — ``__globals__``, closure cells (suite benchmarks register
+rules through closures), and builtins — so a resolved callee is the
+actual object that would be called, not a guess from import text.
+Attribute chains (``np.random.normal``, ``time.perf_counter``) resolve
+by ``getattr`` through module and class objects only, which cannot run
+user code.
+
+Anything unresolvable (method calls on parameters like ``ctx.param``,
+dynamic dispatch through containers) is skipped: the analysis is
+deliberately best-effort and never raises on strange code.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+import types
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.lang.diagnostics import SourceLocation
+
+__all__ = ["FunctionInfo", "CallGraph", "resolve_attribute_module",
+           "SUBSTRATE_PACKAGES", "in_substrate", "TransformFunctions",
+           "transform_functions"]
+
+#: The three substrate packages whose contracts the analyzer enforces.
+SUBSTRATE_PACKAGES = ("repro.linalg", "repro.multigrid",
+                      "repro.clustering")
+
+
+def in_substrate(module_name: str | None) -> bool:
+    """True when ``module_name`` lies inside a substrate package."""
+    if not module_name:
+        return False
+    return any(module_name == pkg or module_name.startswith(pkg + ".")
+               for pkg in SUBSTRATE_PACKAGES)
+
+
+# ----------------------------------------------------------------------
+# Module AST cache
+# ----------------------------------------------------------------------
+class _ModuleIndex:
+    """Parsed AST of one source file, with functions indexed by
+    ``(name, first_lineno)`` — ``first_lineno`` being the line of the
+    first decorator (or the ``def`` itself), which is exactly what
+    ``fn.__code__.co_firstlineno`` reports."""
+
+    def __init__(self, filename: str):
+        self.filename = filename
+        self.functions: dict[tuple[str, int], ast.FunctionDef] = {}
+        try:
+            with open(filename, encoding="utf-8") as handle:
+                tree = ast.parse(handle.read(), filename=filename)
+        except (OSError, SyntaxError, ValueError):
+            return
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                first = min([d.lineno for d in node.decorator_list]
+                            + [node.lineno])
+                self.functions[(node.name, first)] = node
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One analyzable function: object + source AST + namespaces."""
+
+    fn: Callable
+    node: ast.FunctionDef
+    filename: str
+    module: str | None
+
+    @property
+    def name(self) -> str:
+        return getattr(self.fn, "__name__", "<anonymous>")
+
+    def location(self, node: ast.AST | None = None) -> SourceLocation:
+        lineno = getattr(node, "lineno", None) if node is not None \
+            else None
+        if lineno is None:
+            lineno = self.node.lineno
+        return SourceLocation(self.filename, lineno)
+
+    def local_names(self) -> set[str]:
+        """Names bound inside the function (params + any Store)."""
+        names = {a.arg for a in self.node.args.args}
+        names.update(a.arg for a in self.node.args.posonlyargs)
+        names.update(a.arg for a in self.node.args.kwonlyargs)
+        if self.node.args.vararg:
+            names.add(self.node.args.vararg.arg)
+        if self.node.args.kwarg:
+            names.add(self.node.args.kwarg.arg)
+        for sub in ast.walk(self.node):
+            if isinstance(sub, ast.Name) and \
+                    isinstance(sub.ctx, ast.Store):
+                names.add(sub.id)
+            elif isinstance(sub, (ast.Import, ast.ImportFrom)):
+                for alias in sub.names:
+                    names.add((alias.asname or alias.name).split(".")[0])
+        return names
+
+    def namespace(self) -> dict[str, Any]:
+        """Globals overlaid with resolved closure cells."""
+        space = dict(getattr(self.fn, "__globals__", {}) or {})
+        code = getattr(self.fn, "__code__", None)
+        closure = getattr(self.fn, "__closure__", None)
+        if code is not None and closure:
+            for name, cell in zip(code.co_freevars, closure):
+                try:
+                    space[name] = cell.cell_contents
+                except ValueError:  # pragma: no cover - empty cell
+                    pass
+        return space
+
+
+_RESOLVABLE_BASES = (types.ModuleType, type)
+
+
+def resolve_attribute_module(obj: Any) -> str | None:
+    """Best-effort module name of a resolved object.
+
+    C-level bound methods (``random.random`` is a method of a hidden
+    ``Random`` instance) report ``__module__ = None``; fall back to the
+    module of the instance's class so they still attribute correctly.
+    """
+    if isinstance(obj, types.ModuleType):
+        return obj.__name__
+    module = getattr(obj, "__module__", None)
+    if isinstance(module, str):
+        return module
+    owner = getattr(obj, "__self__", None)
+    if owner is not None:
+        module = getattr(type(owner), "__module__", None)
+        if isinstance(module, str):
+            return module
+    return None
+
+
+class CallGraph:
+    """Lazy whole-program call graph over Python function objects."""
+
+    def __init__(self) -> None:
+        self._modules: dict[str, _ModuleIndex] = {}
+        self._infos: dict[Any, FunctionInfo | None] = {}
+
+    # ------------------------------------------------------------------
+    # Function lookup
+    # ------------------------------------------------------------------
+    def info(self, fn: Callable) -> FunctionInfo | None:
+        """Source AST + namespaces for ``fn``; None when unavailable."""
+        code = getattr(fn, "__code__", None)
+        if code is None:
+            return None
+        key = code
+        if key in self._infos:
+            return self._infos[key]
+        index = self._modules.get(code.co_filename)
+        if index is None:
+            index = _ModuleIndex(code.co_filename)
+            self._modules[code.co_filename] = index
+        # co_name, not __name__: templated rules rewrite __name__
+        # (pack.__name__ = algorithm_name) but the AST keeps the
+        # compile-time def name, which is exactly co_name.
+        node = index.functions.get((code.co_name, code.co_firstlineno))
+        if node is None:
+            self._infos[key] = None
+            return None
+        info = FunctionInfo(fn=fn, node=node, filename=code.co_filename,
+                            module=getattr(fn, "__module__", None))
+        self._infos[key] = info
+        return info
+
+    # ------------------------------------------------------------------
+    # Name resolution
+    # ------------------------------------------------------------------
+    @staticmethod
+    def resolve(node: ast.AST, namespace: dict[str, Any],
+                local_names: set[str]) -> Any:
+        """Resolve a Name/Attribute expression to a runtime object.
+
+        Returns ``None`` when the expression is rooted in a local name
+        or cannot be resolved without executing code.  Attribute access
+        only descends through modules and classes.
+        """
+        if isinstance(node, ast.Name):
+            if node.id in local_names:
+                return None
+            if node.id in namespace:
+                return namespace[node.id]
+            return getattr(builtins, node.id, None)
+        if isinstance(node, ast.Attribute):
+            base = CallGraph.resolve(node.value, namespace, local_names)
+            if base is None or not isinstance(base, _RESOLVABLE_BASES):
+                return None
+            try:
+                return getattr(base, node.attr, None)
+            except Exception:  # pragma: no cover - exotic descriptors
+                return None
+        return None
+
+    def callees(self, info: FunctionInfo) -> Iterator[tuple[Any, ast.Call]]:
+        """Resolved ``(callee, call_node)`` pairs inside ``info``.
+
+        Walks the function *body* only: decorator expressions and
+        default-argument values execute at import time, not when a rule
+        runs, so they are not part of the execution-time call graph
+        (descending through ``@kernel(...)`` would otherwise drag the
+        registry itself into every purity scan).
+        """
+        namespace = info.namespace()
+        local_names = info.local_names()
+        for statement in info.node.body:
+            for node in ast.walk(statement):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = self.resolve(node.func, namespace, local_names)
+                if callee is not None:
+                    yield callee, node
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def _should_descend(self, callee: Any, origin_files: set[str]) -> bool:
+        """Descend into project functions only: anything under the
+        ``repro`` package, plus functions declared in the same files as
+        the traversal roots (example scripts, test fixtures)."""
+        if not isinstance(callee, types.FunctionType):
+            return False
+        module = getattr(callee, "__module__", None) or ""
+        if module == "repro" or module.startswith("repro."):
+            return True
+        code = getattr(callee, "__code__", None)
+        return code is not None and code.co_filename in origin_files
+
+    def reachable(self, roots: Iterable[Callable], *,
+                  stop_in_substrate: bool = False
+                  ) -> list[FunctionInfo]:
+        """Every analyzable function transitively called from ``roots``.
+
+        Roots come first, in order; discovery order after that.  With
+        ``stop_in_substrate`` the traversal records substrate functions
+        but does not descend into them — the *frontier* view pledge
+        verification wants (a registered kernel's callees are covered
+        by the kernel's own contract tests).
+        """
+        origin_files = {
+            fn.__code__.co_filename for fn in roots
+            if getattr(fn, "__code__", None) is not None}
+        seen: set[Any] = set()
+        ordered: list[FunctionInfo] = []
+        stack: list[Callable] = list(roots)[::-1]
+        while stack:
+            fn = stack.pop()
+            code = getattr(fn, "__code__", None)
+            if code is None or code in seen:
+                continue
+            seen.add(code)
+            info = self.info(fn)
+            if info is None:
+                continue
+            ordered.append(info)
+            if stop_in_substrate and in_substrate(info.module):
+                continue
+            for callee, _ in self.callees(info):
+                if self._should_descend(callee, origin_files):
+                    stack.append(callee)
+        return ordered
+
+
+@dataclass
+class TransformFunctions:
+    """The traversal roots one transform contributes to the analyzer."""
+
+    rules: list[tuple[str, Callable]] = field(default_factory=list)
+    metrics: list[Callable] = field(default_factory=list)
+    allocators: list[Callable] = field(default_factory=list)
+
+    def roots(self) -> list[Callable]:
+        return ([fn for _, fn in self.rules] + self.metrics
+                + self.allocators)
+
+
+def transform_functions(transform) -> TransformFunctions:
+    """Collect rule/metric/allocator function objects of a transform."""
+    collected = TransformFunctions()
+    for rule in transform.rules:
+        collected.rules.append((rule.name, rule.fn))
+    metric = transform.accuracy_metric
+    if metric is not None and callable(getattr(metric, "fn", None)):
+        collected.metrics.append(metric.fn)
+    for fn in transform.allocators.values():
+        collected.allocators.append(fn)
+    return collected

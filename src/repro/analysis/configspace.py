@@ -1,0 +1,171 @@
+"""Pass 4: config-space analyses on the compiled program (REP4xx/REP001).
+
+Unlike passes 1–3 these work mostly on the *compiled* artifacts — the
+instance graph and the :class:`~repro.config.parameters.ParameterSpace`
+— with one AST assist: tunable reads are discovered as string literals
+in ``ctx.param("name")`` / ``ctx.for_enough("name")`` calls across
+every function reachable from a transform's rules (the whole repository
+reads tunables by literal name; a dynamic read would at worst produce a
+spurious warning, never an error).
+
+* ``REP401`` — dead tunable: declared on a transform but read by no
+  reachable function.  Every instance of the transform drags the
+  tunable into the search space, so a dead one multiplies the space for
+  nothing and silently lies in ``describe()``.  The ``precision()``
+  tunable is exempt: the *executor* reads it, not the rules.
+* ``REP402`` — unreachable instance: bin inference materialises one
+  instance per (callee, accuracy bin), but a callee only ever invoked
+  with explicit accuracies can have bins no call path dispatches to —
+  tuned configuration that is never exercised.
+* ``REP001`` — the search-space size estimate ``describe()`` prints:
+  log10 of the product of the discrete domain sizes (choice sites,
+  switches, integer ranges), with continuous dimensions counted
+  separately rather than discretised into a made-up resolution.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+
+from repro.analysis.callgraph import CallGraph, TransformFunctions
+from repro.analysis.findings import AnalysisReport
+from repro.config.parameters import (
+    ChoiceSiteParam,
+    ParameterSpace,
+    ScalarParam,
+    SizeValueParam,
+    SwitchParam,
+)
+
+__all__ = ["lint_config_space", "search_space_size",
+           "render_search_space"]
+
+#: ExecutionContext methods whose first (literal) argument names a
+#: tunable being read.
+_READER_METHODS = ("param", "for_enough")
+
+
+def _tunable_reads(graph: CallGraph, functions: TransformFunctions
+                   ) -> set[str]:
+    """Tunable names read anywhere reachable from the transform."""
+    reads: set[str] = set()
+    for info in graph.reachable(functions.roots()):
+        for node in ast.walk(info.node):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _READER_METHODS
+                    and node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)):
+                continue
+            reads.add(node.args[0].value)
+    return reads
+
+
+def _lint_dead_tunables(graph: CallGraph, transform,
+                        functions: TransformFunctions,
+                        report: AnalysisReport) -> None:
+    reads = _tunable_reads(graph, functions)
+    precision = transform.precision_param
+    for tunable in transform.tunables:
+        if precision is not None and tunable.name == precision.name:
+            continue  # read by the executor, not the rules
+        if tunable.name in reads:
+            continue
+        first_rule = transform.rules[0] if transform.rules else None
+        location = None
+        if first_rule is not None:
+            info = graph.info(first_rule.fn)
+            if info is not None:
+                location = info.location()
+        report.add(
+            "REP401",
+            f"tunable {tunable.name!r} is declared but no reachable "
+            f"rule reads it (no ctx.param({tunable.name!r}) / "
+            f"ctx.for_enough({tunable.name!r}) on any path); it "
+            f"multiplies the search space of every instance for "
+            f"nothing",
+            transform=transform.name, location=location)
+
+
+def _lint_unreachable_instances(program, report: AnalysisReport) -> None:
+    """BFS over the instance graph from the root's main instance."""
+    instances = program.instances
+    reached: set[str] = set()
+    frontier = [f"{program.root}@main"]
+    while frontier:
+        prefix = frontier.pop()
+        if prefix in reached or prefix not in instances:
+            continue
+        reached.add(prefix)
+        transform = instances[prefix].transform
+        for site in transform.call_sites.values():
+            callee = program.transform(site.target)
+            if not callee.is_variable_accuracy:
+                frontier.append(f"{site.target}@main")
+            elif site.accuracy is not None:
+                target = callee.bin_for_accuracy(site.accuracy)
+                frontier.append(
+                    f"{site.target}@{callee.bin_label(target)}")
+            else:
+                frontier.extend(
+                    f"{site.target}@{label}"
+                    for label in callee.bin_labels())
+    for prefix in sorted(set(instances) - reached):
+        instance = instances[prefix]
+        report.add(
+            "REP402",
+            f"instance {prefix!r} is unreachable: no call path from "
+            f"{program.root}@main dispatches to it, yet its tunables "
+            f"sit in the search space",
+            transform=instance.transform.name)
+
+
+def search_space_size(space: ParameterSpace) -> tuple[float, int]:
+    """``(log10_discrete, continuous_dims)`` for the whole space.
+
+    The first element is log10 of the product of every finite domain's
+    size; the second counts continuous (non-integer numeric) dimensions,
+    which have no meaningful cardinality.
+    """
+    log10 = 0.0
+    continuous = 0
+    for param in space:
+        if isinstance(param, ChoiceSiteParam):
+            log10 += math.log10(param.num_choices)
+        elif isinstance(param, (SizeValueParam, ScalarParam)):
+            if param.integer:
+                log10 += math.log10(param.hi - param.lo + 1.0)
+            else:
+                continuous += 1
+        elif isinstance(param, SwitchParam):
+            log10 += math.log10(len(param.choices))
+    return log10, continuous
+
+
+def render_search_space(space: ParameterSpace) -> str:
+    """One-line human rendering of :func:`search_space_size`."""
+    log10, continuous = search_space_size(space)
+    text = (f"{len(space)} parameters, ~10^{log10:.1f} discrete "
+            f"configurations")
+    if continuous:
+        text += (f" (x {continuous} continuous dimension"
+                 f"{'s' if continuous != 1 else ''})")
+    return text
+
+
+def lint_config_space(program, graph: CallGraph,
+                      per_transform: dict[str, TransformFunctions],
+                      report: AnalysisReport) -> None:
+    """Run all REP4xx checks plus the REP001 size estimate."""
+    for name in sorted(program.transforms):
+        transform = program.transform(name)
+        functions = per_transform.get(name)
+        if functions is not None:
+            _lint_dead_tunables(graph, transform, functions, report)
+    _lint_unreachable_instances(program, report)
+    report.add(
+        "REP001",
+        f"configuration space: {render_search_space(program.space)}",
+        transform=program.root)

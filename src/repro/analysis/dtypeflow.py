@@ -1,0 +1,168 @@
+"""Pass 2: dtype-flow lint over the substrate packages (REP2xx).
+
+The ``precision()`` tunable (PR 8) made dtype preservation a contract:
+a float32 working array entering :mod:`repro.linalg`,
+:mod:`repro.multigrid` or :mod:`repro.clustering` must come back
+float32, or the tuner's "float32 is cheaper" price is a lie and the
+stacked float32 throughput gate measures the wrong kernels.  The
+contract was previously enforced only by ``tests/test_precision.py``
+on the kernels it happened to exercise; this pass checks the *source*
+of every substrate function the program actually reaches:
+
+* ``REP201`` — explicit widening coercion: ``np.asarray(x,
+  dtype=float)`` / ``dtype=np.float64`` / ``dtype="float64"`` on a
+  value path.  The sanctioned spelling is
+  :func:`repro.linalg.dtypes.as_float`, which preserves floating
+  dtypes and promotes only non-floating inputs.
+* ``REP202`` — dtype-less value allocations: ``np.zeros`` /
+  ``np.empty`` / ``np.full`` / ``np.ones`` with no ``dtype=`` default
+  to float64 and poison every array derived from them.  Intentional
+  float64 state (cost accumulators, boolean masks via ``dtype=bool``)
+  is spelled with an explicit dtype, which also documents the intent.
+* ``REP203`` — arithmetic against a float64-typed literal
+  (``np.float64(c) * x``, ``x + np.array([c])``): NumPy's promotion
+  silently widens a float32 operand to float64.  Plain Python float
+  literals are *weak* under NEP 50 and never flagged.
+
+Scope is "value paths" by construction: the lint runs only over
+functions the whole-program call graph reaches from rule bodies — data
+generators and plotting helpers in the same packages are not reached
+and not linted.  Functions reached from non-substrate modules that
+register kernel contracts (test fixtures) are linted the same way.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any
+
+from repro.analysis.callgraph import CallGraph, FunctionInfo, in_substrate
+from repro.analysis.findings import AnalysisReport
+from repro.contracts import contract_of
+
+__all__ = ["lint_dtype_flow"]
+
+_ALLOCATORS = ("zeros", "empty", "full", "ones")
+
+
+def _is_float64_constant(node: ast.AST, namespace: dict[str, Any],
+                         local_names: set[str]) -> bool:
+    """True when ``node`` spells the float64 dtype itself."""
+    if isinstance(node, ast.Constant):
+        return node.value is float or node.value == "float64"
+    resolved = CallGraph.resolve(node, namespace, local_names)
+    if resolved is None:
+        return False
+    if resolved is float:
+        return True
+    try:
+        import numpy as np
+        return resolved is np.float64 or resolved is np.double
+    except ImportError:  # pragma: no cover - numpy is a hard dep
+        return False
+
+
+def _is_float64_valued(node: ast.AST, namespace: dict[str, Any],
+                       local_names: set[str]) -> bool:
+    """True when ``node`` evaluates to a float64-typed *value* whose
+    promotion would widen a float32 operand (``np.float64(c)``,
+    ``np.array([...])`` of literals with no dtype)."""
+    if not isinstance(node, ast.Call):
+        return False
+    callee = CallGraph.resolve(node.func, namespace, local_names)
+    if callee is None:
+        return False
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - numpy is a hard dep
+        return False
+    if callee is np.float64 or callee is np.double:
+        return True
+    if callee is np.array and node.args and \
+            not any(k.arg == "dtype" for k in node.keywords):
+        arg = node.args[0]
+        literals = [arg] if isinstance(arg, ast.Constant) else (
+            list(arg.elts) if isinstance(arg, (ast.List, ast.Tuple))
+            else [])
+        return bool(literals) and all(
+            isinstance(e, ast.Constant) and isinstance(e.value, float)
+            for e in literals)
+    return False
+
+
+def _numpy_callee_name(callee: Any) -> str | None:
+    """``"zeros"``/``"asarray"``/... for a numpy top-level callable."""
+    module = getattr(callee, "__module__", None) or ""
+    name = getattr(callee, "__name__", None)
+    if name is None:
+        return None
+    if module == "numpy" or module.startswith("numpy."):
+        return name
+    return None
+
+
+def _lint_function(graph: CallGraph, info: FunctionInfo,
+                   report: AnalysisReport) -> None:
+    namespace = info.namespace()
+    local_names = info.local_names()
+    for node in ast.walk(info.node):
+        if isinstance(node, ast.Call):
+            callee = CallGraph.resolve(node.func, namespace, local_names)
+            name = _numpy_callee_name(callee)
+            if name is None:
+                continue
+            dtype_kw = next((k.value for k in node.keywords
+                             if k.arg == "dtype"), None)
+            if name in ("asarray", "array") and dtype_kw is not None \
+                    and _is_float64_constant(dtype_kw, namespace,
+                                             local_names):
+                report.add(
+                    "REP201",
+                    f"{info.name}: np.{name}(..., dtype=float) widens "
+                    f"float32 inputs to float64; use "
+                    f"repro.linalg.dtypes.as_float (preserves floating "
+                    f"dtypes) or thread an explicit dtype",
+                    location=info.location(node))
+            elif name in _ALLOCATORS and dtype_kw is None:
+                report.add(
+                    "REP202",
+                    f"{info.name}: np.{name}(...) without dtype= "
+                    f"allocates float64 regardless of the working "
+                    f"precision; derive the dtype from an input array "
+                    f"(or state dtype=np.float64 if float64 is "
+                    f"intentional)",
+                    location=info.location(node))
+        elif isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub, ast.Mult, ast.Div,
+                          ast.Pow)):
+            for side in (node.left, node.right):
+                if _is_float64_valued(side, namespace, local_names):
+                    report.add(
+                        "REP203",
+                        f"{info.name}: arithmetic against a "
+                        f"float64-typed constant silently widens "
+                        f"float32 operands; use a plain Python scalar "
+                        f"(weak promotion) or match the operand dtype",
+                        location=info.location(node))
+                    break
+
+
+def lint_dtype_flow(graph: CallGraph, reachable: list[FunctionInfo],
+                    report: AnalysisReport) -> None:
+    """Lint every reachable function subject to the dtype contract.
+
+    A function is in scope when it lives in a substrate package, or
+    when it registered a kernel contract pledging dtype preservation
+    (fixture kernels outside the substrate tree).
+    """
+    seen: set[Any] = set()
+    for info in reachable:
+        code = info.fn.__code__
+        if code in seen:
+            continue
+        seen.add(code)
+        contract = contract_of(info.fn)
+        if not in_substrate(info.module) and (
+                contract is None or not contract.dtype_preserving):
+            continue
+        _lint_function(graph, info, report)

@@ -1,0 +1,93 @@
+"""Pass 3: pledge verification against the kernel registry (REP3xx).
+
+Two transform declarations are *pledges* about the substrate code the
+rules will reach:
+
+* ``batchable=True`` promises every rule tolerates one leading batch
+  dimension — which is only true if every substrate kernel on the
+  value path is stacked-capable;
+* a ``precision()`` tunable promises the executor may cast inputs to
+  float32 — which is only honoured if every substrate kernel on the
+  value path preserves floating dtypes.
+
+Until now both pledges were taken on faith at declaration time and
+falsified only by a flaky tuning run or a wrong stacked result.  This
+pass checks them statically: it walks the call graph from each pledged
+transform's rules to the substrate *frontier* — the first function on
+each path that lives in :data:`~repro.analysis.callgraph.SUBSTRATE_PACKAGES`
+— and requires a registered :class:`~repro.contracts.KernelContract`
+with the matching property.  An **unregistered** frontier function is a
+violation too (``REP301``/``REP302``): the registry must stay complete
+for the analysis to mean anything, so reaching unverified substrate
+code from a pledged transform is exactly as loud as reaching code known
+to break the pledge.
+
+Traversal stops at the frontier: a registered kernel's internal helpers
+are covered by the kernel's own contract (and its tests), not
+re-checked here.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.analysis.callgraph import CallGraph, in_substrate
+from repro.analysis.findings import AnalysisReport
+from repro.contracts import contract_of
+
+__all__ = ["verify_pledges"]
+
+
+def _frontier(graph: CallGraph, roots: list[tuple[str | None, Any]]
+              ) -> list[tuple[str | None, Any]]:
+    """Substrate functions first reached from each root, with the rule
+    name of the root that reached them (first reacher wins)."""
+    seen: set[Any] = set()
+    frontier: list[tuple[str | None, Any]] = []
+    for rule_name, fn in roots:
+        for info in graph.reachable([fn], stop_in_substrate=True):
+            code = info.fn.__code__
+            if code in seen:
+                continue
+            seen.add(code)
+            if in_substrate(info.module) or \
+                    contract_of(info.fn) is not None:
+                frontier.append((rule_name, info))
+    return frontier
+
+
+def verify_pledges(graph: CallGraph, transform,
+                   roots: list[tuple[str | None, Any]],
+                   report: AnalysisReport) -> None:
+    """Check ``transform``'s batchable/precision pledges."""
+    batchable = bool(getattr(transform, "batchable", False))
+    precision = getattr(transform, "precision_param", None)
+    if not batchable and precision is None:
+        return
+    for rule_name, info in _frontier(graph, roots):
+        contract = contract_of(info.fn)
+        qualified = f"{info.module}.{info.name}" if info.module \
+            else info.name
+        if batchable and (contract is None or not contract.stacked):
+            status = "is not registered as a kernel" if contract is None \
+                else "is registered stacked=False"
+            report.add(
+                "REP301",
+                f"transform pledges batchable=True but reaches "
+                f"{qualified}, which {status}; every substrate function "
+                f"on a batchable value path must carry a "
+                f"@kernel(stacked=True) contract",
+                transform=transform.name, rule=rule_name,
+                location=info.location())
+        if precision is not None and (
+                contract is None or not contract.dtype_preserving):
+            status = "is not registered as a kernel" if contract is None \
+                else "is registered dtype_preserving=False"
+            report.add(
+                "REP302",
+                f"transform declares precision({precision.name!r}) but "
+                f"reaches {qualified}, which {status}; every substrate "
+                f"function on the value path must carry a "
+                f"@kernel(dtype_preserving=True) contract",
+                transform=transform.name, rule=rule_name,
+                location=info.location())

@@ -1,0 +1,175 @@
+"""Pass 1: purity/determinism lint on rule bodies (REP1xx).
+
+The TrialCache content-addresses trial results by (program digest,
+configuration digest, input signature, seed); the process-pool backends
+re-execute rules in worker processes; the stacked execution path reruns
+the same rule on fused inputs.  All three silently assume rule bodies
+are **pure and deterministic**: same inputs, same config, same seed →
+same outputs and costs, with no effects outside the returned data.
+
+This pass walks every function transitively reachable from a
+transform's rules, accuracy metric and allocators and flags the four
+ways reproductions have historically gone flaky:
+
+* ``REP101`` — module-global mutation (a ``global`` declaration, or a
+  store through a name that resolves to module state);
+* ``REP102`` — wall-clock reads (``time.*``, ``datetime.*``): trial
+  outcomes must depend on the cost model, not the host's clock;
+* ``REP103`` — randomness not routed through :mod:`repro.rng` or the
+  context's seeded generator (``ctx.rng``): direct ``random.*`` /
+  ``np.random.*`` draws break the paired-trial design and make cached
+  outcomes unreproducible;
+* ``REP104`` — file or network I/O (``open``, ``socket``, ``urllib``,
+  ``requests``, ``subprocess``): effects the cache cannot see.
+
+Resolution is best-effort (see :mod:`repro.analysis.callgraph`);
+method calls on parameters — ``ctx.rng.integers(...)``, the sanctioned
+path — are unresolvable by construction and therefore never flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+import types
+from typing import Any
+
+from repro.analysis.callgraph import (
+    CallGraph,
+    FunctionInfo,
+    resolve_attribute_module,
+)
+from repro.analysis.findings import AnalysisReport
+
+__all__ = ["lint_purity"]
+
+#: Modules whose callables constitute a wall-clock read.
+_CLOCK_MODULES = ("time", "datetime")
+
+#: Modules whose callables constitute unrouted randomness.
+_RANDOM_MODULES = ("random", "numpy.random")
+
+#: Modules whose callables constitute file/network I/O.
+_IO_MODULES = ("socket", "subprocess", "http", "urllib", "requests",
+               "ftplib", "smtplib")
+
+#: Functions in these modules are the sanctioned randomness plumbing
+#: (repro.rng derives generators from explicit seeds) and are exempt
+#: from REP103 themselves.
+_RNG_EXEMPT_MODULES = ("repro.rng",)
+
+
+def _module_prefix_match(module: str | None, prefixes: tuple[str, ...]
+                         ) -> bool:
+    if not module:
+        return False
+    return any(module == p or module.startswith(p + ".")
+               for p in prefixes)
+
+
+def _store_root(node: ast.AST) -> ast.Name | None:
+    """The root Name of an attribute/subscript assignment target."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node if isinstance(node, ast.Name) else None
+
+
+def _check_global_mutation(info: FunctionInfo, namespace: dict[str, Any],
+                           local_names: set[str],
+                           report: AnalysisReport, *, transform: str,
+                           rule: str | None) -> None:
+    for node in ast.walk(info.node):
+        if isinstance(node, ast.Global):
+            report.add(
+                "REP101",
+                f"function {info.name!r} declares "
+                f"global {', '.join(node.names)}; rule execution must "
+                f"not mutate module state (the TrialCache and process "
+                f"backends assume pure rules)",
+                transform=transform, rule=rule,
+                location=info.location(node))
+            continue
+        targets: list[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            if not isinstance(target, (ast.Attribute, ast.Subscript)):
+                continue
+            root = _store_root(target)
+            if root is None or root.id in local_names:
+                continue
+            resolved = CallGraph.resolve(root, namespace, local_names)
+            if resolved is None or isinstance(resolved,
+                                              types.ModuleType):
+                continue
+            report.add(
+                "REP101",
+                f"function {info.name!r} stores into module-global "
+                f"{root.id!r}; rule execution must not mutate module "
+                f"state",
+                transform=transform, rule=rule,
+                location=info.location(node))
+
+
+def _check_calls(graph: CallGraph, info: FunctionInfo,
+                 report: AnalysisReport, *, transform: str,
+                 rule: str | None) -> None:
+    exempt_random = _module_prefix_match(info.module,
+                                         _RNG_EXEMPT_MODULES)
+    for callee, node in graph.callees(info):
+        module = resolve_attribute_module(callee)
+        name = getattr(callee, "__name__", repr(callee))
+        where = info.location(node)
+        if callee is open:
+            report.add(
+                "REP104",
+                f"function {info.name!r} calls open(); rule execution "
+                f"must not perform file I/O",
+                transform=transform, rule=rule, location=where)
+        elif _module_prefix_match(module, _IO_MODULES):
+            report.add(
+                "REP104",
+                f"function {info.name!r} calls {module}.{name}; rule "
+                f"execution must not perform file or network I/O",
+                transform=transform, rule=rule, location=where)
+        elif _module_prefix_match(module, _CLOCK_MODULES):
+            report.add(
+                "REP102",
+                f"function {info.name!r} calls {module}.{name}; rule "
+                f"outcomes must depend on the cost model, not the "
+                f"wall clock",
+                transform=transform, rule=rule, location=where)
+        elif not exempt_random and \
+                _module_prefix_match(module, _RANDOM_MODULES):
+            report.add(
+                "REP103",
+                f"function {info.name!r} calls {module}.{name}; route "
+                f"randomness through ctx.rng or repro.rng so trials "
+                f"stay reproducible and cacheable",
+                transform=transform, rule=rule, location=where)
+
+
+def lint_purity(graph: CallGraph, transform_name: str,
+                roots: list[tuple[str | None, Any]],
+                report: AnalysisReport) -> None:
+    """Lint every function reachable from ``roots``.
+
+    ``roots`` pairs each entry function with the rule name it belongs
+    to (``None`` for metrics/allocators); transitive callees inherit
+    the rule attribution of the root that first reaches them.
+    """
+    seen: set[Any] = set()
+    for rule_name, fn in roots:
+        for info in graph.reachable([fn]):
+            code = info.fn.__code__
+            if code in seen:
+                continue
+            seen.add(code)
+            namespace = info.namespace()
+            local_names = info.local_names()
+            _check_global_mutation(info, namespace, local_names, report,
+                                   transform=transform_name,
+                                   rule=rule_name)
+            _check_calls(graph, info, report,
+                         transform=transform_name, rule=rule_name)

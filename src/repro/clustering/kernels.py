@@ -17,6 +17,9 @@ from typing import Callable
 
 import numpy as np
 
+from repro.contracts import kernel
+from repro.linalg.dtypes import as_float
+
 __all__ = [
     "assign_clusters",
     "new_cluster_locations",
@@ -25,6 +28,7 @@ __all__ = [
 ]
 
 
+@kernel(stacked=True, dtype_preserving=True)
 def assign_clusters(points: np.ndarray, centroids: np.ndarray
                     ) -> tuple[np.ndarray, float]:
     """Assign each point (rows of ``points``) to its nearest centroid.
@@ -35,8 +39,8 @@ def assign_clusters(points: np.ndarray, centroids: np.ndarray
     ``(assignments, ops)`` where ops = n * k distance evaluations per
     slice, summed over the batch.
     """
-    points = np.asarray(points, dtype=float)
-    centroids = np.asarray(centroids, dtype=float)
+    points = as_float(points)
+    centroids = as_float(centroids)
     if centroids.ndim < 2 or points.ndim < 2:
         raise ValueError("points and centroids must be at least 2-D")
     # ||p - c||^2 = ||p||^2 - 2 p.c + ||c||^2 via one matmul instead of
@@ -52,6 +56,7 @@ def assign_clusters(points: np.ndarray, centroids: np.ndarray
         squared.shape, dtype=np.int64))
 
 
+@kernel(dtype_preserving=True)
 def new_cluster_locations(points: np.ndarray, assignments: np.ndarray,
                           k: int) -> tuple[np.ndarray, float]:
     """Move each centroid to the mean of its assigned points.
@@ -59,10 +64,10 @@ def new_cluster_locations(points: np.ndarray, assignments: np.ndarray,
     Empty clusters keep a NaN-free placeholder: the mean of all points
     (so later assignment steps remain well defined).  ops = n.
     """
-    points = np.asarray(points, dtype=float)
-    centroids = np.empty((k, points.shape[1]))
-    counts = np.bincount(assignments, minlength=k).astype(float)
-    sums = np.zeros((k, points.shape[1]))
+    points = as_float(points)
+    centroids = np.empty((k, points.shape[1]), dtype=points.dtype)
+    counts = np.bincount(assignments, minlength=k).astype(points.dtype)
+    sums = np.zeros((k, points.shape[1]), dtype=points.dtype)
     np.add.at(sums, assignments, points)
     nonempty = counts > 0
     centroids[nonempty] = sums[nonempty] / counts[nonempty, None]
@@ -71,15 +76,16 @@ def new_cluster_locations(points: np.ndarray, assignments: np.ndarray,
     return centroids, float(points.shape[0])
 
 
+@kernel(dtype_preserving=True)
 def sum_cluster_distance_squared(points: np.ndarray,
                                  assignments: np.ndarray,
                                  centroids: np.ndarray) -> float:
     """Sum of squared distances from points to their assigned centers."""
-    deltas = np.asarray(points, dtype=float) - \
-        np.asarray(centroids, dtype=float)[assignments]
+    deltas = as_float(points) - as_float(centroids)[assignments]
     return float(np.einsum("nd,nd->", deltas, deltas))
 
 
+@kernel(dtype_preserving=True)
 def lloyd_iterations(points: np.ndarray, centroids: np.ndarray, *,
                      max_iterations: int,
                      change_fraction: float = 0.0,
@@ -94,8 +100,8 @@ def lloyd_iterations(points: np.ndarray, centroids: np.ndarray, *,
     """
     if max_iterations < 1:
         raise ValueError(f"max_iterations must be >= 1: {max_iterations}")
-    points = np.asarray(points, dtype=float)
-    centroids = np.asarray(centroids, dtype=float).copy()
+    points = as_float(points)
+    centroids = as_float(centroids).copy()
     k = centroids.shape[0]
     n = points.shape[0]
     previous: np.ndarray | None = None

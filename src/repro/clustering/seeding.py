@@ -11,9 +11,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.contracts import kernel
+from repro.linalg.dtypes import as_float
+
 __all__ = ["random_centers", "kmeans_plus_plus"]
 
 
+@kernel(dtype_preserving=True)
 def random_centers(points: np.ndarray, k: int, rng: np.random.Generator
                    ) -> tuple[np.ndarray, float]:
     """Pick ``k`` input points uniformly at random (with replacement).
@@ -21,21 +25,22 @@ def random_centers(points: np.ndarray, k: int, rng: np.random.Generator
     With-replacement sampling mirrors the paper's Rule 1, which draws
     ``rand(0, n)`` independently per centroid column.  ops = k.
     """
-    points = np.asarray(points, dtype=float)
+    points = as_float(points)
     if k < 1:
         raise ValueError(f"k must be >= 1: {k}")
     indices = rng.integers(0, points.shape[0], size=k)
     return points[indices].copy(), float(k)
 
 
+@kernel(dtype_preserving=True)
 def kmeans_plus_plus(points: np.ndarray, k: int, rng: np.random.Generator
                      ) -> tuple[np.ndarray, float]:
     """k-means++ seeding.  ops = n * k distance updates."""
-    points = np.asarray(points, dtype=float)
+    points = as_float(points)
     n = points.shape[0]
     if k < 1:
         raise ValueError(f"k must be >= 1: {k}")
-    centers = np.empty((k, points.shape[1]))
+    centers = np.empty((k, points.shape[1]), dtype=points.dtype)
     first = int(rng.integers(0, n))
     centers[0] = points[first]
     # Squared distance to the closest chosen center so far.

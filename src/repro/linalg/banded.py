@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.contracts import kernel
 from repro.linalg.dtypes import as_float
 
 __all__ = ["banded_cholesky_factor", "banded_cholesky_solve"]
@@ -38,6 +39,7 @@ def _slice_count(batch_shape: tuple[int, ...]) -> float:
         else 1.0
 
 
+@kernel(stacked=True, dtype_preserving=True)
 def banded_cholesky_factor(band: np.ndarray) -> tuple[np.ndarray, float]:
     """Cholesky factor of an SPD band matrix, in band storage.
 
@@ -72,6 +74,7 @@ def banded_cholesky_factor(band: np.ndarray) -> tuple[np.ndarray, float]:
     return band, ops * _slice_count(band.shape[:-2])
 
 
+@kernel(stacked=True, dtype_preserving=True)
 def banded_cholesky_solve(factor: np.ndarray, b: np.ndarray
                           ) -> tuple[np.ndarray, float]:
     """Solve ``A x = b`` given the band Cholesky factor of ``A``.

@@ -49,7 +49,7 @@ def sturm_count(diagonal: np.ndarray, offdiagonal: np.ndarray,
 
 
 def _gershgorin_bounds(d: np.ndarray, e: np.ndarray) -> tuple[float, float]:
-    radius = np.zeros(len(d))
+    radius = np.zeros(len(d), dtype=d.dtype)
     if len(d) > 1:
         radius[:-1] += np.abs(e)
         radius[1:] += np.abs(e)

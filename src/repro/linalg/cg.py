@@ -23,6 +23,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.contracts import kernel
 from repro.linalg.dtypes import as_float
 
 __all__ = ["conjugate_gradient"]
@@ -30,6 +31,7 @@ __all__ = ["conjugate_gradient"]
 Operator = Callable[[np.ndarray], np.ndarray]
 
 
+@kernel(stacked=True, dtype_preserving=True)
 def conjugate_gradient(apply_operator: Operator, b: np.ndarray,
                        x0: np.ndarray | None = None, *,
                        iterations: int,
@@ -120,7 +122,8 @@ def _conjugate_gradient_stacked(apply_operator: Operator, b: np.ndarray,
     ``break``, and per-slice ops charged only while a slice is live."""
     batch, n = b.shape
     x = np.zeros_like(b) if x0 is None else np.array(as_float(x0))
-    ops = np.zeros(batch)
+    # Cost accounting is float64 on purpose, whatever the working dtype.
+    ops = np.zeros(batch, dtype=np.float64)
 
     r = b - apply_operator(x)
     ops += operator_cost + n

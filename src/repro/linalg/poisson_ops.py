@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.contracts import kernel
 from repro.linalg.dtypes import as_float
 
 __all__ = [
@@ -29,6 +30,7 @@ __all__ = [
 ]
 
 
+@kernel(stacked=True, dtype_preserving=True)
 def apply_laplacian_1d(x: np.ndarray, h: float = 1.0,
                        extra_diagonal: np.ndarray | None = None
                        ) -> np.ndarray:
@@ -48,6 +50,7 @@ def apply_laplacian_1d(x: np.ndarray, h: float = 1.0,
     return y
 
 
+@kernel(stacked=True, dtype_preserving=True)
 def laplacian_1d_diagonal(n: int, h: float = 1.0,
                           extra_diagonal: np.ndarray | None = None,
                           dtype: np.dtype | None = None) -> np.ndarray:
@@ -59,6 +62,7 @@ def laplacian_1d_diagonal(n: int, h: float = 1.0,
     return diagonal
 
 
+@kernel(stacked=True, dtype_preserving=True)
 def apply_laplacian_2d(u: np.ndarray, h: float) -> np.ndarray:
     """y = T u for the 2-D 5-point Dirichlet Laplacian on the interior.
 
@@ -74,6 +78,7 @@ def apply_laplacian_2d(u: np.ndarray, h: float) -> np.ndarray:
     return y / (h * h)
 
 
+@kernel(stacked=True, dtype_preserving=True)
 def poisson_2d_banded(n: int, h: float,
                       dtype: np.dtype | None = None) -> np.ndarray:
     """The 2-D Poisson matrix in LAPACK lower band storage.

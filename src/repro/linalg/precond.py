@@ -23,6 +23,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.contracts import kernel
 from repro.linalg.dtypes import as_float
 
 __all__ = ["jacobi_preconditioner", "polynomial_preconditioner"]
@@ -30,6 +31,7 @@ __all__ = ["jacobi_preconditioner", "polynomial_preconditioner"]
 Operator = Callable[[np.ndarray], np.ndarray]
 
 
+@kernel(stacked=True, dtype_preserving=True)
 def jacobi_preconditioner(diagonal: np.ndarray
                           ) -> tuple[Operator, float]:
     """P^-1 r = r / diag(A).  Returns ``(apply, cost_per_application)``."""
@@ -44,6 +46,7 @@ def jacobi_preconditioner(diagonal: np.ndarray
     return apply, float(len(diagonal))
 
 
+@kernel(stacked=True, dtype_preserving=True)
 def polynomial_preconditioner(apply_operator: Operator, degree: int,
                               omega: float, operator_cost: float,
                               length: int) -> tuple[Operator, float]:

@@ -20,15 +20,19 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.contracts import kernel
+
 __all__ = ["is_grid_size", "coarse_size", "restrict_full_weighting",
            "prolong"]
 
 
+@kernel(stacked=True, dtype_preserving=True)
 def is_grid_size(n: int) -> bool:
     """True for sizes of the form 2^k - 1 (k >= 1)."""
     return n >= 1 and ((n + 1) & n) == 0
 
 
+@kernel(stacked=True, dtype_preserving=True)
 def coarse_size(n: int) -> int:
     """Size of the next-coarser grid."""
     if not is_grid_size(n) or n < 3:
@@ -86,6 +90,7 @@ def _prolong_axis(array: np.ndarray, axis: int) -> np.ndarray:
     return out
 
 
+@kernel(stacked=True, dtype_preserving=True)
 def restrict_full_weighting(fine: np.ndarray, *,
                             core_ndim: int | None = None
                             ) -> tuple[np.ndarray, float]:
@@ -104,6 +109,7 @@ def restrict_full_weighting(fine: np.ndarray, *,
     return result, float(np.asarray(fine).size) * 2.0
 
 
+@kernel(stacked=True, dtype_preserving=True)
 def prolong(coarse: np.ndarray, *, core_ndim: int | None = None
             ) -> tuple[np.ndarray, float]:
     """Linear prolongation over the trailing ``core_ndim`` axes.

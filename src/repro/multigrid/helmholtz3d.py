@@ -14,6 +14,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.contracts import kernel
+from repro.linalg.dtypes import as_float
+
 __all__ = [
     "face_coefficients",
     "apply_helmholtz_3d",
@@ -23,9 +26,10 @@ __all__ = [
 ]
 
 
+@kernel(dtype_preserving=True)
 def face_coefficients(b: np.ndarray) -> tuple[np.ndarray, ...]:
     """Six face-coupling arrays (-x, +x, -y, +y, -z, +z) from node b."""
-    padded = np.pad(np.asarray(b, dtype=float), 1, mode="edge")
+    padded = np.pad(as_float(b), 1, mode="edge")
     core = padded[1:-1, 1:-1, 1:-1]
     return (0.5 * (core + padded[:-2, 1:-1, 1:-1]),
             0.5 * (core + padded[2:, 1:-1, 1:-1]),
@@ -35,6 +39,7 @@ def face_coefficients(b: np.ndarray) -> tuple[np.ndarray, ...]:
             0.5 * (core + padded[1:-1, 1:-1, 2:]))
 
 
+@kernel(dtype_preserving=True)
 def apply_helmholtz_3d(phi: np.ndarray, a: np.ndarray, b: np.ndarray,
                        h: float, *, alpha: float = 1.0, beta: float = 1.0
                        ) -> tuple[np.ndarray, float]:
@@ -42,10 +47,10 @@ def apply_helmholtz_3d(phi: np.ndarray, a: np.ndarray, b: np.ndarray,
 
     Returns ``(y, ops)``; ops = 16 n^3.
     """
-    phi = np.asarray(phi, dtype=float)
+    phi = as_float(phi)
     n = phi.shape[0]
     faces = face_coefficients(b)
-    padded = np.zeros((n + 2, n + 2, n + 2))
+    padded = np.zeros((n + 2, n + 2, n + 2), dtype=phi.dtype)
     padded[1:-1, 1:-1, 1:-1] = phi
     bm_x, bp_x, bm_y, bp_y, bm_z, bp_z = faces
     flux = (bm_x * (phi - padded[:-2, 1:-1, 1:-1])
@@ -54,10 +59,11 @@ def apply_helmholtz_3d(phi: np.ndarray, a: np.ndarray, b: np.ndarray,
             + bp_y * (phi - padded[1:-1, 2:, 1:-1])
             + bm_z * (phi - padded[1:-1, 1:-1, :-2])
             + bp_z * (phi - padded[1:-1, 1:-1, 2:]))
-    y = alpha * np.asarray(a, dtype=float) * phi + (beta / (h * h)) * flux
+    y = alpha * as_float(a) * phi + (beta / (h * h)) * flux
     return y, 16.0 * n ** 3
 
 
+@kernel(dtype_preserving=True)
 def helmholtz_banded(a: np.ndarray, b: np.ndarray, h: float, *,
                      alpha: float = 1.0, beta: float = 1.0) -> np.ndarray:
     """The operator in LAPACK lower band storage (bandwidth n^2).
@@ -66,14 +72,14 @@ def helmholtz_banded(a: np.ndarray, b: np.ndarray, h: float, *,
     grid sizes.  The matrix is SPD for positive ``a``/``b`` and
     positive ``alpha``/``beta``.
     """
-    a = np.asarray(a, dtype=float)
+    a = as_float(a)
     n = a.shape[0]
     size = n ** 3
     scale = beta / (h * h)
     bm_x, bp_x, bm_y, bp_y, bm_z, bp_z = face_coefficients(b)
     diagonal = (alpha * a + scale
                 * (bm_x + bp_x + bm_y + bp_y + bm_z + bp_z))
-    band = np.zeros((n * n + 1, size))
+    band = np.zeros((n * n + 1, size), dtype=diagonal.dtype)
     band[0, :] = diagonal.reshape(-1)
 
     # Index (i, j, k) flattens to i*n^2 + j*n + k: offset 1 couples k
@@ -92,6 +98,7 @@ def helmholtz_banded(a: np.ndarray, b: np.ndarray, h: float, *,
     return band
 
 
+@kernel(dtype_preserving=True)
 def restrict_coefficients(field: np.ndarray) -> tuple[np.ndarray, float]:
     """Coarsen a coefficient field by full weighting.
 

@@ -38,9 +38,12 @@ call) for callers that need explicit masks.
 
 from __future__ import annotations
 
+import functools
 import itertools
 
 import numpy as np
+
+from repro.contracts import kernel
 
 __all__ = ["sor_poisson_2d", "sor_helmholtz_3d"]
 
@@ -89,6 +92,7 @@ def _as_float(array: np.ndarray) -> np.ndarray:
     return array
 
 
+@kernel(stacked=True, dtype_preserving=True)
 def sor_poisson_2d(u: np.ndarray, f: np.ndarray, h: float, omega: float,
                    iterations: int) -> tuple[np.ndarray, float]:
     """Red-Black SOR sweeps for ``-lap(u) = f`` (zero Dirichlet).
@@ -136,20 +140,20 @@ def _sor_poisson_2d_subsets(u, f, shape, dtype, h, omega, iterations):
     return padded[..., 1:-1, 1:-1].copy()
 
 
+@functools.lru_cache(maxsize=None)
 def _ring_parity_indices(width: int) -> tuple[np.ndarray, np.ndarray]:
-    """Per-parity flat indices of the padded boundary ring (cached)."""
-    cached = _RING_CACHE.get(width)
-    if cached is None:
-        cells = width * width
-        flat = np.arange(cells)
-        ring = ((flat < width) | (flat >= cells - width)
-                | (flat % width == 0) | (flat % width == width - 1))
-        cached = (np.nonzero(ring[0::2])[0], np.nonzero(ring[1::2])[0])
-        _RING_CACHE[width] = cached
-    return cached
+    """Per-parity flat indices of the padded boundary ring (cached).
 
-
-_RING_CACHE: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+    ``lru_cache`` rather than a hand-rolled module dict: deterministic
+    memoization of a pure function is the one sanctioned form of
+    module-level state on a rule-reachable path (the handful of
+    distinct level widths keeps an unbounded cache safe).
+    """
+    cells = width * width
+    flat = np.arange(cells)
+    ring = ((flat < width) | (flat >= cells - width)
+            | (flat % width == 0) | (flat % width == width - 1))
+    return np.nonzero(ring[0::2])[0], np.nonzero(ring[1::2])[0]
 
 
 def _sor_poisson_2d_compact(u, f, shape, dtype, h, omega, iterations):
@@ -218,6 +222,7 @@ def _sor_poisson_2d_compact(u, f, shape, dtype, h, omega, iterations):
     return np.moveaxis(padded[1:-1, 1:-1], (0, 1), (-2, -1)).copy()
 
 
+@kernel(stacked=True, dtype_preserving=True)
 def sor_helmholtz_3d(phi: np.ndarray, f: np.ndarray, a: np.ndarray,
                      face_b: tuple[np.ndarray, ...], h: float,
                      omega: float, iterations: int, *,
