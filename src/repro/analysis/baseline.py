@@ -18,6 +18,11 @@ finding's file, so baselines are checkout-location independent) and
 **never** baselinable: a baseline entry matching an error is ignored,
 because purity and pledge violations break runtime invariants rather
 than style.
+
+The ratchet tightens both ways: an entry that matches **no** current
+finding at all is *stale*, and the CI gate fails on it
+(:func:`stale_entries`) — dead suppressions cannot accumulate after
+the code they excused is fixed.
 """
 
 from __future__ import annotations
@@ -28,7 +33,7 @@ from typing import Any
 from repro.analysis.findings import WARNING, AnalysisReport, Finding
 from repro.errors import ReproError
 
-__all__ = ["load_baseline", "partition_findings"]
+__all__ = ["load_baseline", "partition_findings", "stale_entries"]
 
 
 def load_baseline(path: str) -> list[dict[str, Any]]:
@@ -67,20 +72,38 @@ def _matches(entry: dict[str, Any], finding: Finding) -> bool:
 
 
 def partition_findings(report: AnalysisReport,
-                       baseline: list[dict[str, Any]]
+                       baseline: list[dict[str, Any]], *,
+                       matched: "set[int] | None" = None
                        ) -> tuple[list[Finding], list[Finding]]:
     """Split findings into ``(active, suppressed)``.
 
     A warning matching any baseline entry is suppressed; errors and
     info findings always stay active (info findings never gate, so
     suppressing them would only hide the metrics).
+
+    ``matched``, when given, accumulates the *indices* of baseline
+    entries that matched any finding of any severity — across several
+    reports, so the staleness check (:func:`stale_entries`) can run
+    once over a whole multi-target CI gate.  An entry matching only an
+    error still counts as live: it suppresses nothing, but the finding
+    it names exists.
     """
     active: list[Finding] = []
     suppressed: list[Finding] = []
     for finding in report:
-        if finding.severity == WARNING and any(
-                _matches(entry, finding) for entry in baseline):
+        hits = [index for index, entry in enumerate(baseline)
+                if _matches(entry, finding)]
+        if matched is not None:
+            matched.update(hits)
+        if finding.severity == WARNING and hits:
             suppressed.append(finding)
         else:
             active.append(finding)
     return active, suppressed
+
+
+def stale_entries(baseline: list[dict[str, Any]],
+                  matched: set[int]) -> list[dict[str, Any]]:
+    """Baseline entries that matched no finding anywhere this run."""
+    return [entry for index, entry in enumerate(baseline)
+            if index not in matched]

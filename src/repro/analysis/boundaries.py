@@ -1,0 +1,311 @@
+"""Process-boundary lint (REP601–REP603).
+
+:class:`~repro.runtime.backends.process.ProcessPoolBackend` ships a
+compiled program to worker processes by pickling its **provenance** —
+``("benchmark", name)`` or ``("factory", "module:callable")`` — and
+re-running the build on the far side.  Everything that crosses that
+boundary must therefore be rebuildable by name, and everything that
+does *not* cross it (module globals mutated in the parent) silently
+diverges between parent and workers.  Three findings police the seam:
+
+* **REP601** (info) — a compiled program whose provenance is ``None``
+  holds rules/metrics/allocators that cannot be pickled (lambdas,
+  closures, functions defined inside other functions).  It serves fine
+  on the serial and thread backends, and the process backend already
+  raises a pointed ``TypeError`` at runtime — the finding makes the
+  limitation visible at analysis time.
+* **REP602** (error) — a function mutates a module global (``global``
+  rebind, or in-place mutation of a module-level container) without a
+  :func:`repro.contracts.process_local` declaration.  Worker processes
+  each get their own copy of the module; mutations in the parent never
+  reach them, and vice versa.
+* **REP603** (error) — a lambda, locally-defined function, or bound
+  method is handed straight to a process-boundary sink
+  (``ProcessPoolExecutor``, ``multiprocessing.Process``,
+  ``pickle.dumps``): none of these survive pickling by value.
+
+Like the concurrency pass this is lexical and best-effort: receivers
+that cannot be resolved to module-level objects are skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+import concurrent.futures
+import multiprocessing
+import pickle
+import types
+
+from repro.analysis.callgraph import (
+    CallGraph,
+    transform_functions,
+)
+from repro.analysis.findings import AnalysisReport
+from repro.contracts import process_locals_of
+from repro.lang.diagnostics import SourceLocation
+
+__all__ = ["lint_boundaries", "lint_provenance"]
+
+#: In-place mutators, mirroring the concurrency pass's set.
+_MUTATORS = frozenset({
+    "append", "appendleft", "extend", "extendleft", "insert",
+    "remove", "pop", "popleft", "popitem", "clear", "update", "add",
+    "discard", "setdefault", "move_to_end", "sort", "reverse",
+    "rotate",
+})
+
+#: Module-level bindings whose in-place mutation a worker process
+#: would never observe.
+_MUTABLE_TYPES = (list, dict, set, bytearray)
+
+
+def _boundary_sinks() -> dict[int, str]:
+    """id(object) -> label for every callable that pickles (or forks
+    around) its function-valued arguments."""
+    sinks = {
+        id(concurrent.futures.ProcessPoolExecutor):
+            "concurrent.futures.ProcessPoolExecutor",
+        id(pickle.dumps): "pickle.dumps",
+        id(pickle.dump): "pickle.dump",
+    }
+    for name in ("Process", "Pool"):
+        obj = getattr(multiprocessing, name, None)
+        if obj is not None:
+            sinks[id(obj)] = f"multiprocessing.{name}"
+    return sinks
+
+
+_SINKS = _boundary_sinks()
+
+
+# ----------------------------------------------------------------------
+# REP601 — provenance-less programs cannot reach the process backend
+# ----------------------------------------------------------------------
+def lint_provenance(graph: CallGraph, program,
+                    report: AnalysisReport) -> None:
+    """Flag (info) every unpicklable function of a provenance-less
+    program.  Programs with ``("benchmark", ...)`` or
+    ``("factory", ...)`` provenance rebuild by name in workers and are
+    exempt regardless of how their rules were defined."""
+    if getattr(program, "provenance", None) is not None:
+        return
+    seen: set = set()
+    for name in sorted(program.transforms):
+        functions = transform_functions(program.transform(name))
+        roots = [(rule_name, fn) for rule_name, fn in functions.rules]
+        roots += [(None, fn)
+                  for fn in functions.metrics + functions.allocators]
+        for rule_name, fn in roots:
+            code = getattr(fn, "__code__", None)
+            if code is None or code in seen:
+                continue
+            seen.add(code)
+            reason = _unpicklable_reason(fn)
+            if reason is None:
+                continue
+            info = graph.info(fn)
+            report.add(
+                "REP601",
+                f"{reason}; without ('factory', ...) provenance this "
+                f"program cannot serve on the process backend (serial "
+                f"and thread backends are unaffected)",
+                transform=name, rule=rule_name,
+                location=info.location() if info is not None else None)
+
+
+def _unpicklable_reason(fn) -> str | None:
+    name = getattr(fn, "__name__", "")
+    qualname = getattr(fn, "__qualname__", "")
+    if name == "<lambda>":
+        return "rule is a lambda, which cannot be pickled"
+    if "<locals>" in qualname:
+        if getattr(fn, "__closure__", None):
+            return (f"{name}() is a closure over local state and "
+                    f"cannot be pickled")
+        return (f"{name}() is defined inside another function and "
+                f"cannot be pickled by name")
+    return None
+
+
+# ----------------------------------------------------------------------
+# REP602 / REP603 — module-global mutation and boundary crossings
+# ----------------------------------------------------------------------
+def lint_boundaries(graph: CallGraph, module: types.ModuleType,
+                    report: AnalysisReport) -> None:
+    """Scan every function defined in ``module``'s source file."""
+    filename = getattr(module, "__file__", None)
+    if not filename:
+        return
+    try:
+        with open(filename, encoding="utf-8") as handle:
+            tree = ast.parse(handle.read(), filename=filename)
+    except (OSError, SyntaxError, ValueError):
+        return
+    declared = process_locals_of(module.__name__)
+    namespace = vars(module)
+    mutable_globals = {name for name, value in namespace.items()
+                       if isinstance(value, _MUTABLE_TYPES)}
+
+    def walk(node: ast.AST, method_names: frozenset[str]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                walk(child, frozenset(
+                    sub.name for sub in child.body
+                    if isinstance(sub, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef))))
+            else:
+                if isinstance(child, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef)):
+                    _scan_function(child, filename, module.__name__,
+                                   namespace, mutable_globals,
+                                   declared, method_names, report)
+                walk(child, method_names)
+
+    walk(tree, frozenset())
+
+
+class _FunctionScan(ast.NodeVisitor):
+    """Own-body walk of one function: nested defs/lambdas are visited
+    as their own top-level scan (``ast.walk`` over the module finds
+    them), never inlined into the enclosing function's events."""
+
+    def __init__(self):
+        self.global_names: set[str] = set()
+        self.store_names: set[str] = set()
+        self.nested_defs: set[str] = set()
+        self.global_rebinds: list[tuple[str, ast.AST]] = []
+        self.name_mutations: list[tuple[str, ast.AST]] = []
+        self.calls: list[ast.Call] = []
+
+    def visit_FunctionDef(self, node):
+        self.nested_defs.add(node.name)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Lambda(self, node):
+        pass  # opaque
+
+    def visit_ClassDef(self, node):
+        pass
+
+    def visit_Global(self, node):
+        self.global_names.update(node.names)
+
+    def visit_Name(self, node):
+        if isinstance(node.ctx, (ast.Store, ast.Del)):
+            self.store_names.add(node.id)
+            if node.id in self.global_names:
+                self.global_rebinds.append((node.id, node))
+
+    def visit_Subscript(self, node):
+        if isinstance(node.ctx, (ast.Store, ast.Del)) \
+                and isinstance(node.value, ast.Name):
+            self.name_mutations.append((node.value.id, node))
+        self.generic_visit(node)
+
+    def visit_Call(self, node):
+        self.calls.append(node)
+        func = node.func
+        if isinstance(func, ast.Attribute) \
+                and isinstance(func.value, ast.Name) \
+                and func.attr in _MUTATORS:
+            self.name_mutations.append((func.value.id, node))
+        self.generic_visit(node)
+
+
+def _scan_function(node, filename: str, module_name: str,
+                   namespace: dict, mutable_globals: set[str],
+                   declared: frozenset, method_names: frozenset[str],
+                   report: AnalysisReport) -> None:
+    scan = _FunctionScan()
+    # Visit the body, not the def itself, so the function's own name
+    # does not land in nested_defs and decorators stay out of scope.
+    for statement in node.body:
+        scan.visit(statement)
+    params = _param_names(node)
+    local_names = (params | scan.store_names
+                   | scan.nested_defs) - scan.global_names
+
+    def location(at: ast.AST) -> SourceLocation:
+        return SourceLocation(filename, getattr(at, "lineno",
+                                                node.lineno))
+
+    # REP602(a): explicit ``global X`` rebinds.
+    for name, at in scan.global_rebinds:
+        if name in declared:
+            continue
+        report.add(
+            "REP602",
+            f"rebinds module global {name!r} without a process_local "
+            f"declaration — worker processes each keep their own copy "
+            f"and never see this value",
+            transform=module_name, rule=node.name,
+            location=location(at))
+    # REP602(b): in-place mutation of module-level containers.
+    for name, at in scan.name_mutations:
+        if name in local_names or name in declared:
+            continue
+        if name not in mutable_globals:
+            continue
+        report.add(
+            "REP602",
+            f"mutates module-level container {name!r} in place "
+            f"without a process_local declaration — the mutation "
+            f"stays in this process and workers keep the stale copy",
+            transform=module_name, rule=node.name,
+            location=location(at))
+    # REP603: function-valued state handed to a pickling sink.
+    for call in scan.calls:
+        callee = CallGraph.resolve(call.func, namespace, local_names)
+        label = _SINKS.get(id(callee))
+        if label is None:
+            continue
+        values = list(call.args)
+        values += [keyword.value for keyword in call.keywords]
+        for value in values:
+            what = _unpicklable_value(value, scan.nested_defs,
+                                      method_names)
+            if what is None:
+                continue
+            report.add(
+                "REP603",
+                f"{what} passed to {label} cannot be pickled by "
+                f"value; move it to module level or pass provenance "
+                f"instead",
+                transform=module_name, rule=node.name,
+                location=location(value))
+
+
+def _param_names(node) -> set[str]:
+    args = node.args
+    names = {a.arg for a in args.args}
+    names.update(a.arg for a in args.posonlyargs)
+    names.update(a.arg for a in args.kwonlyargs)
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    return names
+
+
+def _unpicklable_value(value: ast.expr, nested_defs: set[str],
+                       method_names: frozenset[str]) -> str | None:
+    if isinstance(value, ast.Lambda):
+        return "a lambda"
+    if isinstance(value, ast.Name) and value.id in nested_defs:
+        return f"locally-defined function {value.id}()"
+    if isinstance(value, ast.Attribute) \
+            and isinstance(value.value, ast.Name) \
+            and value.value.id == "self" \
+            and value.attr in method_names:
+        # self.<attr> is only a bound method when the enclosing class
+        # defines a method of that name; plain data attributes
+        # (self.max_workers) pickle fine.
+        return f"bound method self.{value.attr}"
+    if isinstance(value, (ast.Tuple, ast.List)):
+        for element in value.elts:
+            found = _unpicklable_value(element, nested_defs,
+                                       method_names)
+            if found is not None:
+                return found
+    return None

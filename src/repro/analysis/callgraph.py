@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import ast
 import builtins
+import functools
+import inspect
 import types
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator
@@ -50,11 +52,15 @@ class _ModuleIndex:
     """Parsed AST of one source file, with functions indexed by
     ``(name, first_lineno)`` — ``first_lineno`` being the line of the
     first decorator (or the ``def`` itself), which is exactly what
-    ``fn.__code__.co_firstlineno`` reports."""
+    ``fn.__code__.co_firstlineno`` reports.  Lambdas index under
+    ``("<lambda>", lineno)``, matching their code objects; two lambdas
+    on one line are inherently ambiguous, so the collision maps to
+    ``None`` (unanalyzable) rather than guessing."""
 
     def __init__(self, filename: str):
         self.filename = filename
-        self.functions: dict[tuple[str, int], ast.FunctionDef] = {}
+        self.functions: dict[tuple[str, int],
+                             "ast.FunctionDef | ast.Lambda | None"] = {}
         try:
             with open(filename, encoding="utf-8") as handle:
                 tree = ast.parse(handle.read(), filename=filename)
@@ -65,6 +71,10 @@ class _ModuleIndex:
                 first = min([d.lineno for d in node.decorator_list]
                             + [node.lineno])
                 self.functions[(node.name, first)] = node
+            elif isinstance(node, ast.Lambda):
+                key = ("<lambda>", node.lineno)
+                self.functions[key] = (None if key in self.functions
+                                       else node)
 
 
 @dataclass(frozen=True)
@@ -72,9 +82,14 @@ class FunctionInfo:
     """One analyzable function: object + source AST + namespaces."""
 
     fn: Callable
-    node: ast.FunctionDef
+    node: "ast.FunctionDef | ast.Lambda"
     filename: str
     module: str | None
+
+    def body(self) -> list[ast.AST]:
+        """Body statements; a lambda's single expression as one item."""
+        body = self.node.body
+        return body if isinstance(body, list) else [body]
 
     @property
     def name(self) -> str:
@@ -153,7 +168,17 @@ class CallGraph:
     # Function lookup
     # ------------------------------------------------------------------
     def info(self, fn: Callable) -> FunctionInfo | None:
-        """Source AST + namespaces for ``fn``; None when unavailable."""
+        """Source AST + namespaces for ``fn``; None when unavailable.
+
+        ``functools.partial`` objects resolve to their underlying
+        function; ``functools.wraps``-style wrappers resolve to the
+        function they wrap (``__wrapped__``), so a decorated rule is
+        analyzed at its real body, not at the decorator's generic
+        ``wrapper`` closure.
+        """
+        fn = CallGraph.unwrap(fn)
+        if fn is None:
+            return None
         code = getattr(fn, "__code__", None)
         if code is None:
             return None
@@ -175,6 +200,20 @@ class CallGraph:
                             module=getattr(fn, "__module__", None))
         self._infos[key] = info
         return info
+
+    @staticmethod
+    def unwrap(obj: Any) -> Any:
+        """Peel ``functools.partial`` layers and ``__wrapped__`` chains
+        down to the underlying function; ``None`` on a wrapper cycle."""
+        while isinstance(obj, functools.partial):
+            obj = obj.func
+        try:
+            obj = inspect.unwrap(obj)
+        except ValueError:  # pragma: no cover - __wrapped__ cycle
+            return None
+        while isinstance(obj, functools.partial):
+            obj = obj.func
+        return obj
 
     # ------------------------------------------------------------------
     # Name resolution
@@ -215,7 +254,7 @@ class CallGraph:
         """
         namespace = info.namespace()
         local_names = info.local_names()
-        for statement in info.node.body:
+        for statement in info.body():
             for node in ast.walk(statement):
                 if not isinstance(node, ast.Call):
                     continue
@@ -249,6 +288,7 @@ class CallGraph:
         verification wants (a registered kernel's callees are covered
         by the kernel's own contract tests).
         """
+        roots = [self.unwrap(fn) for fn in roots]
         origin_files = {
             fn.__code__.co_filename for fn in roots
             if getattr(fn, "__code__", None) is not None}
@@ -256,7 +296,7 @@ class CallGraph:
         ordered: list[FunctionInfo] = []
         stack: list[Callable] = list(roots)[::-1]
         while stack:
-            fn = stack.pop()
+            fn = self.unwrap(stack.pop())
             code = getattr(fn, "__code__", None)
             if code is None or code in seen:
                 continue
@@ -268,6 +308,7 @@ class CallGraph:
             if stop_in_substrate and in_substrate(info.module):
                 continue
             for callee, _ in self.callees(info):
+                callee = self.unwrap(callee)
                 if self._should_descend(callee, origin_files):
                     stack.append(callee)
         return ordered

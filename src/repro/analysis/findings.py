@@ -13,6 +13,8 @@ Code blocks by pass:
 * ``REP2xx`` — dtype-flow lint over the substrate packages
 * ``REP3xx`` — pledge verification (``batchable``/``precision``)
 * ``REP4xx`` — config-space analyses on the compiled program
+* ``REP5xx`` — concurrency-contract lint over the serving tier
+* ``REP6xx`` — process-boundary lint (pickling, worker globals)
 * ``REP0xx`` — informational program metrics
 """
 
@@ -24,7 +26,7 @@ from typing import Any, Iterator
 from repro.lang.diagnostics import SourceLocation
 
 __all__ = ["Finding", "AnalysisReport", "FINDING_CODES",
-           "ERROR", "WARNING", "INFO"]
+           "ERROR", "WARNING", "INFO", "SCHEMA_VERSION"]
 
 ERROR = "error"
 WARNING = "warning"
@@ -51,8 +53,29 @@ FINDING_CODES: dict[str, tuple[str, str]] = {
     "REP401": (WARNING, "dead tunable: no reachable rule reads it"),
     "REP402": (WARNING, "unreachable instance: no call path from the "
                         "root instance dispatches to it"),
+    "REP501": (ERROR, "guarded field touched outside its declared "
+                      "lock"),
+    "REP502": (ERROR, "blocking call reachable on the event-loop "
+                      "thread"),
+    "REP503": (ERROR, "cross-thread publication bypassing the "
+                      "atomic-swap idiom"),
+    "REP504": (ERROR, "lock-acquisition-order inversion across the "
+                      "declared lock set"),
+    "REP505": (ERROR, "class constructs threading primitives without "
+                      "a declared concurrency contract"),
+    "REP601": (INFO, "program has no pickle provenance and its rules "
+                     "cannot reach a process pool"),
+    "REP602": (ERROR, "module global mutated without a process_local "
+                      "declaration (workers will not share it)"),
+    "REP603": (ERROR, "lambda or locally-defined function crosses a "
+                      "process boundary"),
     "REP001": (INFO, "configuration search-space size estimate"),
 }
+
+#: Version of the ``--json`` report layout (``AnalysisReport.to_json``
+#: and the ``python -m repro.lang --json`` payloads).  Bump when field
+#: names, nesting or ordering guarantees change.
+SCHEMA_VERSION = 2
 
 _SEVERITY_ORDER = {ERROR: 0, WARNING: 1, INFO: 2}
 
@@ -77,6 +100,17 @@ class Finding:
             parts.append(f"[{subject}] ")
         parts.append(self.message)
         return "".join(parts)
+
+    def sort_key(self) -> tuple:
+        """Deterministic report order: by file, then line, then code.
+
+        Location-less findings (program-level metrics) sort last so
+        source findings stay grouped by file.
+        """
+        if self.location is None:
+            return ("~", 0, self.code, self.message)
+        return (self.location.filename, self.location.lineno,
+                self.code, self.message)
 
     def to_json(self) -> dict[str, Any]:
         payload: dict[str, Any] = {
@@ -155,8 +189,13 @@ class AnalysisReport:
         return "\n".join(lines)
 
     def to_json(self) -> dict[str, Any]:
+        """Machine-readable report: findings in (file, line, code)
+        order — deterministic across runs and Python versions."""
         return {
-            "findings": [f.to_json() for f in self.sorted()],
+            "schema_version": SCHEMA_VERSION,
+            "findings": [f.to_json() for f in
+                         sorted(self.findings,
+                                key=Finding.sort_key)],
             "errors": len(self.errors),
             "warnings": len(self.warnings),
         }

@@ -27,12 +27,14 @@ from __future__ import annotations
 
 import json
 import os
+import types
 from typing import Callable, Sequence
 
 from repro.errors import ReproError
 from repro.lang.diagnostics import Diagnostics
-from repro.lang.targets import (example_files, load_example_targets,
-                                resolve_program)
+from repro.lang.targets import (SERVING_MODULES, example_files,
+                                is_module_target, load_example_targets,
+                                resolve_module, resolve_program)
 from repro.lang.transform import Transform
 
 __all__ = ["describe", "check", "check_example_file", "analyze", "main"]
@@ -207,7 +209,10 @@ def _check_examples(directory, log: Callable[[str], None],
 
 def _check_main(names, example_dirs, json_mode: bool,
                 log: Callable[[str], None]) -> int:
-    payload: dict = {"mode": "check", "targets": {}}
+    from repro.analysis.findings import SCHEMA_VERSION
+
+    payload: dict = {"mode": "check",
+                     "schema_version": SCHEMA_VERSION, "targets": {}}
     failures = 0
     for name in names:
         program, diagnostics = _checked_resolve(name)
@@ -242,14 +247,25 @@ def _check_main(names, example_dirs, json_mode: bool,
 
 
 def _analysis_targets(names, example_dirs):
-    """Yield ``(label, program | None, diagnostics)`` per target.
+    """Yield ``(label, program | module | None, diagnostics)`` per
+    target.
 
-    Benchmarks first, then every declaration target of every example
-    file — module-level transforms (compiled as root with their
-    siblings as extras) and ``-> Transform`` factories, exactly the
-    set :func:`check_example_file` validates.
+    Benchmarks and serving modules first (dotted ``repro.*`` names are
+    imported, not compiled — the concurrency and process-boundary
+    passes walk their classes), then every declaration target of every
+    example file — module-level transforms (compiled as root with
+    their siblings as extras) and ``-> Transform`` factories, exactly
+    the set :func:`check_example_file` validates.
     """
     for name in names:
+        if is_module_target(name):
+            try:
+                module = resolve_module(name)
+            except Exception as exc:
+                yield name, None, _diagnostics_of(exc)
+            else:
+                yield name, module, Diagnostics()
+            continue
         program, diagnostics = _checked_resolve(name)
         yield name, program, diagnostics
     for directory in example_dirs:
@@ -270,16 +286,20 @@ def _analysis_targets(names, example_dirs):
 
 def _analyze_main(names, example_dirs, baseline_path: "str | None",
                   json_mode: bool, log: Callable[[str], None]) -> int:
-    from repro.analysis import (ERROR, INFO, WARNING, analyze_program,
-                                load_baseline, partition_findings)
+    from repro.analysis import (ERROR, INFO, SCHEMA_VERSION, WARNING,
+                                analyze_modules, analyze_program,
+                                load_baseline, partition_findings,
+                                stale_entries)
 
     try:
         baseline = load_baseline(baseline_path) if baseline_path else []
     except ReproError as exc:
         log(str(exc))
         return 1
-    payload: dict = {"mode": "analyze", "targets": {}}
+    payload: dict = {"mode": "analyze",
+                     "schema_version": SCHEMA_VERSION, "targets": {}}
     failures = 0
+    matched: set = set()
     order = {ERROR: 0, WARNING: 1, INFO: 2}
     for label, program, diagnostics in _analysis_targets(
             names, example_dirs):
@@ -294,9 +314,17 @@ def _analyze_main(names, example_dirs, baseline_path: "str | None",
                 for line in diagnostics.render().splitlines():
                     log(f"  {line}")
             continue
-        report = analyze_program(program)
-        active, suppressed = partition_findings(report, baseline)
-        active = sorted(active, key=lambda f: order.get(f.severity, 3))
+        if isinstance(program, types.ModuleType):
+            report = analyze_modules([program])
+        else:
+            report = analyze_program(program)
+        active, suppressed = partition_findings(report, baseline,
+                                                matched=matched)
+        # Deterministic ordering: severity first for the human eye,
+        # then (file, line, code) so reruns diff cleanly.
+        active = sorted(active, key=lambda f: (order.get(f.severity, 3),
+                                               f.sort_key()))
+        suppressed = sorted(suppressed, key=lambda f: f.sort_key())
         gating = [f for f in active if f.severity in (ERROR, WARNING)]
         info = [f for f in active if f.severity == INFO]
         errors = len([f for f in gating if f.severity == ERROR])
@@ -306,7 +334,8 @@ def _analyze_main(names, example_dirs, baseline_path: "str | None",
                 "ok": not gating,
                 "errors": errors,
                 "warnings": warnings,
-                "findings": [f.to_json() for f in active],
+                "findings": [f.to_json() for f in sorted(
+                    active, key=lambda f: f.sort_key())],
                 "suppressed": [f.to_json() for f in suppressed]}
             if gating:
                 failures += 1
@@ -321,7 +350,20 @@ def _analyze_main(names, example_dirs, baseline_path: "str | None",
             log(f"{label}: ok (0 errors, 0 warnings{note})")
         for finding in gating + info:
             log(f"  {finding.render()}")
+    stale = stale_entries(baseline, matched)
+    if stale:
+        failures += 1
+        if not json_mode:
+            noun = ("entry matches" if len(stale) == 1
+                    else "entries match")
+            log(f"baseline {baseline_path}: {len(stale)} stale "
+                f"{noun} no current finding — the debt excused there "
+                f"is gone; delete the entries to keep the ratchet "
+                f"tight:")
+            for entry in stale:
+                log(f"  {json.dumps(entry, sort_keys=True)}")
     if json_mode:
+        payload["stale_baseline"] = stale
         payload["failures"] = failures
         log(json.dumps(payload, indent=2, sort_keys=True))
     return failures
@@ -354,8 +396,14 @@ def main(argv: "Sequence[str] | None" = None,
       (module-level transform declarations), repeatable.
     * ``--analyze`` — run the :mod:`repro.analysis` static contract
       analyzer instead; a target fails on any error or non-baselined
-      warning (info findings never gate).
-    * ``--baseline <file>`` — accepted-warnings JSON for ``--analyze``.
+      warning (info findings never gate).  Targets may also be dotted
+      ``repro.*`` module names (the concurrency / process-boundary
+      passes); with no explicit targets the gate covers every
+      benchmark **plus** the serving tier
+      (:data:`~repro.lang.targets.SERVING_MODULES`).
+    * ``--baseline <file>`` — accepted-warnings JSON for ``--analyze``;
+      entries matching no current finding are *stale* and fail the
+      gate.
     * ``--json`` — machine-readable output in either mode.
     """
     from repro.suite.registry import all_benchmarks
@@ -373,7 +421,12 @@ def main(argv: "Sequence[str] | None" = None,
     if baselines and not analyze_mode:
         log("--baseline only applies with --analyze")
         return 1
-    names = args if args else sorted(all_benchmarks())
+    if args:
+        names = args
+    elif analyze_mode:
+        names = sorted(all_benchmarks()) + list(SERVING_MODULES)
+    else:
+        names = sorted(all_benchmarks())
     if analyze_mode:
         return _analyze_main(names, example_dirs,
                              baselines[-1] if baselines else None,

@@ -23,6 +23,7 @@ from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from typing import TYPE_CHECKING, Sequence
 
+from repro.contracts import guarded_by, process_local, thread_affine
 from repro.runtime.backends.base import (
     ExecutionBackend,
     TrialOutcome,
@@ -36,8 +37,11 @@ if TYPE_CHECKING:
 
 __all__ = ["ProcessPoolBackend"]
 
-#: Worker-process global installed by :func:`_init_worker`.
+#: Worker-process global installed by :func:`_init_worker`.  Declared
+#: process-local: each worker deliberately keeps its own copy, and the
+#: parent process never reads it.
 _WORKER_PROGRAM: "CompiledProgram" | None = None
+process_local("_WORKER_PROGRAM")
 
 
 def _init_worker(program_bytes: bytes) -> None:
@@ -55,6 +59,8 @@ def _run_chunk(requests: Sequence[TrialRequest], objective: str,
             for request in requests]
 
 
+@thread_affine("caller")
+@guarded_by("_lock", "_pools")
 class ProcessPoolBackend(ExecutionBackend):
     """Runs trial batches across worker processes.
 

@@ -15,6 +15,7 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Sequence
 
+from repro.contracts import guarded_by, thread_affine
 from repro.runtime.backends.base import (
     ExecutionBackend,
     TrialOutcome,
@@ -32,6 +33,8 @@ def default_workers() -> int:
     return max(2, min(8, os.cpu_count() or 2))
 
 
+@thread_affine("caller")
+@guarded_by("_lock", "_pool")
 class ThreadPoolBackend(ExecutionBackend):
     """Runs a batch across a persistent thread pool."""
 

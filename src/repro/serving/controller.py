@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
 from repro.autotuner.tuner import Autotuner, TunerSettings
+from repro.contracts import guarded_by, thread_affine
 from repro.errors import TrainingError
 from repro.runtime.policy import judge_shadow
 from repro.serving.store import DEFAULT_TAG, ArtifactStore
@@ -92,6 +93,9 @@ class RetuneStatus:
     candidate_version: int | None
 
 
+@thread_affine("caller")
+@guarded_by("_lock", "_active", "_suspended")
+@guarded_by("_poll_lock")  # declare-only: serialises poll() ticks
 class RetuneController:
     """Drives drift detection, incremental retunes, and promotions.
 

@@ -39,6 +39,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
+from repro.contracts import guarded_by, requires_lock, thread_affine
 from repro.errors import ArtifactError, ReproError
 from repro.runtime.backends import (
     ExecutionBackend,
@@ -220,6 +221,9 @@ class _Pending:
         return self.ladder[self.pos]
 
 
+@thread_affine("caller")
+@guarded_by("_lock", "_programs", "_digests", "_shadows", "_counters",
+            "_latencies")
 class ServingEngine:
     """Batches :class:`ServeRequest` traffic onto an execution backend.
 
@@ -276,8 +280,9 @@ class ServingEngine:
             self._programs[name] = tuned
             self._invalidate_digests(name)
 
+    @requires_lock("_lock")
     def _invalidate_digests(self, name: str) -> None:
-        """Drop every cached config digest of ``name`` (lock held)."""
+        """Drop every cached config digest of ``name``."""
         for key in [key for key in self._digests if key[0] == name]:
             del self._digests[key]
 

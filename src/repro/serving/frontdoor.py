@@ -51,6 +51,7 @@ from collections import deque
 from dataclasses import dataclass, field, replace
 from typing import Sequence
 
+from repro.contracts import atomic_swapped, thread_affine
 from repro.errors import ConfigError, ReproError
 from repro.runtime.backends import ShardPlan, backend_from_spec
 from repro.runtime.policy import (
@@ -164,6 +165,8 @@ class FrontDoorStats:
                 f"p99 {self.p99_latency * 1e3:.2f}ms end-to-end")
 
 
+@thread_affine("loop")
+@atomic_swapped("_closed")
 class FrontDoor:
     """Async sharded serving tier over per-shard
     :class:`~repro.serving.engine.ServingEngine` workers.
@@ -250,6 +253,7 @@ class FrontDoor:
     # Construction from a ShardPlan
     # ------------------------------------------------------------------
     @classmethod
+    @thread_affine("caller")
     def build(cls, plan: "ShardPlan | str", *,
               store: ArtifactStore | None = None,
               shard_backend: str | None = None,
@@ -284,16 +288,19 @@ class FrontDoor:
     # ------------------------------------------------------------------
     # Program registry passthroughs (fan out to every shard)
     # ------------------------------------------------------------------
+    @thread_affine("caller")
     def register(self, name: str, tuned: TunedProgram) -> None:
         """Serve ``tuned`` under ``name`` on every shard."""
         for engine in self._engines:
             engine.register(name, tuned)
 
+    @thread_affine("caller")
     def hot_swap(self, name: str, tuned: TunedProgram) -> None:
         """Atomically replace ``name`` on every shard."""
         for engine in self._engines:
             engine.hot_swap(name, tuned)
 
+    @thread_affine("caller")
     def program_for(self, name: str, tag: str = DEFAULT_TAG
                     ) -> TunedProgram:
         return self._engines[0].program_for(name, tag)
@@ -317,6 +324,7 @@ class FrontDoor:
     # ------------------------------------------------------------------
     # Admission (event-loop thread)
     # ------------------------------------------------------------------
+    @thread_affine("caller")
     def submit(self, request: ServeRequest
                ) -> "concurrent.futures.Future[ServeResponse]":
         """Admit one request; the future resolves to its response.
@@ -333,6 +341,7 @@ class FrontDoor:
                                         time.monotonic())
         return future
 
+    @thread_affine("caller")
     def serve(self, requests: Sequence[ServeRequest]
               ) -> list[ServeResponse]:
         """Submit a batch and wait; responses align positionally."""
@@ -483,6 +492,7 @@ class FrontDoor:
     # ------------------------------------------------------------------
     # Stats & lifecycle
     # ------------------------------------------------------------------
+    @thread_affine("caller")
     def stats(self) -> FrontDoorStats:
         p50, p95, p99 = latency_summary(list(self._latencies))
         return FrontDoorStats(
@@ -499,6 +509,7 @@ class FrontDoor:
             shard_stats=tuple(engine.stats()
                               for engine in self._engines))
 
+    @thread_affine("caller")
     def close(self) -> None:
         """Drain queued traffic, stop the loop, close every shard.
 

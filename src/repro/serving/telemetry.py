@@ -32,6 +32,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
+from repro.contracts import guarded_by, thread_affine
 from repro.lang.metrics import AccuracyMetric
 from repro.runtime.guarantees import (
     StatisticalGuarantee,
@@ -146,6 +147,8 @@ class _BinWindow:
         self.fallbacks = 0
 
 
+@thread_affine("caller")
+@guarded_by("_lock", "_bins", "_shedding")
 class ServingTelemetry:
     """Thread-safe rolling windows of observed serving behaviour.
 

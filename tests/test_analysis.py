@@ -304,15 +304,111 @@ class TestConfigSpaceFindings:
 # ----------------------------------------------------------------------
 class TestCodeCoverage:
     def test_every_documented_code_is_proven_to_fire(self):
+        import fixtures_concurrency
+        from test_concurrency_analysis import _build_nested_program
+
+        from repro.analysis import analyze_modules
+
         fired = set()
         for target, extras in [(impure_program, ()),
                                (widening_program, ()),
                                (dead_tunable_program, ()),
                                (false_batchable_program, ()),
                                (false_precision_program, ()),
-                               (pinned_root, (binned_helper,))]:
+                               (pinned_root, (binned_helper,)),
+                               (_build_nested_program, ())]:
             fired.update(f.code for f in analyze(target, extras))
+        fired.update(f.code
+                     for f in analyze_modules([fixtures_concurrency]))
         assert fired == set(FINDING_CODES)
+
+
+# ----------------------------------------------------------------------
+# CallGraph edge cases: lambdas, closures, decorators, partial
+# ----------------------------------------------------------------------
+def _edge_plain(x):
+    return x + 1
+
+
+_EDGE_LAMBDA = lambda x: _edge_plain(x)  # noqa: E731
+
+
+def _edge_outer():
+    offset = 2
+
+    def inner(x):
+        return _edge_plain(x) + offset
+    return inner
+
+
+def _edge_decorator(fn):
+    import functools
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        return fn(*args, **kwargs)
+    return wrapper
+
+
+@_edge_decorator
+def _edge_decorated(x):
+    return _edge_plain(x)
+
+
+_EDGE_TWIN_A, _EDGE_TWIN_B = (lambda: 1), (lambda: 2)
+
+
+class TestCallGraphEdgeCases:
+    @pytest.fixture()
+    def graph(self):
+        from repro.analysis import CallGraph
+        return CallGraph()
+
+    def test_lambda_resolves_with_its_callees(self, graph):
+        import ast
+        info = graph.info(_EDGE_LAMBDA)
+        assert info is not None
+        assert isinstance(info.node, ast.Lambda)
+        callees = [callee for callee, _ in graph.callees(info)]
+        assert _edge_plain in callees
+
+    def test_two_lambdas_on_one_line_are_explicitly_skipped(self, graph):
+        # ("<lambda>", lineno) cannot distinguish them; the graph
+        # refuses to guess rather than mis-attribute a body.
+        assert graph.info(_EDGE_TWIN_A) is None
+        assert graph.info(_EDGE_TWIN_B) is None
+
+    def test_nested_closure_resolves_cell_contents(self, graph):
+        inner = _edge_outer()
+        info = graph.info(inner)
+        assert info is not None
+        assert info.namespace()["offset"] == 2
+        callees = [callee for callee, _ in graph.callees(info)]
+        assert _edge_plain in callees
+
+    def test_decorated_function_resolves_to_wrapped_body(self, graph):
+        info = graph.info(_edge_decorated)
+        assert info is not None
+        assert info.node.name == "_edge_decorated"
+        callees = [callee for callee, _ in graph.callees(info)]
+        assert _edge_plain in callees
+
+    def test_functools_partial_unwraps_to_its_function(self, graph):
+        import functools
+        bound = functools.partial(_edge_plain, 3)
+        info = graph.info(bound)
+        assert info is not None
+        assert info.node.name == "_edge_plain"
+
+    def test_reachability_crosses_every_edge_kind(self, graph):
+        import functools
+        inner = _edge_outer()
+        roots = [_EDGE_LAMBDA, inner, _edge_decorated,
+                 functools.partial(_edge_plain, 3)]
+        names = {info.node.name if hasattr(info.node, "name")
+                 else "<lambda>"
+                 for info in graph.reachable(roots)}
+        assert "_edge_plain" in names  # reached through all four
 
 
 # ----------------------------------------------------------------------
